@@ -1,0 +1,72 @@
+"""Offloading under wireless uncertainty.
+
+Task offloading only saves energy when the server response comes back before
+the safety deadline; otherwise the local model is re-invoked as a fallback
+(paper Section V-A).  This study sweeps the quality of the Wi-Fi link (the
+Rayleigh scale of the effective data rate) and the offload payload size, and
+reports how the energy gains and the fallback rate respond.
+
+Run with:  python examples/offloading_under_wireless_uncertainty.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis.metrics import aggregate_reports
+from repro.analysis.tables import format_table
+from repro.core import SEOConfig, SEOFramework
+from repro.sim import ScenarioConfig
+
+CHANNEL_SCALES_MBPS = (5.0, 10.0, 20.0, 40.0)
+PAYLOADS_BYTES = (14_000, 28_000, 84_000)
+EPISODES = 4
+
+
+def main() -> None:
+    base = SEOConfig(
+        scenario=ScenarioConfig(num_obstacles=3, seed=0),
+        optimization="offload",
+        filtered=True,
+        max_steps=1200,
+    )
+
+    rows = []
+    for scale in CHANNEL_SCALES_MBPS:
+        for payload in PAYLOADS_BYTES:
+            config = replace(base, channel_scale_mbps=scale, payload_bytes=payload)
+            framework = SEOFramework(config)
+            summary = aggregate_reports(framework.run(EPISODES))
+            offloads = max(1, summary.offloads_issued)
+            rows.append(
+                [
+                    scale,
+                    payload // 1000,
+                    100.0 * summary.average_model_gain,
+                    summary.offloads_issued,
+                    100.0 * summary.offload_deadline_misses / offloads,
+                ]
+            )
+
+    print(
+        format_table(
+            [
+                "Rayleigh scale [Mbit/s]",
+                "payload [kB]",
+                "avg gain [%]",
+                "offloads issued",
+                "deadline misses [%]",
+            ],
+            rows,
+            title="Safety-aware offloading vs. wireless link quality",
+        )
+    )
+    print()
+    print(
+        "Reading: a weaker link or a larger payload stretches the expected\n"
+        "response time delta_hat; the scheduler then either skips the offload\n"
+        "(running locally) or pays the fallback re-invocation, so the gains\n"
+        "collapse gracefully instead of violating the safety deadline."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Risk sweep: how energy gains degrade as the route gets more dangerous.
+
+Reproduces the spirit of the paper's Fig. 6 / Table II interactively: the
+number of obstacles on the final third of the route is swept, and for each
+risk level the script reports the sampled-deadline distribution and the
+average energy gains for offloading and model gating, in both the filtered
+and unfiltered control cases.
+
+Run with:  python examples/risk_sweep_study.py
+"""
+
+from repro.analysis.histograms import delta_histogram
+from repro.analysis.tables import format_table
+from repro.experiments.common import ExperimentSettings, run_configuration, standard_config
+
+OBSTACLE_COUNTS = (0, 2, 4)
+SETTINGS = ExperimentSettings(episodes=5, max_steps=1200, seed=0)
+
+
+def main() -> None:
+    rows = []
+    for filtered in (False, True):
+        for count in OBSTACLE_COUNTS:
+            per_method = {}
+            histogram = None
+            for method in ("offload", "model_gating"):
+                config = standard_config(
+                    SETTINGS, optimization=method, filtered=filtered, num_obstacles=count
+                )
+                summary = run_configuration(config, SETTINGS)
+                per_method[method] = summary.average_model_gain
+                histogram = delta_histogram(summary.delta_max_samples)
+            rows.append(
+                [
+                    "filtered" if filtered else "unfiltered",
+                    count,
+                    100.0 * per_method["offload"],
+                    100.0 * per_method["model_gating"],
+                    histogram.mean(),
+                    100.0 * histogram.frequency(4),
+                ]
+            )
+
+    print(
+        format_table(
+            [
+                "control",
+                "#obstacles",
+                "offloading gain [%]",
+                "gating gain [%]",
+                "mean delta_max",
+                "freq(delta_max=4) [%]",
+            ],
+            rows,
+            title="Energy efficiency vs. perceived risk (paper Fig. 6 / Table II)",
+        )
+    )
+    print()
+    print(
+        "Reading: more obstacles -> shorter safety deadlines -> fewer periods\n"
+        "available for optimization -> lower gains.  The filtered case keeps a\n"
+        "healthier obstacle distance, so its deadlines (and gains) stay higher."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of the SEO safety-aware energy optimization framework.
+
+SEO (Odema et al., DAC 2023) regulates runtime energy optimizations —
+offloading and gating — applied to the non-critical perception models of a
+multi-sensor autonomous system, using a *dynamic deadline* derived from the
+system's formal safety state, so that energy is saved only when the safety
+guarantees allow it.
+
+Package map
+-----------
+
+``repro.core``
+    The paper's contribution: safety function/filter, safe-interval
+    estimation and lookup table, model-subset partition, energy models,
+    optimization strategies, the Algorithm-1 scheduler and the
+    :class:`~repro.core.framework.SEOFramework` facade.
+``repro.dynamics`` / ``repro.sim``
+    The driving substrate standing in for CARLA: kinematic bicycle model,
+    100 m obstacle-course scenario, range-scan observations, episode runner.
+``repro.nn`` / ``repro.perception`` / ``repro.control``
+    NumPy neural substrate (VAE, MLP policy), the functional detectors of the
+    optimizable subset, and the controllers (heuristic expert, pure pursuit,
+    CEM-trained neural policy).
+``repro.platform`` / ``repro.comm``
+    Edge-platform compute/sensor power models (Drive PX2, ZED, Navtech,
+    Velodyne) and the Rayleigh Wi-Fi offloading substrate.
+``repro.analysis`` / ``repro.experiments``
+    Aggregation of episode reports into the paper's tables and figures, and
+    one experiment driver per table/figure.
+
+Quickstart
+----------
+
+>>> from repro.core import SEOConfig, SEOFramework
+>>> from repro.sim import ScenarioConfig
+>>> config = SEOConfig(
+...     scenario=ScenarioConfig(num_obstacles=2),
+...     optimization="offload",
+...     filtered=True,
+... )
+>>> framework = SEOFramework(config)
+>>> report = framework.run_episode()
+>>> report.success, round(report.overall_gain, 3)  # doctest: +SKIP
+(True, 0.62)
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,27 @@
+"""Analysis utilities: aggregation of episode reports into paper artifacts.
+
+* :mod:`repro.analysis.metrics` — per-model and per-run energy-gain
+  aggregation across episodes.
+* :mod:`repro.analysis.histograms` — the ``delta_max`` histograms of Fig. 6.
+* :mod:`repro.analysis.tables` — plain-text table rendering used by the
+  examples and benchmark harness output.
+"""
+
+from repro.analysis.metrics import (
+    ModelGainSummary,
+    RunSummary,
+    aggregate_reports,
+    mean_and_std,
+)
+from repro.analysis.histograms import DeltaHistogram, delta_histogram
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "DeltaHistogram",
+    "ModelGainSummary",
+    "RunSummary",
+    "aggregate_reports",
+    "delta_histogram",
+    "format_table",
+    "mean_and_std",
+]

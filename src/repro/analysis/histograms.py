@@ -1,0 +1,57 @@
+"""Histograms of the sampled discretized deadlines (paper Fig. 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeltaHistogram:
+    """Occurrence frequencies of the sampled ``delta_max`` values.
+
+    Attributes:
+        counts: Absolute number of samples per ``delta_max`` value.
+        frequencies: Relative frequencies (sum to 1 when any sample exists).
+    """
+
+    counts: Dict[int, int]
+    frequencies: Dict[int, float]
+
+    def frequency(self, delta: int) -> float:
+        """Relative frequency of one ``delta_max`` value (0.0 if never seen)."""
+        return self.frequencies.get(delta, 0.0)
+
+    def mean(self) -> float:
+        """Mean sampled ``delta_max``."""
+        total = sum(self.counts.values())
+        if total == 0:
+            return 0.0
+        return sum(delta * count for delta, count in self.counts.items()) / total
+
+
+def delta_histogram(
+    samples: Sequence[int], max_delta: int = 4, include_zero: bool = True
+) -> DeltaHistogram:
+    """Build the Fig. 6 histogram from raw ``delta_max`` samples.
+
+    Args:
+        samples: Discretized deadline samples collected by the scheduler.
+        max_delta: Largest bucket (larger samples are clamped into it).
+        include_zero: Whether to keep a bucket for ``delta_max = 0`` (the
+            fully unsafe samples); the paper's histogram starts at 1.
+    """
+    if max_delta < 1:
+        raise ValueError("max_delta must be at least 1")
+    lowest = 0 if include_zero else 1
+    counts = {delta: 0 for delta in range(lowest, max_delta + 1)}
+    for sample in samples:
+        clamped = int(np.clip(sample, lowest, max_delta))
+        counts[clamped] += 1
+    total = sum(counts.values())
+    frequencies = {
+        delta: (count / total if total else 0.0) for delta, count in counts.items()
+    }
+    return DeltaHistogram(counts=counts, frequencies=frequencies)

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple fixed-width text table.
+
+    Args:
+        headers: Column headers.
+        rows: Row values; every row must have the same length as ``headers``.
+        title: Optional title printed above the table.
+
+    Returns:
+        The rendered table as a single string (no trailing newline).
+    """
+    headers = [str(header) for header in headers]
+    materialized = [[_format_cell(value) for value in row] for row in rows]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError("all rows must have the same number of columns as headers")
+
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    """Format one cell: floats get three decimals, everything else is str()."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,136 @@
+"""Command-line interface: regenerate any paper experiment from the shell.
+
+Examples::
+
+    python -m repro.cli fig5 --episodes 5
+    python -m repro.cli table2 --episodes 25 --seed 1
+    python -m repro.cli table3
+    python -m repro.cli ablation-safety
+    python -m repro.cli ablation-lookup
+
+Each command prints the reproduced table to stdout and optionally writes it
+to a file with ``--output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.experiments.ablations import run_lookup_ablation, run_safety_awareness_ablation
+from repro.experiments.common import ExperimentSettings
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+
+def _ablation_safety_table(settings: ExperimentSettings) -> str:
+    result = run_safety_awareness_ablation(settings)
+    return format_table(
+        ["variant", "avg gain [%]", "mean delta_max", "unsafe steps / episode"],
+        [
+            [
+                "safety-aware (SEO)",
+                100.0 * result.aware.average_model_gain,
+                result.aware.mean_delta_max,
+                result.aware_unsafe_steps,
+            ],
+            [
+                "safety-oblivious",
+                100.0 * result.oblivious.average_model_gain,
+                result.oblivious.mean_delta_max,
+                result.oblivious_unsafe_steps,
+            ],
+        ],
+        title="Ablation — safety-aware vs. safety-oblivious scheduling",
+    )
+
+
+def _ablation_lookup_table(settings: ExperimentSettings) -> str:
+    result = run_lookup_ablation(settings)
+    return format_table(
+        ["deadline provider", "avg gain [%]", "mean delta_max"],
+        [
+            [
+                "lookup table T(x, u)",
+                100.0 * result.lookup.average_model_gain,
+                result.lookup.mean_delta_max,
+            ],
+            [
+                "exact phi evaluation",
+                100.0 * result.exact.average_model_gain,
+                result.exact.mean_delta_max,
+            ],
+        ],
+        title="Ablation — deadline lookup table vs. exact evaluation",
+    )
+
+
+#: Experiment name -> callable producing the rendered table.
+EXPERIMENTS: Dict[str, Callable[[ExperimentSettings], str]] = {
+    "fig1": lambda settings: run_fig1(settings).to_table(),
+    "fig5": lambda settings: run_fig5(settings).to_table(),
+    "fig6": lambda settings: run_fig6(settings).to_table(),
+    "table1": lambda settings: run_table1(settings).to_table(),
+    "table2": lambda settings: run_table2(settings).to_table(),
+    "table3": lambda settings: run_table3(settings).to_table(),
+    "ablation-safety": _ablation_safety_table,
+    "ablation-lookup": _ablation_lookup_table,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the experiment CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the SEO paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which paper artifact to regenerate ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--episodes", type=int, default=10,
+        help="episodes per configuration (the paper averages 25 successful runs)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--max-steps", type=int, default=1200, help="base periods per episode"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="optional file to write the rendered table(s) to",
+    )
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None) -> str:
+    """Run the CLI and return the rendered output (also printed to stdout)."""
+    args = build_parser().parse_args(argv)
+    settings = ExperimentSettings(
+        episodes=args.episodes, seed=args.seed, max_steps=args.max_steps
+    )
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    sections = [EXPERIMENTS[name](settings) for name in names]
+    output = "\n\n".join(sections)
+
+    print(output)
+    if args.output is not None:
+        args.output.write_text(output + "\n")
+    return output
+
+
+def main() -> None:  # pragma: no cover - thin wrapper
+    """Console-script entry point."""
+    run()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,27 @@
+"""Wireless offloading substrate.
+
+The paper's offloading optimization (Section V-A) assumes a Wi-Fi link whose
+effective data rate is sampled from a Rayleigh distribution with scale
+20 Mbit/s, an edge server that runs the offloaded inference, and a fallback
+path re-invoking the local model when the round trip misses the safety
+deadline.  This package provides those three ingredients:
+
+* :class:`RayleighChannel` — stochastic effective data rates.
+* :class:`WirelessLink` — payload transmission latency and radio energy.
+* :class:`EdgeServer` — server-side service time.
+* :class:`OffloadPlanner` — end-to-end round-trip sampling and the response
+  -time estimate ``delta_hat`` the scheduler compares against the deadline.
+"""
+
+from repro.comm.channel import RayleighChannel
+from repro.comm.link import WirelessLink
+from repro.comm.server import EdgeServer
+from repro.comm.offload import OffloadOutcome, OffloadPlanner
+
+__all__ = [
+    "EdgeServer",
+    "OffloadOutcome",
+    "OffloadPlanner",
+    "RayleighChannel",
+    "WirelessLink",
+]

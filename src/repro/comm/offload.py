@@ -1,0 +1,98 @@
+"""Offload round-trip planning and outcome sampling.
+
+Section V-A of the paper lists the two ingredients a safe offloading scheme
+needs: (i) an estimate ``delta_hat`` of the server response time used to skip
+offloads that cannot meet the deadline, and (ii) a fallback that re-invokes
+the local model when an issued offload is late because of wireless
+uncertainty.  :class:`OffloadPlanner` provides both: a deterministic planning
+estimate and a stochastic per-offload outcome.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.comm.link import WirelessLink
+from repro.comm.server import EdgeServer
+
+
+@dataclass(frozen=True)
+class OffloadOutcome:
+    """The realized outcome of a single offload attempt.
+
+    Attributes:
+        transmission_time_s: Sampled uplink transmission time ``T_tx``.
+        round_trip_s: Total time from issuing the offload to receiving the
+            server response.
+        transmission_energy_j: Radio energy spent on the uplink.
+        response_periods: Round trip expressed in base periods (ceiling).
+    """
+
+    transmission_time_s: float
+    round_trip_s: float
+    transmission_energy_j: float
+    response_periods: int
+
+
+@dataclass
+class OffloadPlanner:
+    """Plans and samples offload round trips for a fixed payload size.
+
+    Attributes:
+        link: Wireless uplink model.
+        server: Edge server model.
+        payload_bytes: Uplink payload per offloaded inference (a compressed
+            camera frame / feature tensor).
+    """
+
+    link: WirelessLink = field(default_factory=WirelessLink)
+    server: EdgeServer = field(default_factory=EdgeServer)
+    payload_bytes: int = 28_000
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+
+    # ------------------------------------------------------------------
+    # Planning estimate (delta_hat)
+    # ------------------------------------------------------------------
+    def expected_round_trip_s(self) -> float:
+        """Expected offload round trip used for planning."""
+        return (
+            self.link.expected_transmission_time_s(self.payload_bytes)
+            + self.server.expected_service_time_s()
+        )
+
+    def estimated_response_periods(self, tau_s: float) -> int:
+        """``delta_hat``: the expected round trip in base periods (ceiling)."""
+        if tau_s <= 0:
+            raise ValueError("tau_s must be positive")
+        return max(1, math.ceil(self.expected_round_trip_s() / tau_s))
+
+    # ------------------------------------------------------------------
+    # Realized outcome
+    # ------------------------------------------------------------------
+    def sample(
+        self, tau_s: float, rng: Optional[np.random.Generator] = None
+    ) -> OffloadOutcome:
+        """Sample one offload round trip.
+
+        Args:
+            tau_s: Base period used to express the round trip in periods.
+            rng: Random generator; when omitted the link / server private
+                generators are used.
+        """
+        if tau_s <= 0:
+            raise ValueError("tau_s must be positive")
+        transmission_time = self.link.transmission_time_s(self.payload_bytes, rng)
+        round_trip = transmission_time + self.server.service_time_s(rng)
+        return OffloadOutcome(
+            transmission_time_s=transmission_time,
+            round_trip_s=round_trip,
+            transmission_energy_j=self.link.transmission_energy_j(transmission_time),
+            response_periods=max(1, math.ceil(round_trip / tau_s)),
+        )

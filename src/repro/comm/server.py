@@ -1,0 +1,47 @@
+"""Edge-server service-time model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.platform.compute import ComputeProfile
+from repro.platform.presets import EDGE_SERVER_RESNET152
+
+
+@dataclass
+class EdgeServer:
+    """A nearby edge server executing offloaded inferences.
+
+    Attributes:
+        profile: Compute profile of the offloaded model on the server; only
+            the latency matters to the vehicle (server energy is not drawn
+            from the vehicle battery).
+        queueing_jitter_s: Scale of an exponential queueing delay added to
+            the deterministic service time, modelling server load variation.
+        downlink_time_s: Time to return the (small) prediction payload.
+    """
+
+    profile: ComputeProfile = EDGE_SERVER_RESNET152
+    queueing_jitter_s: float = 0.002
+    downlink_time_s: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.queueing_jitter_s < 0:
+            raise ValueError("queueing_jitter_s must be non-negative")
+        if self.downlink_time_s < 0:
+            raise ValueError("downlink_time_s must be non-negative")
+
+    def service_time_s(self, rng: Optional[np.random.Generator] = None) -> float:
+        """Sampled time from request arrival to response departure."""
+        jitter = 0.0
+        if self.queueing_jitter_s > 0:
+            generator = rng if rng is not None else np.random.default_rng(0)
+            jitter = float(generator.exponential(self.queueing_jitter_s))
+        return self.profile.latency_s + jitter + self.downlink_time_s
+
+    def expected_service_time_s(self) -> float:
+        """Planning estimate of the service time (mean queueing delay)."""
+        return self.profile.latency_s + self.queueing_jitter_s + self.downlink_time_s

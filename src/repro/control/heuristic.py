@@ -1,0 +1,101 @@
+"""Heuristic obstacle-avoidance controller (the default "trained agent").
+
+The controller combines three behaviours, each expressed as a steering or
+throttle contribution:
+
+* lane keeping — a PD law on the lateral offset and heading error;
+* obstacle avoidance — a repulsive steering term that pushes away from the
+  nearest perceived obstacle, growing as the obstacle gets closer and more
+  head-on;
+* speed control — proportional throttle toward the target speed, with a
+  braking term when an obstacle is close ahead.
+
+It completes the paper's 100 m obstacle course collision-free in both the
+filtered and unfiltered configurations, which is all the evaluation requires
+of the "RL agent" (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.base import ControlInputs, Controller
+from repro.dynamics.state import ControlAction
+
+
+@dataclass
+class ObstacleAvoidanceController(Controller):
+    """Lane keeping + obstacle repulsion + speed control.
+
+    Attributes:
+        target_speed_mps: Cruise speed on open road.
+        lane_gain: Steering gain on the lateral offset.
+        heading_gain: Steering gain on the heading error.
+        avoid_gain: Strength of the obstacle-repulsion steering term.
+        avoid_range_m: Distance below which obstacle repulsion activates.
+        brake_range_m: Distance below which the controller starts braking for
+            a head-on obstacle.
+        speed_gain: Throttle gain on the speed error.
+        stale_caution: Extra fraction of braking applied when the perceived
+            obstacle information is stale (gated perception output).
+    """
+
+    target_speed_mps: float = 8.0
+    lane_gain: float = 0.3
+    heading_gain: float = 1.2
+    avoid_gain: float = 2.0
+    avoid_range_m: float = 18.0
+    brake_range_m: float = 12.0
+    speed_gain: float = 0.5
+    stale_caution: float = 0.2
+
+    def act_from_inputs(self, inputs: ControlInputs) -> ControlAction:
+        steering = self._lane_keeping_steer(inputs)
+        steering += self._avoidance_steer(inputs)
+        throttle = self._speed_control(inputs)
+        return ControlAction(steering=steering, throttle=throttle).clipped()
+
+    # ------------------------------------------------------------------
+    # Behaviour components
+    # ------------------------------------------------------------------
+    def _lane_keeping_steer(self, inputs: ControlInputs) -> float:
+        """PD steering toward the lane centre and road direction."""
+        return -self.lane_gain * inputs.lateral_offset_m - self.heading_gain * inputs.heading_rad
+
+    def _avoidance_steer(self, inputs: ControlInputs) -> float:
+        """Repulsive steering away from the nearest perceived obstacle."""
+        if not inputs.has_obstacle:
+            return 0.0
+        distance = max(0.5, float(inputs.obstacle_distance_m))
+        bearing = float(inputs.obstacle_bearing_rad)
+        if distance > self.avoid_range_m:
+            return 0.0
+        # Only obstacles roughly ahead require evasive steering.
+        ahead_weight = max(0.0, math.cos(bearing))
+        if ahead_weight <= 0.0:
+            return 0.0
+        proximity = (self.avoid_range_m - distance) / self.avoid_range_m
+        # Steer away from the obstacle side; for a dead-ahead obstacle pick
+        # the side with more room (the sign of the current lateral offset).
+        if abs(bearing) > 1e-3:
+            direction = -math.copysign(1.0, bearing)
+        else:
+            direction = -math.copysign(1.0, inputs.lateral_offset_m) if inputs.lateral_offset_m else 1.0
+        return direction * self.avoid_gain * proximity * ahead_weight
+
+    def _speed_control(self, inputs: ControlInputs) -> float:
+        """Proportional speed tracking with obstacle-aware braking."""
+        throttle = self.speed_gain * (inputs.target_speed_mps - inputs.speed_mps)
+        if inputs.has_obstacle:
+            distance = float(inputs.obstacle_distance_m)
+            bearing = float(inputs.obstacle_bearing_rad)
+            ahead_weight = max(0.0, math.cos(bearing))
+            if distance < self.brake_range_m and ahead_weight > 0.3:
+                braking = (self.brake_range_m - distance) / self.brake_range_m
+                if inputs.obstacle_stale:
+                    braking *= 1.0 + self.stale_caution
+                throttle -= braking * ahead_weight
+        return float(np.clip(throttle, -1.0, 1.0))

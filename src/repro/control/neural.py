@@ -1,0 +1,64 @@
+"""Neural controller: an MLP policy over controller features."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.control.base import ControlInputs, Controller
+from repro.dynamics.state import ControlAction
+from repro.nn.policy import MLPPolicy
+
+#: Length of the default feature vector built by :func:`default_feature_vector`.
+DEFAULT_FEATURE_DIM = 7
+
+
+def default_feature_vector(inputs: ControlInputs, max_range_m: float = 40.0) -> np.ndarray:
+    """Encode :class:`ControlInputs` into a fixed-length normalized vector.
+
+    The encoding is deliberately simple and bounded so that the policy search
+    space stays well conditioned:
+
+    ``[speed/target, lateral/half_width, heading, obstacle_present,
+    obstacle_distance/max_range, sin(bearing), cos(bearing)]``
+    """
+    if inputs.has_obstacle:
+        present = 1.0
+        distance = min(1.0, float(inputs.obstacle_distance_m) / max_range_m)
+        bearing = float(inputs.obstacle_bearing_rad)
+    else:
+        present = 0.0
+        distance = 1.0
+        bearing = 0.0
+    return np.array(
+        [
+            inputs.speed_mps / max(1e-6, inputs.target_speed_mps),
+            inputs.lateral_offset_m / max(1e-6, inputs.road_half_width_m),
+            inputs.heading_rad,
+            present,
+            distance,
+            np.sin(bearing),
+            np.cos(bearing),
+        ],
+        dtype=float,
+    )
+
+
+@dataclass
+class NeuralController(Controller):
+    """Controller wrapping an :class:`repro.nn.policy.MLPPolicy`.
+
+    Attributes:
+        policy: The MLP policy; its input dimension must match the feature
+            encoding (:data:`DEFAULT_FEATURE_DIM` for the default encoder).
+        target_speed_mps: Cruise speed used in the feature normalization.
+    """
+
+    policy: MLPPolicy = field(default_factory=lambda: MLPPolicy(DEFAULT_FEATURE_DIM))
+    target_speed_mps: float = 8.0
+
+    def act_from_inputs(self, inputs: ControlInputs) -> ControlAction:
+        features = default_feature_vector(inputs)
+        action = self.policy.act(features)
+        return ControlAction(steering=float(action[0]), throttle=float(action[1])).clipped()

@@ -1,0 +1,50 @@
+"""Pure-pursuit lane follower (obstacle-blind baseline controller).
+
+This controller tracks the lane centre line with a pure-pursuit steering law
+and holds a constant cruise speed.  It ignores obstacles entirely, which makes
+it useful for exercising the safety filter: with the shield disabled it will
+collide on obstacle-laden routes, with the shield enabled it should not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.base import ControlInputs, Controller
+from repro.dynamics.state import ControlAction
+
+
+@dataclass
+class PurePursuitController(Controller):
+    """Pure-pursuit tracking of the straight lane centre line.
+
+    Attributes:
+        target_speed_mps: Cruise speed.
+        lookahead_m: Pure-pursuit lookahead distance.
+        wheelbase_m: Vehicle wheelbase used in the curvature law.
+        max_steer_rad: Steering angle corresponding to a full-scale command.
+        speed_gain: Throttle gain on the speed error.
+    """
+
+    target_speed_mps: float = 8.0
+    lookahead_m: float = 8.0
+    wheelbase_m: float = 2.7
+    max_steer_rad: float = math.radians(35.0)
+    speed_gain: float = 0.5
+
+    def act_from_inputs(self, inputs: ControlInputs) -> ControlAction:
+        # Lookahead point on the centre line, expressed in the vehicle frame.
+        dx = self.lookahead_m
+        dy = -inputs.lateral_offset_m
+        alpha = math.atan2(dy, dx) - inputs.heading_rad
+        curvature = 2.0 * math.sin(alpha) / self.lookahead_m
+        steer_rad = math.atan(curvature * self.wheelbase_m)
+        steering = steer_rad / self.max_steer_rad
+        throttle = self.speed_gain * (inputs.target_speed_mps - inputs.speed_mps)
+        return ControlAction(
+            steering=float(np.clip(steering, -1.0, 1.0)),
+            throttle=float(np.clip(throttle, -1.0, 1.0)),
+        )

@@ -1,0 +1,389 @@
+"""The SEO framework facade: the full safety-aware ADS runtime loop.
+
+:class:`SEOFramework` wires every substrate together into the closed loop of
+Fig. 2 of the paper:
+
+* the driving world (CARLA substitute) provides ground truth;
+* the critical subset Lambda'' (the VAE pipeline) provides the state estimate
+  ``x`` to the safety filter and features Theta'' to the controller — as in
+  the paper, the relative state itself is read from the simulator;
+* the controller ``pi`` produces raw steering/throttle from the aggregated
+  perception outputs Theta;
+* the safety filter ``Psi`` (a steering shield) optionally filters the raw
+  control (the paper's "filtered" configuration);
+* the deadline provider ``T(x, u)`` maps the safety state to a dynamic
+  deadline; and
+* the :class:`SafeRuntimeScheduler` applies the chosen energy optimization to
+  the Lambda' detectors under that deadline, accounting energy as it goes.
+
+``run_episode`` executes one obstacle-course episode and returns an
+:class:`EpisodeReport`; ``run`` repeats it over several scenario seeds, which
+is how every figure/table experiment of the paper is regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.channel import RayleighChannel
+from repro.comm.link import WirelessLink
+from repro.comm.offload import OffloadPlanner
+from repro.comm.server import EdgeServer
+from repro.control.base import ControlInputs, Controller
+from repro.control.heuristic import ObstacleAvoidanceController
+from repro.control.pure_pursuit import PurePursuitController
+from repro.core.intervals import SafeIntervalEstimator
+from repro.core.lookup import DeadlineLookupTable, LookupGrid
+from repro.core.models import ModelSet, SensoryModel
+from repro.core.optimizations import make_strategy_factory
+from repro.core.safety import BrakingDistanceBarrier, SafetyInputs
+from repro.core.scheduler import SafeRuntimeScheduler
+from repro.core.shield import SteeringShield
+from repro.dynamics.bicycle import KinematicBicycleModel
+from repro.dynamics.params import VehicleParams
+from repro.perception.detections import DetectionSet
+from repro.perception.detector import DetectorModel
+from repro.platform.compute import ComputeProfile
+from repro.platform.presets import DRIVE_PX2_RESNET152, ZERO_POWER_SENSOR
+from repro.platform.sensors import SensorPowerSpec
+from repro.sim.observation import RangeScanner
+from repro.sim.scenario import ScenarioConfig, build_world
+
+#: Compute profile charged for the critical VAE pipeline every base period.
+VAE_COMPUTE_PROFILE = ComputeProfile(name="vae@drive-px2", latency_s=0.004, power_w=4.0)
+
+
+@dataclass(frozen=True)
+class SEOConfig:
+    """Configuration of one SEO experiment.
+
+    Attributes:
+        tau_s: Base period ``tau`` (20 ms in most of the paper, 25 ms in
+            Table I).
+        scenario: Driving scenario (road length, obstacle count, speeds).
+        filtered: Whether the safety filter is active (the paper's
+            "filtered" vs "unfiltered" control cases).
+        optimization: Energy optimization applied to Lambda': ``"offload"``,
+            ``"model_gating"``, ``"sensor_gating"`` or ``"none"``.
+        detector_period_multiples: Native periods of the Lambda' detectors as
+            multiples of ``tau`` (the paper uses ``p = tau`` and ``p = 2 tau``).
+        detector_compute: Local compute profile of the detectors.
+        detector_sensor: Power specification of the sensor attached to each
+            detector (``ZERO_POWER_SENSOR`` reproduces the compute-only
+            accounting of Fig. 5; Table III uses real sensor specs).
+        payload_bytes: Offload payload per inference.
+        channel_scale_mbps: Rayleigh scale of the Wi-Fi effective data rate.
+        max_deadline_periods: Saturation value of ``delta_max``.
+        safety_aware: When False the deadline provider always reports the
+            maximum deadline, i.e. optimizations are applied regardless of
+            the perceived risk (the safety-oblivious ablation baseline).
+        use_lookup_table: Sample ``Delta_max`` from the precomputed lookup
+            table (as the paper does) instead of evaluating ``phi`` exactly.
+        lookup_grid: Optional grid override for the lookup table.
+        controller: ``"heuristic"`` (default obstacle-avoidance agent) or
+            ``"pure_pursuit"`` (obstacle-blind lane follower).
+        target_speed_mps: Controller cruise speed.
+        shield_margin_m: Intervention margin of the safety filter.
+        barrier_clearance_m: Hard clearance of the safety barrier.
+        max_steps: Cap on base periods per episode.
+        seed: Base seed; episode ``k`` perturbs it deterministically.
+    """
+
+    tau_s: float = 0.02
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    filtered: bool = True
+    optimization: str = "offload"
+    detector_period_multiples: tuple = (1, 2)
+    detector_compute: ComputeProfile = DRIVE_PX2_RESNET152
+    detector_sensor: SensorPowerSpec = ZERO_POWER_SENSOR
+    payload_bytes: int = 28_000
+    channel_scale_mbps: float = 20.0
+    max_deadline_periods: int = 4
+    safety_aware: bool = True
+    use_lookup_table: bool = True
+    lookup_grid: Optional[LookupGrid] = None
+    controller: str = "heuristic"
+    target_speed_mps: float = 8.0
+    shield_margin_m: float = 2.0
+    barrier_clearance_m: float = 1.0
+    max_steps: int = 1500
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tau_s <= 0:
+            raise ValueError("tau_s must be positive")
+        if not self.detector_period_multiples:
+            raise ValueError("at least one detector period is required")
+        if any(multiple < 1 for multiple in self.detector_period_multiples):
+            raise ValueError("detector periods must be at least one base period")
+        if self.optimization not in {"offload", "model_gating", "sensor_gating", "none"}:
+            raise ValueError(f"unknown optimization: {self.optimization!r}")
+        if self.controller not in {"heuristic", "pure_pursuit"}:
+            raise ValueError(f"unknown controller: {self.controller!r}")
+
+    def detector_name(self, multiple: int) -> str:
+        """Canonical name of the detector running at ``multiple * tau``."""
+        return f"detector-p{multiple}tau"
+
+
+@dataclass
+class EpisodeReport:
+    """Outcome and energy accounting of one SEO episode."""
+
+    episode: int
+    steps: int = 0
+    duration_s: float = 0.0
+    completed: bool = False
+    collided: bool = False
+    off_road: bool = False
+    shield_interventions: int = 0
+    delta_max_samples: List[int] = field(default_factory=list)
+    energy_by_model_j: Dict[str, float] = field(default_factory=dict)
+    baseline_by_model_j: Dict[str, float] = field(default_factory=dict)
+    gain_by_model: Dict[str, float] = field(default_factory=dict)
+    overall_gain: float = 0.0
+    offloads_issued: int = 0
+    offload_deadline_misses: int = 0
+    min_obstacle_distance_m: float = float("inf")
+    unsafe_steps: int = 0
+
+    @property
+    def success(self) -> bool:
+        """True if the route was completed without collision or road exit."""
+        return self.completed and not self.collided and not self.off_road
+
+    @property
+    def mean_delta_max(self) -> float:
+        """Average of the sampled discretized deadlines."""
+        if not self.delta_max_samples:
+            return 0.0
+        return float(np.mean(self.delta_max_samples))
+
+
+class SEOFramework:
+    """End-to-end safety-aware energy optimization runtime."""
+
+    def __init__(self, config: SEOConfig) -> None:
+        self.config = config
+        self.vehicle_params = VehicleParams()
+        self.barrier = BrakingDistanceBarrier(clearance_m=config.barrier_clearance_m)
+        self.estimator = SafeIntervalEstimator(
+            dynamics=KinematicBicycleModel(self.vehicle_params),
+            safety_function=self.barrier,
+            horizon_s=config.max_deadline_periods * config.tau_s,
+            step_s=config.tau_s / 4.0,
+        )
+        self.lookup_table: Optional[DeadlineLookupTable] = None
+        if config.use_lookup_table:
+            grid = config.lookup_grid if config.lookup_grid is not None else LookupGrid()
+            self.lookup_table = DeadlineLookupTable.build(
+                self.estimator,
+                grid=grid,
+                obstacle_radius_m=config.scenario.obstacle_radius_m,
+            )
+
+        self.detectors = self._build_detectors()
+        self.model_set = self._build_model_set()
+        self.offload_planner = self._build_offload_planner()
+        self._strategy_factory = make_strategy_factory(
+            config.optimization,
+            planner_factory=(lambda model: self.offload_planner)
+            if config.optimization == "offload"
+            else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_detectors(self) -> Dict[str, DetectorModel]:
+        config = self.config
+        # Detectors report obstacles only; the drivable-corridor geometry is
+        # the VAE's concern, not theirs.
+        scanner = RangeScanner(include_road_edges=False)
+        detectors: Dict[str, DetectorModel] = {}
+        for index, multiple in enumerate(config.detector_period_multiples):
+            name = config.detector_name(multiple)
+            detectors[name] = DetectorModel(
+                name=name,
+                period_s=multiple * config.tau_s,
+                scanner=scanner,
+                compute=config.detector_compute,
+                payload_bytes=config.payload_bytes,
+                seed=config.seed + 100 + index,
+            )
+        return detectors
+
+    def _build_model_set(self) -> ModelSet:
+        config = self.config
+        models: List[SensoryModel] = [
+            SensoryModel(
+                name="vae-state-encoder",
+                period_s=config.tau_s,
+                compute=VAE_COMPUTE_PROFILE,
+                sensor=ZERO_POWER_SENSOR,
+                critical=True,
+            )
+        ]
+        for multiple in config.detector_period_multiples:
+            name = config.detector_name(multiple)
+            models.append(
+                SensoryModel(
+                    name=name,
+                    period_s=multiple * config.tau_s,
+                    compute=config.detector_compute,
+                    sensor=config.detector_sensor,
+                    payload_bytes=config.payload_bytes,
+                    critical=False,
+                )
+            )
+        return ModelSet.from_models(models)
+
+    def _build_offload_planner(self) -> OffloadPlanner:
+        config = self.config
+        return OffloadPlanner(
+            link=WirelessLink(
+                channel=RayleighChannel(
+                    scale_mbps=config.channel_scale_mbps, seed=config.seed + 7
+                )
+            ),
+            server=EdgeServer(),
+            payload_bytes=config.payload_bytes,
+        )
+
+    def _build_controller(self) -> Controller:
+        config = self.config
+        if config.controller == "pure_pursuit":
+            return PurePursuitController(target_speed_mps=config.target_speed_mps)
+        return ObstacleAvoidanceController(target_speed_mps=config.target_speed_mps)
+
+    def _deadline_provider(self):
+        if not self.config.safety_aware:
+            horizon = self.estimator.horizon_s
+            return lambda inputs, control: horizon
+        if self.lookup_table is not None:
+            return self.lookup_table.query
+        estimator = self.estimator
+        scenario = self.config.scenario
+
+        def provider(inputs: SafetyInputs, control) -> float:
+            if not inputs.obstacle_present:
+                return estimator.horizon_s
+            values = estimator.estimate_batch(
+                np.array([inputs.distance_m]),
+                np.array([inputs.bearing_rad]),
+                np.array([inputs.speed_mps]),
+                np.array([control.steering]),
+                np.array([control.throttle]),
+                obstacle_radius_m=scenario.obstacle_radius_m,
+            )
+            return float(values[0])
+
+        return provider
+
+    # ------------------------------------------------------------------
+    # Episode execution
+    # ------------------------------------------------------------------
+    def run_episode(self, episode: int = 0) -> EpisodeReport:
+        """Run one obstacle-course episode under the configured optimization."""
+        config = self.config
+        world = build_world(
+            config.scenario,
+            rng=np.random.default_rng((config.seed + 1) * 1000 + episode),
+            vehicle_params=self.vehicle_params,
+        )
+        controller = self._build_controller()
+        shield = SteeringShield(
+            safety_function=self.barrier,
+            intervention_margin_m=config.shield_margin_m,
+        )
+        scheduler = SafeRuntimeScheduler(
+            model_set=self.model_set,
+            tau_s=config.tau_s,
+            deadline_provider=self._deadline_provider(),
+            strategy_factory=self._strategy_factory,
+            max_deadline_periods=config.max_deadline_periods,
+            rng=np.random.default_rng((config.seed + 2) * 1000 + episode),
+        )
+        for detector in self.detectors.values():
+            detector.reset()
+
+        report = EpisodeReport(episode=episode)
+        latest_detections: Dict[str, DetectionSet] = {}
+
+        for _ in range(config.max_steps):
+            safety_inputs = SafetyInputs.from_world(world)
+            report.min_obstacle_distance_m = min(
+                report.min_obstacle_distance_m, safety_inputs.distance_m
+            )
+            if self.barrier.evaluate(safety_inputs) < 0.0:
+                report.unsafe_steps += 1
+
+            # Control path: pi consumes the aggregated perception outputs.
+            control_inputs = ControlInputs.from_detections(
+                world, latest_detections.values(), config.target_speed_mps
+            )
+            raw_control = controller.act_from_inputs(control_inputs)
+            if config.filtered:
+                control, _ = shield.filter_action(safety_inputs, raw_control)
+            else:
+                control = raw_control
+
+            # Safety-aware scheduling of the Lambda' models (Algorithm 1).
+            scheduler_report = scheduler.step(safety_inputs, control)
+            for directive in scheduler_report.directives:
+                if directive.critical:
+                    continue
+                if directive.fresh_output:
+                    detector = self.detectors[directive.model_name]
+                    latest_detections[directive.model_name] = detector.infer(world)
+                elif directive.model_name in latest_detections:
+                    latest_detections[directive.model_name] = latest_detections[
+                        directive.model_name
+                    ].aged()
+
+            # Plant update.
+            world.step(control, config.tau_s)
+            report.steps += 1
+            status = world.status()
+            if status.done:
+                report.completed = status.finished
+                report.collided = status.collided
+                report.off_road = status.off_road
+                break
+
+        report.duration_s = report.steps * config.tau_s
+        report.shield_interventions = shield.interventions
+        report.delta_max_samples = list(scheduler.stats.delta_max_samples)
+        report.energy_by_model_j = scheduler.ledger.total_by_model()
+        report.baseline_by_model_j = scheduler.baseline_ledger.total_by_model()
+        report.gain_by_model = scheduler.energy_gain_by_model()
+        report.overall_gain = scheduler.overall_energy_gain()
+        report.offloads_issued = scheduler.stats.offloads_issued
+        report.offload_deadline_misses = scheduler.stats.offload_deadline_misses
+        return report
+
+    def run(self, episodes: int, only_successful: bool = False) -> List[EpisodeReport]:
+        """Run several episodes (different obstacle placements and channel draws).
+
+        Args:
+            episodes: Number of episodes to run.
+            only_successful: When True, keep only episodes that completed the
+                route collision-free — the paper averages over 25 such runs.
+        """
+        if episodes <= 0:
+            raise ValueError("episodes must be positive")
+        reports = [self.run_episode(episode) for episode in range(episodes)]
+        if only_successful:
+            successful = [report for report in reports if report.success]
+            return successful if successful else reports
+        return reports
+
+    # ------------------------------------------------------------------
+    # Variants
+    # ------------------------------------------------------------------
+    def with_config(self, **overrides) -> "SEOFramework":
+        """Return a new framework whose config overrides the given fields."""
+        return SEOFramework(replace(self.config, **overrides))

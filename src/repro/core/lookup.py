@@ -1,0 +1,259 @@
+"""Low-cost proxy lookup table ``T(x, u)`` for safety expiration times.
+
+Section IV-C of the paper: "through enough evaluations of the safety
+expiration function, a low-cost proxy lookup table, denoted as T(x, u), is
+constructed to enable real-time sampling of Delta_max values at runtime."
+
+:class:`DeadlineLookupTable` is that table.  It is built offline from a
+:class:`repro.core.intervals.SafeIntervalEstimator` over a grid of relative
+states (obstacle distance, relative orientation, ego speed) and quantized
+controls, and queried at runtime in O(1).  Quantization is conservative:
+distances round *down*, speeds round *up* and the returned value is the
+minimum over the neighbouring control bins, so the table never reports a
+longer safe interval than the underlying estimator would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.intervals import SafeIntervalEstimator
+from repro.core.safety import SafetyInputs
+from repro.dynamics.state import ControlAction
+
+
+@dataclass(frozen=True)
+class LookupGrid:
+    """Grid specification for the deadline lookup table.
+
+    Attributes:
+        max_distance_m: Largest obstacle distance represented in the table;
+            larger distances saturate to the estimator horizon.
+        distance_step_m: Distance resolution.
+        num_bearings: Number of bearing bins covering (-pi, pi].
+        max_speed_mps: Largest ego speed represented.
+        speed_step_mps: Speed resolution.
+        num_steering_bins: Number of steering bins covering [-1, 1].
+        num_throttle_bins: Number of throttle bins covering [-1, 1].
+    """
+
+    max_distance_m: float = 40.0
+    distance_step_m: float = 2.0
+    num_bearings: int = 9
+    max_speed_mps: float = 15.0
+    speed_step_mps: float = 2.5
+    num_steering_bins: int = 3
+    num_throttle_bins: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_distance_m <= 0 or self.distance_step_m <= 0:
+            raise ValueError("distance grid parameters must be positive")
+        if self.num_bearings < 2:
+            raise ValueError("num_bearings must be at least 2")
+        if self.max_speed_mps <= 0 or self.speed_step_mps <= 0:
+            raise ValueError("speed grid parameters must be positive")
+        if self.num_steering_bins < 1 or self.num_throttle_bins < 1:
+            raise ValueError("control bins must be at least 1")
+
+    def distance_values(self) -> np.ndarray:
+        """Distance grid points (metres)."""
+        return np.arange(0.0, self.max_distance_m + 1e-9, self.distance_step_m)
+
+    def bearing_values(self) -> np.ndarray:
+        """Bearing grid points (radians), spanning (-pi, pi]."""
+        return np.linspace(-np.pi, np.pi, self.num_bearings)
+
+    def speed_values(self) -> np.ndarray:
+        """Speed grid points (m/s)."""
+        return np.arange(0.0, self.max_speed_mps + 1e-9, self.speed_step_mps)
+
+    def steering_values(self) -> np.ndarray:
+        """Steering grid points in [-1, 1]."""
+        if self.num_steering_bins == 1:
+            return np.array([0.0])
+        return np.linspace(-1.0, 1.0, self.num_steering_bins)
+
+    def throttle_values(self) -> np.ndarray:
+        """Throttle grid points in [-1, 1]."""
+        if self.num_throttle_bins == 1:
+            return np.array([0.0])
+        return np.linspace(-1.0, 1.0, self.num_throttle_bins)
+
+    @property
+    def num_entries(self) -> int:
+        """Number of table cells."""
+        return (
+            self.distance_values().size
+            * self.num_bearings
+            * self.speed_values().size
+            * self.num_steering_bins
+            * self.num_throttle_bins
+        )
+
+
+@dataclass
+class DeadlineLookupTable:
+    """Precomputed ``Delta_max`` values over a relative-state/control grid."""
+
+    grid: LookupGrid
+    values: np.ndarray
+    horizon_s: float
+    obstacle_radius_m: float = 1.0
+    queries: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        expected_shape = (
+            self.grid.distance_values().size,
+            self.grid.num_bearings,
+            self.grid.speed_values().size,
+            self.grid.steering_values().size,
+            self.grid.throttle_values().size,
+        )
+        if self.values.shape != expected_shape:
+            raise ValueError(
+                f"values shape {self.values.shape} does not match grid {expected_shape}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        estimator: SafeIntervalEstimator,
+        grid: Optional[LookupGrid] = None,
+        obstacle_radius_m: float = 1.0,
+    ) -> "DeadlineLookupTable":
+        """Build the table by evaluating the estimator over the full grid."""
+        grid = grid if grid is not None else LookupGrid()
+        distances = grid.distance_values()
+        bearings = grid.bearing_values()
+        speeds = grid.speed_values()
+        steerings = grid.steering_values()
+        throttles = grid.throttle_values()
+
+        mesh = np.meshgrid(
+            distances, bearings, speeds, steerings, throttles, indexing="ij"
+        )
+        flat = [axis.ravel() for axis in mesh]
+        values = estimator.estimate_batch(
+            flat[0], flat[1], flat[2], flat[3], flat[4],
+            obstacle_radius_m=obstacle_radius_m,
+        )
+        shaped = values.reshape(
+            distances.size, bearings.size, speeds.size, steerings.size, throttles.size
+        )
+        return cls(
+            grid=grid,
+            values=shaped,
+            horizon_s=estimator.horizon_s,
+            obstacle_radius_m=obstacle_radius_m,
+        )
+
+    # ------------------------------------------------------------------
+    # Runtime queries
+    # ------------------------------------------------------------------
+    def query(self, inputs: SafetyInputs, control: ControlAction) -> float:
+        """Return a conservative ``Delta_max`` for the given state and control."""
+        self.queries += 1
+        if not inputs.obstacle_present:
+            return self.horizon_s
+        if inputs.distance_m >= self.grid.max_distance_m:
+            return self.horizon_s
+
+        distances = self.grid.distance_values()
+        speeds = self.grid.speed_values()
+        bearings = self.grid.bearing_values()
+        steerings = self.grid.steering_values()
+        throttles = self.grid.throttle_values()
+
+        # Conservative quantization: distance rounds down, speed rounds up.
+        distance_index = int(
+            np.clip(
+                np.searchsorted(distances, inputs.distance_m, side="right") - 1,
+                0,
+                distances.size - 1,
+            )
+        )
+        speed_index = int(
+            np.clip(
+                np.searchsorted(speeds, inputs.speed_mps, side="left"),
+                0,
+                speeds.size - 1,
+            )
+        )
+        bearing_index = int(np.argmin(np.abs(bearings - inputs.bearing_rad)))
+
+        clipped = control.clipped()
+        steer_index = int(np.argmin(np.abs(steerings - clipped.steering)))
+        throttle_index = int(np.argmin(np.abs(throttles - clipped.throttle)))
+
+        # Take the minimum over the neighbouring control bins so control
+        # quantization never extends the reported safe interval.
+        steer_slice = _neighbour_slice(steer_index, steerings.size)
+        throttle_slice = _neighbour_slice(throttle_index, throttles.size)
+        cell = self.values[
+            distance_index, bearing_index, speed_index, steer_slice, throttle_slice
+        ]
+        return float(np.min(cell))
+
+    def __call__(self, inputs: SafetyInputs, control: ControlAction) -> float:
+        return self.query(inputs, control)
+
+    @property
+    def size(self) -> int:
+        """Number of stored cells."""
+        return int(self.values.size)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the table to an ``.npz`` file (grid, values, metadata)."""
+        grid = self.grid
+        np.savez_compressed(
+            path,
+            values=self.values,
+            horizon_s=self.horizon_s,
+            obstacle_radius_m=self.obstacle_radius_m,
+            grid_params=np.array(
+                [
+                    grid.max_distance_m,
+                    grid.distance_step_m,
+                    grid.num_bearings,
+                    grid.max_speed_mps,
+                    grid.speed_step_mps,
+                    grid.num_steering_bins,
+                    grid.num_throttle_bins,
+                ]
+            ),
+        )
+
+    @classmethod
+    def load(cls, path) -> "DeadlineLookupTable":
+        """Load a table previously written by :meth:`save`."""
+        with np.load(path) as data:
+            params = data["grid_params"]
+            grid = LookupGrid(
+                max_distance_m=float(params[0]),
+                distance_step_m=float(params[1]),
+                num_bearings=int(params[2]),
+                max_speed_mps=float(params[3]),
+                speed_step_mps=float(params[4]),
+                num_steering_bins=int(params[5]),
+                num_throttle_bins=int(params[6]),
+            )
+            return cls(
+                grid=grid,
+                values=data["values"],
+                horizon_s=float(data["horizon_s"]),
+                obstacle_radius_m=float(data["obstacle_radius_m"]),
+            )
+
+
+def _neighbour_slice(index: int, length: int) -> slice:
+    """A slice covering ``index`` and its immediate neighbours."""
+    return slice(max(0, index - 1), min(length, index + 2))

@@ -1,0 +1,319 @@
+"""Energy optimization methods Omega (paper Section V).
+
+The scheduler (Algorithm 1) decides *when* a model in the optimizable subset
+may be optimized; the strategy classes in this module decide *what happens*
+during an optimized base period and how much energy each kind of period
+costs.  Three strategies mirror the paper:
+
+* :class:`LocalOnlyStrategy` — no optimization; the model runs locally at its
+  natural period.  This is also the "local execution" baseline all gains are
+  reported against.
+* :class:`OffloadStrategy` — task offloading over a stochastic wireless link
+  with a response-time estimate ``delta_hat`` and a safety fallback
+  (Section V-A, eq. 7).
+* :class:`GatingStrategy` — model gating or sensor gating (Section V-B,
+  eq. 8); with ``gate_sensor=True`` the measurement electronics are gated as
+  well, leaving only the mechanical power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.offload import OffloadPlanner
+from repro.core.models import SensoryModel
+
+# Directive / action labels shared with the scheduler and analysis layers.
+ACTION_LOCAL = "local"
+ACTION_OFFLOAD = "offload"
+ACTION_RESPONSE = "offload_response"
+ACTION_GATED = "gated"
+ACTION_SENSOR_GATED = "sensor_gated"
+ACTION_IDLE = "idle"
+
+
+@dataclass(frozen=True)
+class StepExecution:
+    """What one model did (and spent) during one base period.
+
+    Attributes:
+        action: One of the ``ACTION_*`` labels.
+        fresh_output: True if a new prediction is available at the end of the
+            period (local inference finished or a server response arrived).
+        compute_energy_j: Local inference energy charged this period.
+        transmission_energy_j: Radio energy charged this period.
+        sensor_measurement_energy_j: Sensor measurement energy this period.
+        sensor_mechanical_energy_j: Sensor mechanical energy this period.
+        offload_issued: True if an offload was transmitted this period.
+        offload_deadline_missed: True if an offload issued earlier is now
+            known to miss the safe deadline (the fallback local run covers it).
+    """
+
+    action: str
+    fresh_output: bool
+    compute_energy_j: float = 0.0
+    transmission_energy_j: float = 0.0
+    sensor_measurement_energy_j: float = 0.0
+    sensor_mechanical_energy_j: float = 0.0
+    offload_issued: bool = False
+    offload_deadline_missed: bool = False
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy charged to the model for this period."""
+        return (
+            self.compute_energy_j
+            + self.transmission_energy_j
+            + self.sensor_measurement_energy_j
+            + self.sensor_mechanical_energy_j
+        )
+
+
+@dataclass(frozen=True)
+class PeriodContext:
+    """Everything a strategy needs to know about the current base period.
+
+    Attributes:
+        interval_step: Index ``n`` within the current safe interval.
+        global_step: Index of the base period since the start of the run.
+        delta_i: Discretized period of the model (eq. 4).
+        delta_max: Discretized safety deadline of the current interval (eq. 5).
+        natural_slot: True if this period is one of the model's native
+            invocation slots (every ``delta_i`` periods).
+        full_slot: True if Algorithm 1 requires the full local model this
+            period (``delta_i >= delta_max`` at a natural slot, or
+            ``n == delta_max - delta_i``).
+        tau_s: Base period duration.
+    """
+
+    interval_step: int
+    global_step: int
+    delta_i: int
+    delta_max: int
+    natural_slot: bool
+    full_slot: bool
+    tau_s: float
+
+    @property
+    def optimization_applicable(self) -> bool:
+        """True when eq. (6)'s optimized branch applies (``delta_i < delta_max``)."""
+        return self.delta_i < self.delta_max
+
+    @property
+    def fallback_slot(self) -> int:
+        """The interval step at which the mandatory full run happens."""
+        return self.delta_max - self.delta_i
+
+
+class OptimizationStrategy:
+    """Base class for the per-model optimization strategies."""
+
+    name = "base"
+
+    def __init__(self, model: SensoryModel) -> None:
+        self.model = model
+
+    def begin_interval(
+        self, delta_i: int, delta_max: int, rng: np.random.Generator
+    ) -> None:
+        """Hook called at the start of every safe interval."""
+
+    def execute_period(
+        self, context: PeriodContext, rng: np.random.Generator
+    ) -> StepExecution:
+        """Run (and account) one base period for this model."""
+        raise NotImplementedError
+
+    # Helpers shared by the concrete strategies -------------------------
+    def _sensor_energies(
+        self, tau_s: float, measurement_on: bool
+    ) -> Dict[str, float]:
+        """Sensor energy split for one base period."""
+        sensor = self.model.sensor
+        return {
+            "sensor_measurement_energy_j": (
+                sensor.measurement_power_w * tau_s if measurement_on else 0.0
+            ),
+            "sensor_mechanical_energy_j": sensor.mechanical_power_w * tau_s,
+        }
+
+    def _local_inference_energy_j(self) -> float:
+        return self.model.compute.energy_per_inference_j
+
+
+class LocalOnlyStrategy(OptimizationStrategy):
+    """No optimization: local inference at every natural slot (the baseline)."""
+
+    name = "local"
+
+    def execute_period(
+        self, context: PeriodContext, rng: np.random.Generator
+    ) -> StepExecution:
+        sensor = self._sensor_energies(context.tau_s, measurement_on=True)
+        if context.natural_slot:
+            return StepExecution(
+                action=ACTION_LOCAL,
+                fresh_output=True,
+                compute_energy_j=self._local_inference_energy_j(),
+                **sensor,
+            )
+        return StepExecution(action=ACTION_IDLE, fresh_output=False, **sensor)
+
+
+class GatingStrategy(OptimizationStrategy):
+    """Model gating (and optionally sensor gating) per eq. (8)."""
+
+    name = "gating"
+
+    def __init__(self, model: SensoryModel, gate_sensor: bool = False) -> None:
+        super().__init__(model)
+        self.gate_sensor = gate_sensor
+        if gate_sensor:
+            self.name = "sensor_gating"
+
+    def execute_period(
+        self, context: PeriodContext, rng: np.random.Generator
+    ) -> StepExecution:
+        if context.full_slot:
+            sensor = self._sensor_energies(context.tau_s, measurement_on=True)
+            return StepExecution(
+                action=ACTION_LOCAL,
+                fresh_output=True,
+                compute_energy_j=self._local_inference_energy_j(),
+                **sensor,
+            )
+
+        if not context.optimization_applicable:
+            # No surplus optimization periods: behave exactly like local-only.
+            sensor = self._sensor_energies(context.tau_s, measurement_on=True)
+            return StepExecution(action=ACTION_IDLE, fresh_output=False, **sensor)
+
+        if self.gate_sensor:
+            # The measurement stays gated until the window feeding the
+            # mandatory full run at the end of the interval.
+            measurement_on = context.interval_step >= context.fallback_slot
+            sensor = self._sensor_energies(context.tau_s, measurement_on=measurement_on)
+            action = ACTION_GATED if measurement_on else ACTION_SENSOR_GATED
+            return StepExecution(action=action, fresh_output=False, **sensor)
+
+        sensor = self._sensor_energies(context.tau_s, measurement_on=True)
+        return StepExecution(action=ACTION_GATED, fresh_output=False, **sensor)
+
+
+class OffloadStrategy(OptimizationStrategy):
+    """Task offloading with deadline-aware planning and a safety fallback."""
+
+    name = "offload"
+
+    def __init__(
+        self, model: SensoryModel, planner: Optional[OffloadPlanner] = None
+    ) -> None:
+        super().__init__(model)
+        self.planner = planner if planner is not None else OffloadPlanner(
+            payload_bytes=model.payload_bytes
+        )
+        self._pending_arrivals: List[int] = []
+
+    def begin_interval(
+        self, delta_i: int, delta_max: int, rng: np.random.Generator
+    ) -> None:
+        # Responses that did not make it before the interval ended are
+        # superseded by the mandatory full run; drop them.
+        self._pending_arrivals = []
+
+    def execute_period(
+        self, context: PeriodContext, rng: np.random.Generator
+    ) -> StepExecution:
+        sensor = self._sensor_energies(context.tau_s, measurement_on=True)
+
+        if context.full_slot:
+            return StepExecution(
+                action=ACTION_LOCAL,
+                fresh_output=True,
+                compute_energy_j=self._local_inference_energy_j(),
+                **sensor,
+            )
+
+        response_arrived = context.interval_step in self._pending_arrivals
+        if response_arrived:
+            self._pending_arrivals = [
+                arrival
+                for arrival in self._pending_arrivals
+                if arrival != context.interval_step
+            ]
+
+        can_offload = (
+            context.optimization_applicable
+            and context.natural_slot
+            and context.interval_step < context.fallback_slot
+        )
+        if not can_offload:
+            action = ACTION_RESPONSE if response_arrived else ACTION_IDLE
+            # A natural slot outside the optimized region (delta_i >= delta_max)
+            # still runs the full local model, per eq. (6)'s fallback branch.
+            if context.natural_slot and not context.optimization_applicable:
+                return StepExecution(
+                    action=ACTION_LOCAL,
+                    fresh_output=True,
+                    compute_energy_j=self._local_inference_energy_j(),
+                    **sensor,
+                )
+            return StepExecution(action=action, fresh_output=response_arrived, **sensor)
+
+        # Deadline-aware feasibility check (the delta_hat comparison of V-A):
+        # offload only when the expected response fits before the fallback slot.
+        delta_hat = self.planner.estimated_response_periods(context.tau_s)
+        if context.interval_step + delta_hat > context.fallback_slot:
+            return StepExecution(
+                action=ACTION_LOCAL,
+                fresh_output=True,
+                compute_energy_j=self._local_inference_energy_j(),
+                **sensor,
+            )
+
+        outcome = self.planner.sample(context.tau_s, rng)
+        arrival = context.interval_step + outcome.response_periods
+        missed = arrival > context.fallback_slot
+        if not missed:
+            self._pending_arrivals.append(arrival)
+        return StepExecution(
+            action=ACTION_OFFLOAD,
+            fresh_output=response_arrived,
+            transmission_energy_j=outcome.transmission_energy_j,
+            offload_issued=True,
+            offload_deadline_missed=missed,
+            **sensor,
+        )
+
+
+def make_strategy_factory(
+    optimization: str,
+    planner_factory=None,
+):
+    """Return a ``model -> OptimizationStrategy`` factory for a method name.
+
+    Args:
+        optimization: One of ``"none"``, ``"offload"``, ``"model_gating"``,
+            ``"sensor_gating"``.
+        planner_factory: Optional ``model -> OffloadPlanner`` callable used by
+            the offloading strategy (lets callers share a channel/server model
+            across detectors).
+    """
+    optimization = optimization.lower()
+
+    def factory(model: SensoryModel) -> OptimizationStrategy:
+        if optimization == "none":
+            return LocalOnlyStrategy(model)
+        if optimization == "offload":
+            planner = planner_factory(model) if planner_factory is not None else None
+            return OffloadStrategy(model, planner=planner)
+        if optimization == "model_gating":
+            return GatingStrategy(model, gate_sensor=False)
+        if optimization == "sensor_gating":
+            return GatingStrategy(model, gate_sensor=True)
+        raise ValueError(f"unknown optimization method: {optimization!r}")
+
+    return factory

@@ -1,0 +1,149 @@
+"""Safety characterization of the closed-loop system (paper Section III-A).
+
+The paper characterizes safety through a real-valued function ``h(x, u)``:
+the system is in a safe state ``S = 1`` whenever ``h`` is non-negative
+(eq. 1).  For the autonomous-driving use case the state ``x`` consumed by the
+safety machinery is the *relative* state with respect to the nearest
+obstacle: its distance (to the safety bound, i.e. the obstacle surface), its
+relative orientation angle, and the ego speed.
+
+:class:`BrakingDistanceBarrier` is the concrete ``h`` used throughout the
+reproduction: the clearance to the obstacle minus the distance the vehicle
+needs to come to a stop (plus a reaction margin), weighted by how head-on the
+obstacle is.  It plays the same role as the ShieldNN barrier of [19]: a
+conservative, monotone-in-distance safety measure whose zero level set
+separates recoverable from unrecoverable states.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dynamics.state import ControlAction
+from repro.sim.world import World
+
+#: Distance reported when no obstacle is in range (effectively "infinitely far").
+NO_OBSTACLE_DISTANCE_M = 1e6
+
+
+@dataclass(frozen=True)
+class SafetyInputs:
+    """The relative state ``x`` consumed by the safety function and filter.
+
+    Attributes:
+        distance_m: Distance from the vehicle to the nearest obstacle's
+            safety bound (its surface).  ``NO_OBSTACLE_DISTANCE_M`` when no
+            obstacle exists.
+        bearing_rad: Relative orientation of the obstacle w.r.t. the vehicle
+            heading (0 means dead ahead, positive to the left).
+        speed_mps: Current ego speed.
+        lateral_offset_m: Signed lateral offset of the vehicle from the lane
+            centre; used by the shield to pick an evasive direction that
+            stays on the road.
+        road_half_width_m: Half-width of the drivable corridor (infinite when
+            the road geometry is unknown).
+    """
+
+    distance_m: float
+    bearing_rad: float
+    speed_mps: float
+    lateral_offset_m: float = 0.0
+    road_half_width_m: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.distance_m < 0:
+            raise ValueError("distance_m must be non-negative")
+        if self.speed_mps < 0:
+            raise ValueError("speed_mps must be non-negative")
+
+    @property
+    def obstacle_present(self) -> bool:
+        """True if a real obstacle (not the sentinel) is being tracked."""
+        return self.distance_m < NO_OBSTACLE_DISTANCE_M
+
+    @classmethod
+    def from_world(cls, world: World) -> "SafetyInputs":
+        """Extract the safety inputs from ground truth (the paper reads them
+        directly from the simulator, Section VI-A)."""
+        view = world.nearest_obstacle_view()
+        if view is None:
+            return cls(
+                distance_m=NO_OBSTACLE_DISTANCE_M,
+                bearing_rad=0.0,
+                speed_mps=world.state.speed_mps,
+                lateral_offset_m=world.state.y_m,
+                road_half_width_m=world.road.half_width_m,
+            )
+        distance, bearing, _ = view
+        return cls(
+            distance_m=distance,
+            bearing_rad=bearing,
+            speed_mps=world.state.speed_mps,
+            lateral_offset_m=world.state.y_m,
+            road_half_width_m=world.road.half_width_m,
+        )
+
+
+class SafetyFunction:
+    """Interface of the real-valued safety function ``h(x, u)``."""
+
+    def evaluate(
+        self, inputs: SafetyInputs, control: Optional[ControlAction] = None
+    ) -> float:
+        """Return ``h(x, u)``; non-negative values mean the state is safe."""
+        raise NotImplementedError
+
+
+def safety_state(h_value: float) -> int:
+    """Binary safety state ``S`` of eq. (1): 1 if ``h >= 0`` else 0."""
+    return 1 if h_value >= 0.0 else 0
+
+
+@dataclass(frozen=True)
+class BrakingDistanceBarrier(SafetyFunction):
+    """Distance-to-obstacle barrier with a braking-distance margin.
+
+    ``h = distance - (clearance + w(bearing) * (v * t_react + v^2 / (2 b)))``
+
+    where ``w(bearing) = max(0, cos(bearing))`` discounts obstacles that are
+    not ahead of the vehicle.  ``h`` is positive when the vehicle could still
+    brake to a stop before reaching the obstacle's safety bound.
+
+    Attributes:
+        clearance_m: Hard minimum clearance kept from the obstacle surface.
+        reaction_time_s: Reaction-time margin converted to distance at the
+            current speed.
+        max_brake_mps2: Braking capability assumed by the barrier.
+    """
+
+    clearance_m: float = 1.5
+    reaction_time_s: float = 0.2
+    max_brake_mps2: float = 7.0
+
+    def __post_init__(self) -> None:
+        if self.clearance_m < 0:
+            raise ValueError("clearance_m must be non-negative")
+        if self.reaction_time_s < 0:
+            raise ValueError("reaction_time_s must be non-negative")
+        if self.max_brake_mps2 <= 0:
+            raise ValueError("max_brake_mps2 must be positive")
+
+    def required_clearance_m(self, inputs: SafetyInputs) -> float:
+        """Distance the barrier requires for the current speed and bearing."""
+        heading_weight = max(0.0, math.cos(inputs.bearing_rad))
+        stopping = (
+            inputs.speed_mps * self.reaction_time_s
+            + inputs.speed_mps**2 / (2.0 * self.max_brake_mps2)
+        )
+        return self.clearance_m + heading_weight * stopping
+
+    def evaluate(
+        self, inputs: SafetyInputs, control: Optional[ControlAction] = None
+    ) -> float:
+        """Evaluate ``h``; the control argument is accepted for interface
+        compatibility but this barrier depends on the state only."""
+        if not inputs.obstacle_present:
+            return inputs.distance_m
+        return inputs.distance_m - self.required_clearance_m(inputs)

@@ -1,0 +1,383 @@
+"""Safe runtime control and optimization loop (paper Algorithm 1).
+
+:class:`SafeRuntimeScheduler` owns the unified timing axis of base periods
+``tau`` and, for every base period:
+
+1. when a new safe interval starts, samples a fresh safety expiration time
+   ``Delta_max`` from the deadline provider (the lookup table ``T(x, u)`` or
+   the exact estimator), discretizes it to ``delta_max`` and resets the
+   per-model ``done`` flags (Algorithm 1 lines 7-11);
+2. for every model in the optimizable subset Lambda', decides whether the
+   period is a *full* slot (the model must run locally: ``delta_i >=
+   delta_max``, or ``n == delta_max - delta_i``) or an *optimized* slot, and
+   delegates execution/energy accounting to the model's optimization
+   strategy (lines 13-21);
+3. runs the critical subset Lambda'' at full capacity every one of its
+   natural slots;
+4. tracks, in parallel, the energy a local-always baseline would have spent,
+   so energy gains can be reported per model and per run;
+5. ends the interval once every optimizable model has met its deadline and
+   arms the sampling of a new ``Delta_max`` (lines 22-23).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.intervals import discretize_deadline
+from repro.core.models import ModelSet, SensoryModel
+from repro.core.optimizations import (
+    ACTION_IDLE,
+    ACTION_LOCAL,
+    OptimizationStrategy,
+    PeriodContext,
+    StepExecution,
+)
+from repro.core.safety import SafetyInputs
+from repro.dynamics.state import ControlAction
+from repro.platform.energy_ledger import (
+    CATEGORY_COMPUTE,
+    CATEGORY_SENSOR_MEASUREMENT,
+    CATEGORY_SENSOR_MECHANICAL,
+    CATEGORY_TRANSMISSION,
+    EnergyLedger,
+)
+
+DeadlineProvider = Callable[[SafetyInputs, ControlAction], float]
+StrategyFactory = Callable[[SensoryModel], OptimizationStrategy]
+
+
+@dataclass(frozen=True)
+class ModelDirective:
+    """The scheduler's decision (and accounting) for one model, one period."""
+
+    model_name: str
+    action: str
+    fresh_output: bool
+    full_slot: bool
+    energy_j: float
+    critical: bool = False
+
+
+@dataclass
+class SchedulerStepReport:
+    """Everything that happened during one base period."""
+
+    global_step: int
+    interval_index: int
+    interval_step: int
+    new_interval: bool
+    delta_max_periods: int
+    delta_max_s: float
+    directives: List[ModelDirective] = field(default_factory=list)
+
+    def directive_for(self, model_name: str) -> ModelDirective:
+        """Return the directive issued to ``model_name`` this period."""
+        for directive in self.directives:
+            if directive.model_name == model_name:
+                return directive
+        raise KeyError(model_name)
+
+
+@dataclass
+class SchedulerStatistics:
+    """Aggregate counters maintained across a run."""
+
+    delta_max_samples: List[int] = field(default_factory=list)
+    delta_max_seconds: List[float] = field(default_factory=list)
+    offloads_issued: int = 0
+    offload_deadline_misses: int = 0
+    local_runs: Dict[str, int] = field(default_factory=dict)
+    fresh_outputs: Dict[str, int] = field(default_factory=dict)
+    gated_periods: Dict[str, int] = field(default_factory=dict)
+
+    def mean_delta_max(self) -> float:
+        """Average sampled ``delta_max`` (0.0 when nothing was sampled)."""
+        if not self.delta_max_samples:
+            return 0.0
+        return float(np.mean(self.delta_max_samples))
+
+
+class SafeRuntimeScheduler:
+    """Algorithm 1: safe runtime control and safety-aware optimization."""
+
+    def __init__(
+        self,
+        model_set: ModelSet,
+        tau_s: float,
+        deadline_provider: DeadlineProvider,
+        strategy_factory: StrategyFactory,
+        max_deadline_periods: int = 4,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Create a scheduler.
+
+        Args:
+            model_set: The pipeline Lambda with its Lambda'/Lambda'' split.
+            tau_s: Base period ``tau`` (the unified timing axis).
+            deadline_provider: ``T(x, u)``: maps the current safety inputs and
+                control to a safety expiration time ``Delta_max`` in seconds.
+            strategy_factory: Builds the per-model optimization strategy
+                (offloading, gating, or local-only) for Lambda' members.
+            max_deadline_periods: Upper clamp on ``delta_max``; the paper's
+                evaluation saturates at four base periods.
+            rng: Random generator driving stochastic strategy behaviour
+                (wireless outcomes).
+        """
+        if tau_s <= 0:
+            raise ValueError("tau_s must be positive")
+        if max_deadline_periods < 1:
+            raise ValueError("max_deadline_periods must be at least 1")
+        model_set.validate()
+
+        self.model_set = model_set
+        self.tau_s = tau_s
+        self.deadline_provider = deadline_provider
+        self.max_deadline_periods = max_deadline_periods
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+        self._strategies: Dict[str, OptimizationStrategy] = {
+            model.name: strategy_factory(model) for model in model_set.optimizable
+        }
+        self._delta_i: Dict[str, int] = model_set.discretized_periods(tau_s)
+
+        self.ledger = EnergyLedger()
+        self.baseline_ledger = EnergyLedger()
+        self.stats = SchedulerStatistics()
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset all run state (ledgers, statistics, interval bookkeeping)."""
+        self.ledger = EnergyLedger()
+        self.baseline_ledger = EnergyLedger()
+        self.stats = SchedulerStatistics()
+        self._global_step = 0
+        self._interval_index = -1
+        self._interval_step = 0
+        self._delta_max = 0
+        self._delta_max_s = 0.0
+        self._new_delta = True
+        self._done: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------
+    # Main loop body
+    # ------------------------------------------------------------------
+    def step(
+        self, safety_inputs: SafetyInputs, control: ControlAction
+    ) -> SchedulerStepReport:
+        """Run one base period of Algorithm 1 (lines 7-24)."""
+        new_interval = False
+        if self._new_delta:
+            self._start_interval(safety_inputs, control)
+            new_interval = True
+
+        report = SchedulerStepReport(
+            global_step=self._global_step,
+            interval_index=self._interval_index,
+            interval_step=self._interval_step,
+            new_interval=new_interval,
+            delta_max_periods=self._delta_max,
+            delta_max_s=self._delta_max_s,
+        )
+
+        for model in self.model_set.critical:
+            report.directives.append(self._run_critical(model))
+
+        for model in self.model_set.optimizable:
+            report.directives.append(self._run_optimizable(model))
+
+        # Lines 22-23: once every optimizable model met its deadline, the
+        # safe interval ends and a new Delta_max is sampled next period.
+        if all(self._done.values()):
+            self._new_delta = True
+
+        self._interval_step += 1
+        self._global_step += 1
+        return report
+
+    # ------------------------------------------------------------------
+    # Interval management
+    # ------------------------------------------------------------------
+    def _start_interval(
+        self, safety_inputs: SafetyInputs, control: ControlAction
+    ) -> None:
+        """Sample a new deadline and reset per-interval state (lines 7-11)."""
+        delta_max_s = float(self.deadline_provider(safety_inputs, control))
+        delta_max = discretize_deadline(max(0.0, delta_max_s), self.tau_s)
+        delta_max = int(np.clip(delta_max, 0, self.max_deadline_periods))
+
+        self._delta_max_s = delta_max_s
+        self._delta_max = delta_max
+        self._interval_index += 1
+        self._interval_step = 0
+        self._new_delta = False
+
+        self.stats.delta_max_samples.append(delta_max)
+        self.stats.delta_max_seconds.append(delta_max_s)
+
+        self._done = {}
+        for model in self.model_set.optimizable:
+            strategy = self._strategies[model.name]
+            delta_i = self._delta_i[model.name]
+            strategy.begin_interval(delta_i, delta_max, self.rng)
+            # Models with no viable optimization window are done immediately;
+            # they simply keep running at their natural period.
+            self._done[model.name] = delta_i >= delta_max
+
+    # ------------------------------------------------------------------
+    # Per-model execution
+    # ------------------------------------------------------------------
+    def _run_critical(self, model: SensoryModel) -> ModelDirective:
+        """Lambda'' models always run at full capacity (Section IV-A)."""
+        delta_i = self._delta_i[model.name]
+        natural_slot = self._global_step % delta_i == 0
+        execution = StepExecution(
+            action=ACTION_LOCAL if natural_slot else ACTION_IDLE,
+            fresh_output=natural_slot,
+            compute_energy_j=(
+                model.compute.energy_per_inference_j if natural_slot else 0.0
+            ),
+            sensor_measurement_energy_j=model.sensor.measurement_power_w * self.tau_s,
+            sensor_mechanical_energy_j=model.sensor.mechanical_power_w * self.tau_s,
+        )
+        self._charge(self.ledger, model.name, execution)
+        self._charge_baseline(model, natural_slot)
+        self._bump_counters(model.name, execution)
+        return ModelDirective(
+            model_name=model.name,
+            action=execution.action,
+            fresh_output=execution.fresh_output,
+            full_slot=natural_slot,
+            energy_j=execution.total_energy_j,
+            critical=True,
+        )
+
+    def _run_optimizable(self, model: SensoryModel) -> ModelDirective:
+        """Lambda' models follow eq. (6) under their optimization strategy."""
+        delta_i = self._delta_i[model.name]
+        natural_slot = self._global_step % delta_i == 0
+        if delta_i >= self._delta_max:
+            full_slot = natural_slot
+        else:
+            full_slot = self._interval_step == (self._delta_max - delta_i)
+
+        context = PeriodContext(
+            interval_step=self._interval_step,
+            global_step=self._global_step,
+            delta_i=delta_i,
+            delta_max=self._delta_max,
+            natural_slot=natural_slot,
+            full_slot=full_slot,
+            tau_s=self.tau_s,
+        )
+        execution = self._strategies[model.name].execute_period(context, self.rng)
+
+        self._charge(self.ledger, model.name, execution)
+        self._charge_baseline(model, natural_slot)
+        self._bump_counters(model.name, execution)
+
+        # Line 18-19: reaching the mandatory slot marks the model done.
+        if delta_i < self._delta_max and self._interval_step == (
+            self._delta_max - delta_i
+        ):
+            self._done[model.name] = True
+
+        return ModelDirective(
+            model_name=model.name,
+            action=execution.action,
+            fresh_output=execution.fresh_output,
+            full_slot=full_slot,
+            energy_j=execution.total_energy_j,
+            critical=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    def _charge(
+        self, ledger: EnergyLedger, model_name: str, execution: StepExecution
+    ) -> None:
+        step = self._global_step
+        ledger.charge(model_name, CATEGORY_COMPUTE, execution.compute_energy_j, step)
+        ledger.charge(
+            model_name, CATEGORY_TRANSMISSION, execution.transmission_energy_j, step
+        )
+        ledger.charge(
+            model_name,
+            CATEGORY_SENSOR_MEASUREMENT,
+            execution.sensor_measurement_energy_j,
+            step,
+        )
+        ledger.charge(
+            model_name,
+            CATEGORY_SENSOR_MECHANICAL,
+            execution.sensor_mechanical_energy_j,
+            step,
+        )
+
+    def _charge_baseline(self, model: SensoryModel, natural_slot: bool) -> None:
+        """Charge what local-always execution would have spent this period."""
+        step = self._global_step
+        self.baseline_ledger.charge(
+            model.name,
+            CATEGORY_SENSOR_MEASUREMENT,
+            model.sensor.measurement_power_w * self.tau_s,
+            step,
+        )
+        self.baseline_ledger.charge(
+            model.name,
+            CATEGORY_SENSOR_MECHANICAL,
+            model.sensor.mechanical_power_w * self.tau_s,
+            step,
+        )
+        if natural_slot:
+            self.baseline_ledger.charge(
+                model.name,
+                CATEGORY_COMPUTE,
+                model.compute.energy_per_inference_j,
+                step,
+            )
+
+    def _bump_counters(self, model_name: str, execution: StepExecution) -> None:
+        stats = self.stats
+        if execution.offload_issued:
+            stats.offloads_issued += 1
+        if execution.offload_deadline_missed:
+            stats.offload_deadline_misses += 1
+        if execution.action == ACTION_LOCAL:
+            stats.local_runs[model_name] = stats.local_runs.get(model_name, 0) + 1
+        if execution.fresh_output:
+            stats.fresh_outputs[model_name] = (
+                stats.fresh_outputs.get(model_name, 0) + 1
+            )
+        if execution.action in ("gated", "sensor_gated"):
+            stats.gated_periods[model_name] = (
+                stats.gated_periods.get(model_name, 0) + 1
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def energy_gain_by_model(self) -> Dict[str, float]:
+        """Relative energy gain vs. the local baseline, per Lambda' model."""
+        gains: Dict[str, float] = {}
+        optimized = self.ledger.total_by_model()
+        baseline = self.baseline_ledger.total_by_model()
+        for model in self.model_set.optimizable:
+            base = baseline.get(model.name, 0.0)
+            used = optimized.get(model.name, 0.0)
+            gains[model.name] = 0.0 if base <= 0 else 1.0 - used / base
+        return gains
+
+    def overall_energy_gain(self) -> float:
+        """Relative energy gain aggregated over the whole Lambda' subset."""
+        names = [model.name for model in self.model_set.optimizable]
+        base = self.baseline_ledger.total_for(models=names)
+        used = self.ledger.total_for(models=names)
+        return 0.0 if base <= 0 else 1.0 - used / base

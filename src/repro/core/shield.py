@@ -1,0 +1,187 @@
+"""The safety filter ``Psi`` (paper Section III-A and IV-B).
+
+The filter receives the raw control prediction ``u`` from the downstream
+controller and the relative state ``x`` produced by the critical model
+subset, and returns a filtered control ``u'``:
+
+* when the system is safe (``h(x, u) >= margin``) the control passes through
+  unchanged;
+* otherwise a corrective behaviour ``psi(x; U)`` is applied — the shield
+  steers away from the obstacle and brakes, the same corrective action family
+  as the controller shield of ShieldNN [19] which filters steering angles for
+  autonomous driving.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.safety import BrakingDistanceBarrier, SafetyFunction, SafetyInputs, safety_state
+from repro.dynamics.state import ControlAction
+from repro.sim.world import World
+
+
+@dataclass(frozen=True)
+class ShieldDecision:
+    """Outcome of one safety-filter evaluation.
+
+    Attributes:
+        h_value: Value of the safety function at the evaluated state.
+        safe: Binary safety state ``S`` (eq. 1).
+        intervened: True if the filter replaced the controller's action.
+        original: The raw control action.
+        filtered: The action actually applied.
+    """
+
+    h_value: float
+    safe: int
+    intervened: bool
+    original: ControlAction
+    filtered: ControlAction
+
+
+@dataclass
+class SteeringShield:
+    """Controller shield filtering steering/throttle commands.
+
+    Attributes:
+        safety_function: The barrier ``h`` being enforced.
+        intervention_margin_m: The shield intervenes while ``h`` is below this
+            margin, not only when it is already negative; a positive margin
+            makes the filtered system keep a healthier distance from
+            obstacles (the behaviour the paper observes in Section VI-B).
+        steer_authority: Magnitude of the corrective steering command.
+        brake_authority: Magnitude of the corrective braking command.
+        blend_band_m: Width of the band over which the correction is blended
+            with the raw control (full override at ``h <= 0``).
+    """
+
+    safety_function: SafetyFunction = field(default_factory=BrakingDistanceBarrier)
+    intervention_margin_m: float = 2.0
+    steer_authority: float = 0.35
+    brake_authority: float = 1.0
+    blend_band_m: float = 3.0
+    creep_speed_mps: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.intervention_margin_m < 0:
+            raise ValueError("intervention_margin_m must be non-negative")
+        if self.blend_band_m <= 0:
+            raise ValueError("blend_band_m must be positive")
+        self.interventions = 0
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Core filtering
+    # ------------------------------------------------------------------
+    def filter_action(
+        self, inputs: SafetyInputs, control: ControlAction
+    ) -> Tuple[ControlAction, ShieldDecision]:
+        """Filter a raw control action given the current safety inputs."""
+        self.evaluations += 1
+        h_value = self.safety_function.evaluate(inputs, control)
+        state = safety_state(h_value)
+
+        if not inputs.obstacle_present or h_value >= self.intervention_margin_m:
+            decision = ShieldDecision(
+                h_value=h_value,
+                safe=state,
+                intervened=False,
+                original=control,
+                filtered=control,
+            )
+            return control, decision
+
+        # Severity grows from 0 at the margin to 1 at (and below) h = 0.
+        severity = 1.0 - max(0.0, h_value) / self.blend_band_m
+        severity = min(1.0, max(0.0, severity))
+        filtered = self._compose(inputs, control, severity)
+
+        intervened = filtered != control
+        if intervened:
+            self.interventions += 1
+        decision = ShieldDecision(
+            h_value=h_value,
+            safe=state,
+            intervened=intervened,
+            original=control,
+            filtered=filtered,
+        )
+        return filtered, decision
+
+    def _compose(
+        self, inputs: SafetyInputs, control: ControlAction, severity: float
+    ) -> ControlAction:
+        """Combine the raw control with the corrective behaviour conservatively.
+
+        The filtered action is never *less* evasive than the raw one: the
+        steering component along the chosen evasive direction is the larger
+        of the controller's and the shield's, and the throttle is the smaller
+        (more braking) of the two — except at creep speed, where a small
+        positive throttle is enforced so the manoeuvre can complete.
+        """
+        away_direction, corrective = self._corrective_action(inputs)
+        corrective_steer_mag = severity * abs(corrective.steering)
+        raw_along_away = control.steering * away_direction
+        steering = away_direction * max(raw_along_away, corrective_steer_mag)
+
+        if inputs.speed_mps <= self.creep_speed_mps:
+            throttle = corrective.throttle
+        else:
+            throttle = min(control.throttle, severity * corrective.throttle)
+        return ControlAction(steering=steering, throttle=throttle).clipped()
+
+    def _corrective_action(self, inputs: SafetyInputs) -> Tuple[float, ControlAction]:
+        """The corrective behaviour ``psi``: steer away from the obstacle, brake.
+
+        Returns the chosen evasive direction (+1 left / -1 right) and the
+        corrective action.  Braking is released below a small creep speed so
+        the filtered vehicle can still manoeuvre around the obstacle instead
+        of freezing in front of it (the admissible-action set ``U`` excludes
+        a permanent stop).
+        """
+        bearing = inputs.bearing_rad
+        if abs(bearing) > 1e-3:
+            steer_direction = -math.copysign(1.0, bearing)
+        else:
+            steer_direction = 1.0
+        # Prefer the evasive side that keeps the vehicle on the road: if
+        # steering away from the obstacle would push it near the road edge,
+        # evade toward the lane centre instead.
+        projected_offset = inputs.lateral_offset_m + steer_direction * 2.0
+        if abs(projected_offset) > 0.75 * inputs.road_half_width_m:
+            steer_direction = -math.copysign(1.0, inputs.lateral_offset_m or 1.0)
+        # Obstacles behind the vehicle need no steering correction.
+        ahead_weight = max(0.0, math.cos(bearing))
+        if inputs.speed_mps <= self.creep_speed_mps:
+            # Braking further is pointless at creep speed: keep a small
+            # forward speed and steer hard so the manoeuvre completes
+            # instead of freezing in front of the obstacle.
+            steering = steer_direction
+            throttle = 0.15
+        else:
+            steering = steer_direction * self.steer_authority * ahead_weight
+            throttle = -self.brake_authority * ahead_weight
+        return steer_direction, ControlAction(steering=steering, throttle=throttle)
+
+    # ------------------------------------------------------------------
+    # Convenience adapters
+    # ------------------------------------------------------------------
+    def filter(self, world: World, control: ControlAction) -> ControlAction:
+        """Adapter for :class:`repro.sim.episode.EpisodeRunner`."""
+        filtered, _ = self.filter_action(SafetyInputs.from_world(world), control)
+        return filtered
+
+    def reset_counters(self) -> None:
+        """Reset the intervention/evaluation counters."""
+        self.interventions = 0
+        self.evaluations = 0
+
+    @property
+    def intervention_rate(self) -> float:
+        """Fraction of evaluations in which the shield intervened."""
+        if self.evaluations == 0:
+            return 0.0
+        return self.interventions / self.evaluations

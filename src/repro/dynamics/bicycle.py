@@ -1,0 +1,140 @@
+"""Kinematic bicycle model of the ego vehicle.
+
+This is the continuous-time plant ``x_dot = f(x, u)`` referenced throughout
+Section III of the paper.  The state is ``(x, y, heading, speed)`` and the
+control is a normalized ``(steering, throttle)`` pair which is mapped onto the
+physical steering angle and longitudinal acceleration through
+:class:`repro.dynamics.params.VehicleParams`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.dynamics.integrators import euler_step, rk4_step
+from repro.dynamics.params import VehicleParams
+from repro.dynamics.state import ControlAction, VehicleState, wrap_angle
+
+
+@dataclass
+class KinematicBicycleModel:
+    """Kinematic bicycle model with actuation saturation.
+
+    The model exhibits the uniform-continuity property the paper relies on
+    (Section III-B): for bounded controls, consecutive states differ by an
+    amount bounded by a Lipschitz constant of the dynamics, which is what
+    makes the safe-interval characterization ``Delta_max = phi(x, x', u)``
+    well defined.
+    """
+
+    params: VehicleParams = field(default_factory=VehicleParams)
+
+    def control_to_physical(self, control: ControlAction) -> tuple[float, float]:
+        """Map a normalized control to (steering angle [rad], acceleration [m/s^2])."""
+        clipped = control.clipped()
+        steer_rad = clipped.steering * self.params.max_steer_rad
+        if clipped.throttle >= 0.0:
+            accel = clipped.throttle * self.params.max_accel_mps2
+        else:
+            accel = clipped.throttle * self.params.max_brake_mps2
+        return steer_rad, accel
+
+    def derivatives(self, state: VehicleState, control: ControlAction) -> np.ndarray:
+        """Continuous-time derivative of the state under ``control``."""
+        steer_rad, accel = self.control_to_physical(control)
+        heading = state.heading_rad
+        speed = state.speed_mps
+        return np.array(
+            [
+                speed * math.cos(heading),
+                speed * math.sin(heading),
+                speed * math.tan(steer_rad) / self.params.wheelbase_m,
+                accel,
+            ],
+            dtype=float,
+        )
+
+    def _derivative_fn(self, control: ControlAction):
+        """Return an array-to-array derivative function with frozen control."""
+        steer_rad, accel = self.control_to_physical(control)
+        wheelbase = self.params.wheelbase_m
+
+        def derivative(arr: np.ndarray) -> np.ndarray:
+            heading = arr[2]
+            speed = max(0.0, arr[3])
+            return np.array(
+                [
+                    speed * math.cos(heading),
+                    speed * math.sin(heading),
+                    speed * math.tan(steer_rad) / wheelbase,
+                    accel,
+                ],
+                dtype=float,
+            )
+
+        return derivative
+
+    def step(
+        self,
+        state: VehicleState,
+        control: ControlAction,
+        dt: float,
+        method: str = "rk4",
+    ) -> VehicleState:
+        """Advance the vehicle by ``dt`` seconds under a constant control.
+
+        Args:
+            state: Current vehicle state.
+            control: Normalized control action (held constant over the step).
+            dt: Step duration in seconds.
+            method: ``"rk4"`` (default) or ``"euler"``.
+
+        Returns:
+            The state after ``dt`` seconds, with speed clamped to
+            ``[0, max_speed]`` and heading wrapped to (-pi, pi].
+        """
+        derivative = self._derivative_fn(control)
+        if method == "rk4":
+            nxt = rk4_step(state.as_array(), derivative, dt)
+        elif method == "euler":
+            nxt = euler_step(state.as_array(), derivative, dt)
+        else:
+            raise ValueError(f"unknown integration method: {method!r}")
+        nxt[2] = wrap_angle(float(nxt[2]))
+        nxt[3] = float(np.clip(nxt[3], 0.0, self.params.max_speed_mps))
+        return VehicleState.from_array(nxt)
+
+    def rollout(
+        self,
+        state: VehicleState,
+        control: ControlAction,
+        dt: float,
+        steps: int,
+        method: str = "rk4",
+    ) -> List[VehicleState]:
+        """Simulate ``steps`` steps under a frozen control.
+
+        This is the numerical evaluation backbone of the safe-interval
+        function ``phi`` (Section III-B): the system is propagated under the
+        *same* applied control and observed until it would become unsafe.
+
+        Returns:
+            A list of ``steps + 1`` states including the initial state.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        trajectory = [state]
+        current = state
+        for _ in range(steps):
+            current = self.step(current, control, dt, method=method)
+            trajectory.append(current)
+        return trajectory
+
+    def stopping_distance(self, speed_mps: float) -> float:
+        """Distance needed to stop from ``speed_mps`` at maximum braking."""
+        speed = max(0.0, float(speed_mps))
+        return speed * speed / (2.0 * self.params.max_brake_mps2)

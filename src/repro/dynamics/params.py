@@ -1,0 +1,62 @@
+"""Physical parameters of the simulated vehicle.
+
+The defaults approximate a mid-size passenger car, in line with the vehicle
+models used by the controller-shielding literature the paper builds on
+(ShieldNN / EnergyShield use a kinematic bicycle model of a Carla sedan).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VehicleParams:
+    """Kinematic and actuation limits of the ego vehicle.
+
+    Attributes:
+        wheelbase_m: Distance between front and rear axles.
+        max_steer_rad: Maximum steering angle magnitude (at the wheels).
+        max_accel_mps2: Maximum forward acceleration at full throttle.
+        max_brake_mps2: Maximum deceleration magnitude at full braking.
+        max_speed_mps: Speed ceiling enforced by the plant.
+        width_m: Vehicle width, used for collision checking.
+        length_m: Vehicle length, used for collision checking.
+    """
+
+    wheelbase_m: float = 2.7
+    max_steer_rad: float = math.radians(35.0)
+    max_accel_mps2: float = 3.5
+    max_brake_mps2: float = 7.0
+    max_speed_mps: float = 15.0
+    width_m: float = 1.9
+    length_m: float = 4.5
+
+    def __post_init__(self) -> None:
+        if self.wheelbase_m <= 0:
+            raise ValueError("wheelbase_m must be positive")
+        if self.max_steer_rad <= 0 or self.max_steer_rad >= math.pi / 2:
+            raise ValueError("max_steer_rad must be in (0, pi/2)")
+        if self.max_accel_mps2 <= 0:
+            raise ValueError("max_accel_mps2 must be positive")
+        if self.max_brake_mps2 <= 0:
+            raise ValueError("max_brake_mps2 must be positive")
+        if self.max_speed_mps <= 0:
+            raise ValueError("max_speed_mps must be positive")
+        if self.width_m <= 0 or self.length_m <= 0:
+            raise ValueError("vehicle dimensions must be positive")
+
+    @property
+    def collision_radius_m(self) -> float:
+        """Radius of the disc used to approximate the vehicle footprint.
+
+        The footprint is approximated by a disc of half the vehicle width;
+        longitudinal extent is absorbed by the obstacles' safety radius,
+        keeping the collision test symmetric and cheap.
+        """
+        return 0.5 * self.width_m
+
+
+DEFAULT_VEHICLE = VehicleParams()
+"""Default vehicle used by scenarios and experiments."""

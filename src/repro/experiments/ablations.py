@@ -1,0 +1,107 @@
+"""Ablation studies on SEO's design choices (not in the paper's evaluation).
+
+Two ablations motivated by DESIGN.md:
+
+* **Safety awareness** — compare the safety-aware scheduler against a
+  safety-oblivious variant that always optimizes at the maximum deadline.
+  The oblivious variant saves more energy but spends more base periods in
+  unsafe states (barrier ``h < 0``) and relies on stale perception near
+  obstacles; the safety-aware variant trades part of the gains for the
+  preserved safety margin.
+* **Lookup table** — compare deadlines sampled from the quantized lookup
+  table ``T(x, u)`` against exact evaluations of ``phi``.  The table is
+  conservative by construction, so it should report equal or smaller mean
+  deadlines (and therefore equal or smaller gains) at a fraction of the
+  runtime cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.metrics import RunSummary, aggregate_reports
+from repro.core.framework import SEOFramework
+from repro.experiments.common import ExperimentSettings, standard_config
+
+
+@dataclass
+class SafetyAwarenessAblationResult:
+    """Energy/safety comparison of safety-aware vs. safety-oblivious scheduling."""
+
+    aware: RunSummary
+    oblivious: RunSummary
+    aware_unsafe_steps: float
+    oblivious_unsafe_steps: float
+
+    @property
+    def gain_delta(self) -> float:
+        """Extra gain the oblivious variant obtains by ignoring safety."""
+        return self.oblivious.average_model_gain - self.aware.average_model_gain
+
+
+def run_safety_awareness_ablation(
+    settings: ExperimentSettings = ExperimentSettings(),
+    optimization: str = "model_gating",
+    num_obstacles: int = 4,
+) -> SafetyAwarenessAblationResult:
+    """Run the safety-awareness ablation on a higher-risk scenario."""
+    base = standard_config(
+        settings, optimization=optimization, filtered=True, num_obstacles=num_obstacles
+    )
+    results: Dict[bool, RunSummary] = {}
+    unsafe: Dict[bool, float] = {}
+    for aware in (True, False):
+        config = replace(base, safety_aware=aware)
+        framework = SEOFramework(config)
+        reports = framework.run(settings.episodes)
+        results[aware] = aggregate_reports(reports)
+        unsafe[aware] = float(np.mean([report.unsafe_steps for report in reports]))
+    return SafetyAwarenessAblationResult(
+        aware=results[True],
+        oblivious=results[False],
+        aware_unsafe_steps=unsafe[True],
+        oblivious_unsafe_steps=unsafe[False],
+    )
+
+
+@dataclass
+class LookupAblationResult:
+    """Comparison of lookup-table deadlines against exact phi evaluations."""
+
+    lookup: RunSummary
+    exact: RunSummary
+
+    @property
+    def mean_delta_max_difference(self) -> float:
+        """Exact minus lookup mean deadline (non-negative when conservative)."""
+        return self.exact.mean_delta_max - self.lookup.mean_delta_max
+
+    @property
+    def gain_difference(self) -> float:
+        """Exact minus lookup average gain."""
+        return self.exact.average_model_gain - self.lookup.average_model_gain
+
+
+def run_lookup_ablation(
+    settings: ExperimentSettings = ExperimentSettings(),
+    optimization: str = "offload",
+    num_obstacles: int = 3,
+) -> LookupAblationResult:
+    """Run the lookup-table ablation."""
+    base = standard_config(
+        settings, optimization=optimization, filtered=True, num_obstacles=num_obstacles
+    )
+    lookup_summary = None
+    exact_summary = None
+    for use_lookup in (True, False):
+        config = replace(base, use_lookup_table=use_lookup)
+        framework = SEOFramework(config)
+        summary = aggregate_reports(framework.run(settings.episodes))
+        if use_lookup:
+            lookup_summary = summary
+        else:
+            exact_summary = summary
+    return LookupAblationResult(lookup=lookup_summary, exact=exact_summary)

@@ -1,0 +1,83 @@
+"""Fig. 6: delta_max histograms and average efficiency vs. risk level.
+
+The paper varies the number of obstacles on the route (0 / 2 / 4), keeps the
+control unfiltered, and reports for offloading (left) and model gating
+(right) a histogram of the sampled ``delta_max`` values together with the
+average energy-efficiency gain over the two detectors (e.g. 88.6 % / 24.6 % /
+16.8 % for offloading and 42.9 % / 17.5 % / 11.9 % for gating).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.histograms import DeltaHistogram, delta_histogram
+from repro.analysis.metrics import RunSummary
+from repro.analysis.tables import format_table
+from repro.experiments.common import (
+    ExperimentSettings,
+    run_configuration,
+    standard_config,
+)
+
+FIG6_METHODS = ("offload", "model_gating")
+FIG6_OBSTACLE_COUNTS = (0, 2, 4)
+
+
+@dataclass
+class Fig6Result:
+    """Histograms and average gains per (method, #obstacles)."""
+
+    filtered: bool
+    histograms: Dict[Tuple[str, int], DeltaHistogram] = field(default_factory=dict)
+    average_gains: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    summaries: Dict[Tuple[str, int], RunSummary] = field(default_factory=dict)
+
+    def histogram(self, method: str, num_obstacles: int) -> DeltaHistogram:
+        """Histogram of sampled ``delta_max`` for one configuration."""
+        return self.histograms[(method, num_obstacles)]
+
+    def to_table(self, max_delta: int = 4) -> str:
+        """Render the figure data (frequencies and gains) as text."""
+        rows: List[List[object]] = []
+        for (method, count), histogram in sorted(self.histograms.items()):
+            frequencies = [
+                100.0 * histogram.frequency(delta) for delta in range(1, max_delta + 1)
+            ]
+            rows.append(
+                [method, count]
+                + frequencies
+                + [100.0 * self.average_gains[(method, count)]]
+            )
+        headers = ["method", "#obstacles"] + [
+            f"freq(dmax={delta}) [%]" for delta in range(1, max_delta + 1)
+        ] + ["avg gain [%]"]
+        control = "filtered" if self.filtered else "unfiltered"
+        return format_table(
+            headers, rows, title=f"Fig. 6 — delta_max distribution vs. risk ({control})"
+        )
+
+
+def run_fig6(
+    settings: ExperimentSettings = ExperimentSettings(),
+    filtered: bool = False,
+    obstacle_counts: Tuple[int, ...] = FIG6_OBSTACLE_COUNTS,
+) -> Fig6Result:
+    """Regenerate Fig. 6 (unfiltered by default, as in the paper)."""
+    result = Fig6Result(filtered=filtered)
+    for method in FIG6_METHODS:
+        for count in obstacle_counts:
+            config = standard_config(
+                settings,
+                optimization=method,
+                filtered=filtered,
+                num_obstacles=count,
+            )
+            summary = run_configuration(config, settings)
+            result.summaries[(method, count)] = summary
+            result.histograms[(method, count)] = delta_histogram(
+                summary.delta_max_samples
+            )
+            result.average_gains[(method, count)] = summary.average_model_gain
+    return result

@@ -1,0 +1,107 @@
+"""Table II: average energy gains and delta_max under obstacle variation.
+
+For tau = 20 ms, both control cases, and 0 / 2 / 4 obstacles, the paper
+reports the offloading gain, the gating gain (both averaged over the two
+detectors) and the mean sampled ``delta_max``.  The headline trends are that
+all three quantities drop as risk increases, and that the filtered case
+saturates for two or more obstacles because the safety filter enforces a
+minimum obstacle distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.metrics import RunSummary
+from repro.analysis.tables import format_table
+from repro.experiments.common import (
+    ExperimentSettings,
+    run_configuration,
+    standard_config,
+)
+
+TABLE2_OBSTACLE_COUNTS = (0, 2, 4)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II."""
+
+    filtered: bool
+    num_obstacles: int
+    offloading_gain: float
+    gating_gain: float
+    mean_delta_max: float
+
+
+@dataclass
+class Table2Result:
+    """All rows of Table II."""
+
+    tau_s: float
+    rows: List[Table2Row] = field(default_factory=list)
+    summaries: Dict[Tuple[str, bool, int], RunSummary] = field(default_factory=dict)
+
+    def row(self, filtered: bool, num_obstacles: int) -> Table2Row:
+        """Return the row for one (control, #obstacles) combination."""
+        for row in self.rows:
+            if row.filtered == filtered and row.num_obstacles == num_obstacles:
+                return row
+        raise KeyError((filtered, num_obstacles))
+
+    def to_table(self) -> str:
+        """Render Table II as text."""
+        rendered = [
+            [
+                "filtered" if row.filtered else "unfiltered",
+                row.num_obstacles,
+                100.0 * row.offloading_gain,
+                100.0 * row.gating_gain,
+                row.mean_delta_max,
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            ["control", "#obstacles", "offloading gains [%]", "gating gains [%]", "delta_max"],
+            rendered,
+            title=(
+                "Table II — average gains and delta_max at "
+                f"tau = {self.tau_s * 1e3:.0f} ms under obstacle variation"
+            ),
+        )
+
+
+def run_table2(
+    settings: ExperimentSettings = ExperimentSettings(),
+    tau_s: float = 0.02,
+    obstacle_counts: Tuple[int, ...] = TABLE2_OBSTACLE_COUNTS,
+) -> Table2Result:
+    """Regenerate Table II."""
+    result = Table2Result(tau_s=tau_s)
+    for filtered in (False, True):
+        for count in obstacle_counts:
+            per_method_gain = {}
+            mean_delta = 0.0
+            for method in ("offload", "model_gating"):
+                config = standard_config(
+                    settings,
+                    optimization=method,
+                    filtered=filtered,
+                    tau_s=tau_s,
+                    num_obstacles=count,
+                )
+                summary = run_configuration(config, settings)
+                result.summaries[(method, filtered, count)] = summary
+                per_method_gain[method] = summary.average_model_gain
+                mean_delta = summary.mean_delta_max
+            result.rows.append(
+                Table2Row(
+                    filtered=filtered,
+                    num_obstacles=count,
+                    offloading_gain=per_method_gain["offload"],
+                    gating_gain=per_method_gain["model_gating"],
+                    mean_delta_max=mean_delta,
+                )
+            )
+    return result

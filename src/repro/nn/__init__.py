@@ -1,0 +1,47 @@
+"""Minimal NumPy neural-network substrate (PyTorch substitute).
+
+The paper deploys PyTorch/TensorRT models (a Variational Autoencoder for the
+critical subset and ResNet-152 detectors for the optimizable subset) on an
+Nvidia Drive PX2.  Offline we re-implement the neural building blocks needed
+by the reproduction in pure NumPy:
+
+* dense layers, common activations and weight initializers,
+* a :class:`Sequential` container with forward/backward passes,
+* SGD and Adam optimizers and standard losses,
+* a :class:`VariationalAutoencoder` (the Lambda'' state-feature encoder), and
+* an :class:`MLPPolicy` used by the neural controller and its CEM trainer.
+
+The *energy and latency* footprint of the paper's large models is represented
+separately by :class:`repro.platform.compute.ComputeProfile`; this package
+only provides their functional stand-ins.
+"""
+
+from repro.nn.init import he_init, xavier_init
+from repro.nn.activations import Identity, ReLU, Sigmoid, Softplus, Tanh
+from repro.nn.layers import Dense, Layer
+from repro.nn.network import Sequential
+from repro.nn.losses import bce_loss, gaussian_kl, mse_loss
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.vae import VariationalAutoencoder
+from repro.nn.policy import MLPPolicy
+
+__all__ = [
+    "Adam",
+    "Dense",
+    "Identity",
+    "Layer",
+    "MLPPolicy",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Softplus",
+    "Tanh",
+    "VariationalAutoencoder",
+    "bce_loss",
+    "gaussian_kl",
+    "he_init",
+    "mse_loss",
+    "xavier_init",
+]

@@ -1,0 +1,69 @@
+"""Activation layers.
+
+Every activation implements the same two-method interface as
+:class:`repro.nn.layers.Layer` (``forward`` / ``backward``) so activations and
+parametric layers can be mixed freely inside a :class:`repro.nn.network.Sequential`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Identity(Layer):
+    """The identity activation (useful as a network output head)."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._cache = inputs
+        return inputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._cache = inputs
+        return np.maximum(0.0, inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * (self._cache > 0.0)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = np.tanh(inputs)
+        self._cache = output
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * (1.0 - self._cache**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        output = 1.0 / (1.0 + np.exp(-inputs))
+        self._cache = output
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._cache * (1.0 - self._cache)
+
+
+class Softplus(Layer):
+    """Smooth approximation of ReLU; used for positive outputs (e.g. scales)."""
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._cache = inputs
+        return np.logaddexp(0.0, inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output / (1.0 + np.exp(-self._cache))

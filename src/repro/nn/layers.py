@@ -1,0 +1,100 @@
+"""Parametric layers."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.init import xavier_init
+
+
+class Layer:
+    """Base class for all layers (parametric layers and activations).
+
+    Subclasses implement :meth:`forward` and :meth:`backward`.  Parametric
+    layers additionally expose ``params`` and ``grads`` dictionaries keyed by
+    parameter name so optimizers can update them in place.
+    """
+
+    def __init__(self) -> None:
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self._cache: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the layer output for ``inputs``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` and accumulate parameter gradients."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients to zero."""
+        for name, value in self.params.items():
+            self.grads[name] = np.zeros_like(value)
+
+    def parameter_vector(self) -> np.ndarray:
+        """All parameters flattened into a single vector (sorted by name)."""
+        if not self.params:
+            return np.empty(0)
+        return np.concatenate(
+            [self.params[name].ravel() for name in sorted(self.params)]
+        )
+
+    def set_parameter_vector(self, vector: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by :meth:`parameter_vector`."""
+        vector = np.asarray(vector, dtype=float)
+        offset = 0
+        for name in sorted(self.params):
+            size = self.params[name].size
+            chunk = vector[offset : offset + size]
+            if chunk.size != size:
+                raise ValueError("parameter vector has the wrong length")
+            self.params[name] = chunk.reshape(self.params[name].shape).copy()
+            offset += size
+        if offset != vector.size:
+            raise ValueError("parameter vector has the wrong length")
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        initializer=xavier_init,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params["weight"] = initializer(in_features, out_features, rng)
+        self.params["bias"] = np.zeros(out_features)
+        self.zero_grad()
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected {self.in_features} input features, got {inputs.shape[1]}"
+            )
+        self._cache = inputs
+        return inputs @ self.params["weight"] + self.params["bias"]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_output = np.atleast_2d(np.asarray(grad_output, dtype=float))
+        inputs = self._cache
+        self.grads["weight"] = self.grads["weight"] + inputs.T @ grad_output
+        self.grads["bias"] = self.grads["bias"] + grad_output.sum(axis=0)
+        return grad_output @ self.params["weight"].T
+
+
+def layer_parameter_count(layers: List[Layer]) -> int:
+    """Total number of scalar parameters across ``layers``."""
+    return sum(param.size for layer in layers for param in layer.params.values())

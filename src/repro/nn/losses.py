@@ -1,0 +1,55 @@
+"""Loss functions returning ``(value, gradient)`` pairs."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def mse_loss(
+    predictions: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean squared error and its gradient w.r.t. the predictions."""
+    predictions = np.asarray(predictions, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    diff = predictions - targets
+    value = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return value, grad
+
+
+def bce_loss(
+    predictions: np.ndarray, targets: np.ndarray, eps: float = 1e-7
+) -> Tuple[float, np.ndarray]:
+    """Binary cross-entropy (on probabilities) and its gradient."""
+    predictions = np.clip(np.asarray(predictions, dtype=float), eps, 1.0 - eps)
+    targets = np.asarray(targets, dtype=float)
+    if predictions.shape != targets.shape:
+        raise ValueError("predictions and targets must have the same shape")
+    value = float(
+        -np.mean(targets * np.log(predictions) + (1 - targets) * np.log(1 - predictions))
+    )
+    grad = (predictions - targets) / (predictions * (1 - predictions)) / predictions.size
+    return value, grad
+
+
+def gaussian_kl(
+    mean: np.ndarray, log_var: np.ndarray
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """KL divergence of N(mean, exp(log_var)) from N(0, I).
+
+    Returns the scalar KL (averaged over the batch) and its gradients with
+    respect to ``mean`` and ``log_var``.
+    """
+    mean = np.atleast_2d(np.asarray(mean, dtype=float))
+    log_var = np.atleast_2d(np.asarray(log_var, dtype=float))
+    if mean.shape != log_var.shape:
+        raise ValueError("mean and log_var must have the same shape")
+    batch = mean.shape[0]
+    value = float(0.5 * np.sum(np.exp(log_var) + mean**2 - 1.0 - log_var) / batch)
+    grad_mean = mean / batch
+    grad_log_var = 0.5 * (np.exp(log_var) - 1.0) / batch
+    return value, grad_mean, grad_log_var

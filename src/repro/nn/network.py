@@ -1,0 +1,70 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+
+class Sequential:
+    """A feed-forward stack of layers applied in order."""
+
+    def __init__(self, layers: Iterable[Layer]) -> None:
+        self.layers: List[Layer] = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential requires at least one layer")
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the forward pass through every layer."""
+        output = np.atleast_2d(np.asarray(inputs, dtype=float))
+        for layer in self.layers:
+            output = layer.forward(output)
+        return output
+
+    __call__ = forward
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate a gradient through every layer (reverse order)."""
+        grad = np.asarray(grad_output, dtype=float)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        """Reset parameter gradients of every layer."""
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def parameters(self):
+        """Yield ``(layer, name, value)`` triples for every parameter."""
+        for layer in self.layers:
+            for name, value in layer.params.items():
+                yield layer, name, value
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(value.size for _, _, value in self.parameters())
+
+    def parameter_vector(self) -> np.ndarray:
+        """All parameters flattened into one vector (layer order, name-sorted)."""
+        chunks = [layer.parameter_vector() for layer in self.layers]
+        chunks = [chunk for chunk in chunks if chunk.size]
+        if not chunks:
+            return np.empty(0)
+        return np.concatenate(chunks)
+
+    def set_parameter_vector(self, vector: np.ndarray) -> None:
+        """Load all parameters from a flat vector."""
+        vector = np.asarray(vector, dtype=float)
+        offset = 0
+        for layer in self.layers:
+            size = sum(param.size for param in layer.params.values())
+            if size == 0:
+                continue
+            layer.set_parameter_vector(vector[offset : offset + size])
+            offset += size
+        if offset != vector.size:
+            raise ValueError("parameter vector has the wrong length")

@@ -1,0 +1,93 @@
+"""Gradient-based optimizers for the NumPy neural substrate."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.nn.network import Sequential
+
+
+class Optimizer:
+    """Base optimizer operating on a :class:`Sequential` network."""
+
+    def __init__(self, network: Sequential, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.network = network
+        self.learning_rate = learning_rate
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored in the layers."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset all gradients of the underlying network."""
+        self.network.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self, network: Sequential, learning_rate: float = 1e-2, momentum: float = 0.0
+    ) -> None:
+        super().__init__(network, learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def step(self) -> None:
+        for index, layer in enumerate(self.network.layers):
+            for name, value in layer.params.items():
+                grad = layer.grads[name]
+                key = (index, name)
+                if self.momentum > 0.0:
+                    velocity = self._velocity.get(key, np.zeros_like(value))
+                    velocity = self.momentum * velocity - self.learning_rate * grad
+                    self._velocity[key] = velocity
+                    layer.params[name] = value + velocity
+                else:
+                    layer.params[name] = value - self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(network, learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._step_count = 0
+        self._first: Dict[Tuple[int, str], np.ndarray] = {}
+        self._second: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        for index, layer in enumerate(self.network.layers):
+            for name, value in layer.params.items():
+                grad = layer.grads[name]
+                key = (index, name)
+                first = self._first.get(key, np.zeros_like(value))
+                second = self._second.get(key, np.zeros_like(value))
+                first = self.beta1 * first + (1.0 - self.beta1) * grad
+                second = self.beta2 * second + (1.0 - self.beta2) * grad**2
+                self._first[key] = first
+                self._second[key] = second
+                first_hat = first / (1.0 - self.beta1**self._step_count)
+                second_hat = second / (1.0 - self.beta2**self._step_count)
+                layer.params[name] = value - self.learning_rate * first_hat / (
+                    np.sqrt(second_hat) + self.eps
+                )

@@ -1,0 +1,74 @@
+"""MLP policy head used by the neural controller and its trainer.
+
+The paper trains an RL agent producing steering and throttle actions.  The
+reproduction's learned controller is an MLP with a tanh-bounded two-channel
+output, optimized with a derivative-free cross-entropy method
+(:mod:`repro.control.training`), which only needs the flat get/set parameter
+interface exposed here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import Tanh
+from repro.nn.layers import Dense
+from repro.nn.network import Sequential
+
+
+class MLPPolicy:
+    """A small MLP mapping a feature vector to (steering, throttle) in [-1, 1].
+
+    Args:
+        input_dim: Length of the controller feature vector.
+        hidden_dims: Widths of the hidden layers.
+        seed: Weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: tuple[int, ...] = (32, 32),
+        seed: int = 0,
+    ) -> None:
+        if input_dim <= 0:
+            raise ValueError("input_dim must be positive")
+        if not hidden_dims or any(dim <= 0 for dim in hidden_dims):
+            raise ValueError("hidden_dims must be non-empty and positive")
+        self.input_dim = input_dim
+        layers = []
+        previous = input_dim
+        rng_index = 0
+        for width in hidden_dims:
+            layers.append(
+                Dense(previous, width, rng=np.random.default_rng(seed + rng_index))
+            )
+            layers.append(Tanh())
+            previous = width
+            rng_index += 1
+        layers.append(
+            Dense(previous, 2, rng=np.random.default_rng(seed + rng_index))
+        )
+        layers.append(Tanh())
+        self.network = Sequential(layers)
+
+    def act(self, features: np.ndarray) -> np.ndarray:
+        """Return the (steering, throttle) action for a single feature vector."""
+        features = np.asarray(features, dtype=float).reshape(1, -1)
+        if features.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected {self.input_dim} features, got {features.shape[1]}"
+            )
+        return self.network.forward(features)[0]
+
+    def num_parameters(self) -> int:
+        """Number of trainable scalar parameters."""
+        return self.network.parameter_count()
+
+    def get_flat_parameters(self) -> np.ndarray:
+        """All parameters as one flat vector (for CEM-style optimizers)."""
+        return self.network.parameter_vector()
+
+    def set_flat_parameters(self, vector: np.ndarray) -> None:
+        """Load parameters from a flat vector."""
+        self.network.set_parameter_vector(vector)

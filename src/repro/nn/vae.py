@@ -1,0 +1,170 @@
+"""Variational Autoencoder.
+
+The paper reuses the VAE of ShieldNN [19] as the critical-subset (Lambda'')
+model that produces the feature vector Theta'' consumed by the controller.
+This NumPy implementation encodes range scans into a small latent vector and
+is trained with the standard evidence-lower-bound objective (reconstruction
+MSE plus a KL regulariser).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.activations import Identity, ReLU
+from repro.nn.layers import Dense
+from repro.nn.losses import gaussian_kl, mse_loss
+from repro.nn.network import Sequential
+from repro.nn.optim import Adam
+
+
+@dataclass
+class VAELossBreakdown:
+    """Per-term loss values from one training step."""
+
+    total: float
+    reconstruction: float
+    kl: float
+
+
+class VariationalAutoencoder:
+    """A dense VAE mapping observations to a Gaussian latent code.
+
+    Args:
+        input_dim: Dimensionality of the observation (range-scan length).
+        latent_dim: Dimensionality of the latent code (Theta'' features).
+        hidden_dim: Width of the hidden layers.
+        beta: Weight of the KL term in the ELBO.
+        seed: Seed for weight initialization and the reparameterization noise.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        latent_dim: int = 8,
+        hidden_dim: int = 64,
+        beta: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if input_dim <= 0 or latent_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        self.input_dim = input_dim
+        self.latent_dim = latent_dim
+        self.beta = beta
+        self._rng = np.random.default_rng(seed)
+
+        rngs = [np.random.default_rng(seed + offset) for offset in range(1, 5)]
+        self.encoder = Sequential(
+            [Dense(input_dim, hidden_dim, rng=rngs[0]), ReLU()]
+        )
+        self.mean_head = Sequential([Dense(hidden_dim, latent_dim, rng=rngs[1]), Identity()])
+        self.log_var_head = Sequential(
+            [Dense(hidden_dim, latent_dim, rng=rngs[2]), Identity()]
+        )
+        self.decoder = Sequential(
+            [
+                Dense(latent_dim, hidden_dim, rng=rngs[3]),
+                ReLU(),
+                Dense(hidden_dim, input_dim, rng=rngs[3]),
+                Identity(),
+            ]
+        )
+        self._optimizers = [
+            Adam(self.encoder, 1e-3),
+            Adam(self.mean_head, 1e-3),
+            Adam(self.log_var_head, 1e-3),
+            Adam(self.decoder, 1e-3),
+        ]
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def encode(self, observations: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the latent mean and log-variance for ``observations``."""
+        hidden = self.encoder.forward(observations)
+        return self.mean_head.forward(hidden), self.log_var_head.forward(hidden)
+
+    def decode(self, latents: np.ndarray) -> np.ndarray:
+        """Reconstruct observations from latent codes."""
+        return self.decoder.forward(latents)
+
+    def features(self, observations: np.ndarray) -> np.ndarray:
+        """Deterministic features (the latent mean); used as Theta''."""
+        mean, _ = self.encode(observations)
+        return mean
+
+    def reconstruct(self, observations: np.ndarray) -> np.ndarray:
+        """Encode then decode ``observations`` using the latent mean."""
+        return self.decode(self.features(observations))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_step(self, batch: np.ndarray) -> VAELossBreakdown:
+        """Run one gradient step on a batch of observations."""
+        batch = np.atleast_2d(np.asarray(batch, dtype=float))
+        if batch.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected observations of dimension {self.input_dim}, "
+                f"got {batch.shape[1]}"
+            )
+
+        for optimizer in self._optimizers:
+            optimizer.zero_grad()
+
+        hidden = self.encoder.forward(batch)
+        mean = self.mean_head.forward(hidden)
+        log_var = self.log_var_head.forward(hidden)
+        noise = self._rng.normal(size=mean.shape)
+        latent = mean + np.exp(0.5 * log_var) * noise
+        reconstruction = self.decoder.forward(latent)
+
+        recon_value, recon_grad = mse_loss(reconstruction, batch)
+        kl_value, kl_grad_mean, kl_grad_log_var = gaussian_kl(mean, log_var)
+
+        grad_latent = self.decoder.backward(recon_grad)
+        grad_mean = grad_latent + self.beta * kl_grad_mean
+        grad_log_var = (
+            grad_latent * noise * 0.5 * np.exp(0.5 * log_var)
+            + self.beta * kl_grad_log_var
+        )
+        grad_hidden = self.mean_head.backward(grad_mean)
+        grad_hidden = grad_hidden + self.log_var_head.backward(grad_log_var)
+        self.encoder.backward(grad_hidden)
+
+        for optimizer in self._optimizers:
+            optimizer.step()
+
+        total = recon_value + self.beta * kl_value
+        return VAELossBreakdown(total=total, reconstruction=recon_value, kl=kl_value)
+
+    def fit(
+        self, observations: np.ndarray, epochs: int = 20, batch_size: int = 32
+    ) -> list[VAELossBreakdown]:
+        """Train on a dataset of observations; returns the per-epoch losses."""
+        observations = np.atleast_2d(np.asarray(observations, dtype=float))
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        history: list[VAELossBreakdown] = []
+        count = observations.shape[0]
+        for _ in range(epochs):
+            order = self._rng.permutation(count)
+            epoch_losses = []
+            for start in range(0, count, batch_size):
+                batch = observations[order[start : start + batch_size]]
+                epoch_losses.append(self.train_step(batch))
+            history.append(
+                VAELossBreakdown(
+                    total=float(np.mean([loss.total for loss in epoch_losses])),
+                    reconstruction=float(
+                        np.mean([loss.reconstruction for loss in epoch_losses])
+                    ),
+                    kl=float(np.mean([loss.kl for loss in epoch_losses])),
+                )
+            )
+        return history

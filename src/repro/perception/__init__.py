@@ -1,0 +1,25 @@
+"""Perception models.
+
+Two kinds of sensory processing models appear in the paper's pipeline
+(Section VI-A):
+
+* the *critical* subset Lambda'' — a Variational Autoencoder producing the
+  feature vector Theta'' and the state estimate consumed by the safety
+  filter — wrapped here as :class:`VAEStateEncoder`;
+* the *optimizable* subset Lambda' — two ResNet-152 object detectors attached
+  to sensors of different sampling periods — represented here by
+  :class:`DetectorModel`, a functional range-scan obstacle detector carrying
+  the Drive PX2 ResNet-152 latency/energy footprint.
+"""
+
+from repro.perception.detections import Detection, DetectionSet
+from repro.perception.detector import DetectorModel
+from repro.perception.encoder import VAEStateEncoder, collect_scan_dataset
+
+__all__ = [
+    "Detection",
+    "DetectionSet",
+    "DetectorModel",
+    "VAEStateEncoder",
+    "collect_scan_dataset",
+]

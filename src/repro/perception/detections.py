@@ -1,0 +1,65 @@
+"""Detection containers shared by detectors and controllers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A single obstacle detection in the vehicle frame.
+
+    Attributes:
+        distance_m: Distance from the vehicle to the detected obstacle
+            surface.
+        bearing_rad: Bearing of the obstacle relative to the vehicle heading
+            (positive to the left).
+        confidence: Detection confidence in [0, 1].
+    """
+
+    distance_m: float
+    bearing_rad: float
+    confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.distance_m < 0:
+            raise ValueError("distance_m must be non-negative")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError("confidence must be in [0, 1]")
+
+
+@dataclass
+class DetectionSet:
+    """Detections produced by one model invocation, with freshness metadata.
+
+    Attributes:
+        detections: The detections themselves (possibly empty).
+        source: Name of the producing model.
+        timestamp_s: Simulation time at which the detections were produced.
+        stale: True when the set is a reused (gated) output rather than a
+            fresh inference result.
+    """
+
+    detections: List[Detection] = field(default_factory=list)
+    source: str = ""
+    timestamp_s: float = 0.0
+    stale: bool = False
+
+    def nearest(self) -> Optional[Detection]:
+        """The detection with the smallest distance, or None if empty."""
+        if not self.detections:
+            return None
+        return min(self.detections, key=lambda det: det.distance_m)
+
+    def aged(self, stale: bool = True) -> "DetectionSet":
+        """Return a copy marked as stale (used when a model is gated)."""
+        return DetectionSet(
+            detections=list(self.detections),
+            source=self.source,
+            timestamp_s=self.timestamp_s,
+            stale=stale,
+        )
+
+    def __len__(self) -> int:
+        return len(self.detections)

@@ -1,0 +1,156 @@
+"""Functional object detector standing in for the paper's ResNet-152 models.
+
+SEO treats a detector as two things at once:
+
+1. a *workload* with a latency / energy footprint on the local platform
+   (17 ms, 7 W for a ResNet-152 on the Drive PX2), used by the scheduler's
+   energy accounting; and
+2. a *function* that turns a sensor observation into obstacle detections,
+   used by the downstream controller.
+
+This class provides both: the footprint is carried as a
+:class:`repro.platform.compute.ComputeProfile`, and the function is a
+range-scan peak detector with optional range noise and false-negative drops,
+which preserves the property the evaluation relies on — the controller can
+still complete the obstacle course from the detections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.perception.detections import Detection, DetectionSet
+from repro.platform.compute import ComputeProfile
+from repro.platform.presets import DRIVE_PX2_RESNET152
+from repro.sim.observation import RangeScanner
+from repro.sim.world import World
+
+
+@dataclass
+class DetectorModel:
+    """An obstacle detector attached to one sensor of the pipeline.
+
+    Attributes:
+        name: Model name, unique within the pipeline (e.g. ``"detector-50hz"``).
+        period_s: Processing period ``p_i``, synchronized to the sensor.
+        scanner: Range scanner providing the observation geometry.
+        compute: Local compute profile (latency / power) of the model.
+        payload_bytes: Uplink payload when this model's input is offloaded.
+        range_noise_std_m: Std-dev of additive noise on detected distances.
+        bearing_noise_std_rad: Std-dev of additive noise on detected bearings.
+        miss_rate: Probability of dropping an individual detection.
+        detection_threshold_m: Scan-range margin below the maximum range for
+            a beam to count as a hit on an object.
+        seed: Seed of the detector's private noise generator.
+    """
+
+    name: str
+    period_s: float = 0.02
+    scanner: RangeScanner = field(
+        default_factory=lambda: RangeScanner(include_road_edges=False)
+    )
+    compute: ComputeProfile = DRIVE_PX2_RESNET152
+    payload_bytes: int = 28_000
+    range_noise_std_m: float = 0.1
+    bearing_noise_std_rad: float = 0.01
+    miss_rate: float = 0.0
+    detection_threshold_m: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        if not 0.0 <= self.miss_rate < 1.0:
+            raise ValueError("miss_rate must be in [0, 1)")
+        if self.range_noise_std_m < 0 or self.bearing_noise_std_rad < 0:
+            raise ValueError("noise standard deviations must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def rate_hz(self) -> float:
+        """Native processing rate in Hz (e.g. 50 Hz for ``period_s=0.02``)."""
+        return 1.0 / self.period_s
+
+    def reset(self) -> None:
+        """Reset the private noise generator (e.g. between episodes)."""
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    # Functional inference
+    # ------------------------------------------------------------------
+    def infer(self, world: World, timestamp_s: Optional[float] = None) -> DetectionSet:
+        """Run one inference against the current world state.
+
+        The detector casts the scanner's beam fan and groups consecutive
+        beams that return less than the maximum range into object detections,
+        reporting the closest point of each group.
+        """
+        scan = self.scanner.scan(world)
+        angles = self.scanner.beam_angles()
+        hit_mask = scan < (self.scanner.max_range_m - self.detection_threshold_m)
+
+        detections = []
+        group_start: Optional[int] = None
+        for index in range(len(scan) + 1):
+            is_hit = index < len(scan) and hit_mask[index]
+            if is_hit and group_start is None:
+                group_start = index
+            elif not is_hit and group_start is not None:
+                detections.append(self._group_to_detection(scan, angles, group_start, index))
+                group_start = None
+
+        kept = []
+        for detection in detections:
+            if self.miss_rate > 0.0 and self._rng.random() < self.miss_rate:
+                continue
+            kept.append(detection)
+
+        return DetectionSet(
+            detections=kept,
+            source=self.name,
+            timestamp_s=world.time_s if timestamp_s is None else timestamp_s,
+            stale=False,
+        )
+
+    def _group_to_detection(
+        self, scan: np.ndarray, angles: np.ndarray, start: int, stop: int
+    ) -> Detection:
+        """Convert a run of hit beams [start, stop) into one Detection."""
+        segment = scan[start:stop]
+        best_offset = int(np.argmin(segment))
+        distance = float(segment[best_offset])
+        bearing = float(angles[start + best_offset])
+        if self.range_noise_std_m > 0.0:
+            distance = max(0.0, distance + self._rng.normal(0.0, self.range_noise_std_m))
+        if self.bearing_noise_std_rad > 0.0:
+            bearing += self._rng.normal(0.0, self.bearing_noise_std_rad)
+        span = max(1, stop - start)
+        confidence = min(1.0, 0.5 + 0.1 * span)
+        return Detection(
+            distance_m=distance,
+            bearing_rad=bearing,
+            confidence=confidence,
+        )
+
+    # ------------------------------------------------------------------
+    # Workload description
+    # ------------------------------------------------------------------
+    def local_inference_energy_j(self) -> float:
+        """Energy of one local inference, ``T_N * P_N``."""
+        return self.compute.energy_per_inference_j
+
+    def describe(self) -> str:
+        """One-line human-readable description of the model."""
+        return (
+            f"{self.name}: {self.rate_hz:.0f} Hz, "
+            f"{self.compute.latency_s * 1e3:.1f} ms @ {self.compute.power_w:.1f} W, "
+            f"payload {self.payload_bytes / 1e3:.0f} kB"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DetectorModel({self.describe()})"

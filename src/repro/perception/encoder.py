@@ -1,0 +1,108 @@
+"""Critical-subset (Lambda'') state-feature encoder.
+
+The paper's critical subset contains the ShieldNN VAE: an always-on model
+whose outputs feed both the controller (as features Theta'') and — together
+with ground-truth relative state — the safety filter.  Here the encoder wraps
+the NumPy VAE over range scans.  Because the critical subset must never be
+optimized, the encoder also reports its fixed per-period energy so the
+framework can charge it outside the optimization accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.nn.vae import VariationalAutoencoder
+from repro.platform.compute import ComputeProfile
+from repro.sim.observation import RangeScanner
+from repro.sim.scenario import ScenarioConfig, build_world
+from repro.sim.world import World
+
+
+def collect_scan_dataset(
+    config: ScenarioConfig,
+    scanner: RangeScanner,
+    num_worlds: int = 8,
+    samples_per_world: int = 24,
+    seed: int = 0,
+) -> np.ndarray:
+    """Collect normalized range scans from random poses for VAE training.
+
+    Args:
+        config: Scenario template; each world re-samples obstacle placement.
+        scanner: Scanner defining the observation geometry.
+        num_worlds: Number of independently generated worlds.
+        samples_per_world: Number of random ego poses per world.
+        seed: Base seed controlling world generation and pose sampling.
+
+    Returns:
+        An array of shape ``(num_worlds * samples_per_world, num_beams)`` with
+        values in [0, 1].
+    """
+    if num_worlds <= 0 or samples_per_world <= 0:
+        raise ValueError("num_worlds and samples_per_world must be positive")
+    rng = np.random.default_rng(seed)
+    scans: List[np.ndarray] = []
+    for world_index in range(num_worlds):
+        world = build_world(config, rng=np.random.default_rng(seed + world_index))
+        for _ in range(samples_per_world):
+            x = float(rng.uniform(0.0, world.road.length_m))
+            y = float(rng.uniform(-world.road.half_width_m * 0.6, world.road.half_width_m * 0.6))
+            heading = float(rng.uniform(-0.3, 0.3))
+            world.state = world.state.__class__(
+                x_m=x, y_m=y, heading_rad=heading, speed_mps=config.initial_speed_mps
+            )
+            scans.append(scanner.normalized_scan(world))
+    return np.asarray(scans)
+
+
+@dataclass
+class VAEStateEncoder:
+    """Always-on VAE feature extractor for the critical subset.
+
+    Attributes:
+        scanner: Range scanner providing the VAE input.
+        latent_dim: Size of the produced feature vector (Theta'').
+        compute: Compute profile used to charge the encoder's (fixed) energy.
+        seed: Weight-initialization seed.
+    """
+
+    scanner: RangeScanner = field(default_factory=RangeScanner)
+    latent_dim: int = 8
+    compute: ComputeProfile = field(
+        default_factory=lambda: ComputeProfile(
+            name="vae@drive-px2", latency_s=0.004, power_w=4.0
+        )
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.vae = VariationalAutoencoder(
+            input_dim=self.scanner.num_beams,
+            latent_dim=self.latent_dim,
+            hidden_dim=64,
+            seed=self.seed,
+        )
+        self._trained = False
+
+    @property
+    def trained(self) -> bool:
+        """True once :meth:`fit` has been called."""
+        return self._trained
+
+    def fit(self, scans: np.ndarray, epochs: int = 10, batch_size: int = 32) -> None:
+        """Train the underlying VAE on a dataset of normalized scans."""
+        self.vae.fit(scans, epochs=epochs, batch_size=batch_size)
+        self._trained = True
+
+    def encode(self, world: World) -> np.ndarray:
+        """Return the Theta'' feature vector for the current world state."""
+        scan = self.scanner.normalized_scan(world).reshape(1, -1)
+        return self.vae.features(scan)[0]
+
+    def per_invocation_energy_j(self) -> float:
+        """Energy of one encoder inference (charged every base period)."""
+        return self.compute.energy_per_inference_j

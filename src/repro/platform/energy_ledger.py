@@ -1,0 +1,109 @@
+"""Energy bookkeeping.
+
+Every energy expenditure in a run (local compute, sensor measurement, sensor
+mechanics, wireless transmission) is recorded as an :class:`EnergyRecord` in
+an :class:`EnergyLedger`, keyed by the model that incurred it and a category
+label.  The analysis layer aggregates ledgers into the energy-gain figures
+reported by the paper.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+#: Category labels used throughout the scheduler.
+CATEGORY_COMPUTE = "compute"
+CATEGORY_SENSOR_MEASUREMENT = "sensor_measurement"
+CATEGORY_SENSOR_MECHANICAL = "sensor_mechanical"
+CATEGORY_TRANSMISSION = "transmission"
+
+
+@dataclass(frozen=True)
+class EnergyRecord:
+    """A single energy expenditure.
+
+    Attributes:
+        model: Name of the sensory model (or pipeline) that incurred it.
+        category: One of the ``CATEGORY_*`` labels in this module.
+        energy_j: Energy in joules (non-negative).
+        step: Base-period index at which the energy was spent.
+    """
+
+    model: str
+    category: str
+    energy_j: float
+    step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.energy_j < 0:
+            raise ValueError("energy_j must be non-negative")
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates energy records and answers aggregate queries."""
+
+    records: List[EnergyRecord] = field(default_factory=list)
+
+    def charge(
+        self, model: str, category: str, energy_j: float, step: int = 0
+    ) -> None:
+        """Record an energy expenditure (no-op for exactly zero energy)."""
+        if energy_j < 0:
+            raise ValueError("energy_j must be non-negative")
+        if energy_j == 0.0:
+            return
+        self.records.append(
+            EnergyRecord(model=model, category=category, energy_j=energy_j, step=step)
+        )
+
+    def extend(self, other: "EnergyLedger") -> None:
+        """Append all records from another ledger."""
+        self.records.extend(other.records)
+
+    def total_j(self) -> float:
+        """Total energy across all records."""
+        return float(sum(record.energy_j for record in self.records))
+
+    def total_by_model(self) -> Dict[str, float]:
+        """Total energy per model name."""
+        totals: Dict[str, float] = defaultdict(float)
+        for record in self.records:
+            totals[record.model] += record.energy_j
+        return dict(totals)
+
+    def total_by_category(self) -> Dict[str, float]:
+        """Total energy per category label."""
+        totals: Dict[str, float] = defaultdict(float)
+        for record in self.records:
+            totals[record.category] += record.energy_j
+        return dict(totals)
+
+    def total_for(
+        self, models: Iterable[str] | None = None, categories: Iterable[str] | None = None
+    ) -> float:
+        """Total energy restricted to given models and/or categories."""
+        model_set = set(models) if models is not None else None
+        category_set = set(categories) if categories is not None else None
+        total = 0.0
+        for record in self.records:
+            if model_set is not None and record.model not in model_set:
+                continue
+            if category_set is not None and record.category not in category_set:
+                continue
+            total += record.energy_j
+        return float(total)
+
+    def breakdown(self) -> Dict[Tuple[str, str], float]:
+        """Total energy per (model, category) pair."""
+        totals: Dict[Tuple[str, str], float] = defaultdict(float)
+        for record in self.records:
+            totals[(record.model, record.category)] += record.energy_j
+        return dict(totals)
+
+    def clear(self) -> None:
+        """Remove all records."""
+        self.records.clear()

@@ -1,0 +1,69 @@
+"""Platform presets: the exact characterizations used in the paper.
+
+Sources (paper Section VI):
+
+* Drive PX2 + TensorRT ResNet-152: 17 ms latency, 7 W execution power.
+* ZED stereo camera: 1.9 W measurement power, no mechanical component [21].
+* Navtech CTS350-X radar: 21.6 W measurement, 2.4 W mechanical [22], [4].
+* Velodyne HDL-32e LiDAR: 9.6 W measurement, 2.4 W mechanical (rotor) [23], [4].
+* Wi-Fi transmission power: a typical embedded Wi-Fi radio transmit power.
+"""
+
+from __future__ import annotations
+
+from repro.platform.compute import ComputeProfile
+from repro.platform.sensors import SensorPowerSpec
+
+DRIVE_PX2_RESNET152 = ComputeProfile(
+    name="resnet152@drive-px2-tensorrt",
+    latency_s=0.017,
+    power_w=7.0,
+)
+"""Local execution profile of the paper's ResNet-152 detectors (17 ms, 7 W)."""
+
+EDGE_SERVER_RESNET152 = ComputeProfile(
+    name="resnet152@edge-server",
+    latency_s=0.004,
+    power_w=0.0,
+)
+"""Server-side execution of an offloaded detector inference.
+
+Only the latency matters to the local platform: server energy is not charged
+to the vehicle's battery, hence the zero power.
+"""
+
+ZED_CAMERA = SensorPowerSpec(
+    name="zed-stereo-camera",
+    measurement_power_w=1.9,
+    mechanical_power_w=0.0,
+)
+"""ZED stereo camera (Table III): 1.9 W, no mechanical component."""
+
+NAVTECH_RADAR = SensorPowerSpec(
+    name="navtech-cts350x-radar",
+    measurement_power_w=21.6,
+    mechanical_power_w=2.4,
+)
+"""Navtech CTS350-X radar (Table III): 21.6 W measurement, 2.4 W rotation."""
+
+VELODYNE_LIDAR = SensorPowerSpec(
+    name="velodyne-hdl32e-lidar",
+    measurement_power_w=9.6,
+    mechanical_power_w=2.4,
+)
+"""Velodyne HDL-32e LiDAR (Table III): 9.6 W measurement, 2.4 W rotation."""
+
+ZERO_POWER_SENSOR = SensorPowerSpec(
+    name="zero-power-sensor",
+    measurement_power_w=0.0,
+    mechanical_power_w=0.0,
+)
+"""A sensor with no modelled power draw.
+
+Used for the compute-only analyses (Fig. 5 offloading columns) where the
+paper's energy accounting considers only the NN execution and transmission
+energy, not the sensor front-end.
+"""
+
+WIFI_TX_POWER_W = 1.3
+"""Transmit power of the Wi-Fi radio used for offloading, in watts."""

@@ -1,0 +1,44 @@
+"""Driving-world substrate (CARLA substitute).
+
+The paper's experimental scenario (Section VI-A) is a 100 m road populated
+with obstacles in its final third, driven by an autonomous agent whose
+steering output is optionally filtered by a controller shield.  This package
+re-implements that scenario on top of the kinematic vehicle model:
+
+* :mod:`repro.sim.road` / :mod:`repro.sim.obstacles` — static world geometry.
+* :mod:`repro.sim.world` — mutable world holding the ego vehicle, stepping the
+  dynamics and answering the relative-geometry queries SEO needs.
+* :mod:`repro.sim.scenario` — scenario configuration and construction
+  (obstacle count is the paper's "risk level" knob).
+* :mod:`repro.sim.observation` — range-scan observations used as inputs for
+  the perception models (detectors and VAE).
+* :mod:`repro.sim.sensors` — simulated multi-sensor front-ends with their own
+  sampling periods.
+* :mod:`repro.sim.episode` — closed-loop episode runner used by controller
+  training and the safety-filter evaluation.
+"""
+
+from repro.sim.road import Road
+from repro.sim.obstacles import Obstacle, place_obstacles
+from repro.sim.collision import circle_hit, first_collision
+from repro.sim.world import World
+from repro.sim.scenario import ScenarioConfig, build_world
+from repro.sim.observation import RangeScanner
+from repro.sim.sensors import SimulatedSensor, SensorSuite
+from repro.sim.episode import EpisodeResult, EpisodeRunner
+
+__all__ = [
+    "EpisodeResult",
+    "EpisodeRunner",
+    "Obstacle",
+    "RangeScanner",
+    "Road",
+    "ScenarioConfig",
+    "SensorSuite",
+    "SimulatedSensor",
+    "World",
+    "build_world",
+    "circle_hit",
+    "first_collision",
+    "place_obstacles",
+]

@@ -1,0 +1,29 @@
+"""Collision predicates between the ego vehicle and obstacles."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dynamics.state import VehicleState
+from repro.sim.obstacles import Obstacle
+
+
+def circle_hit(
+    state: VehicleState, obstacle: Obstacle, vehicle_radius_m: float
+) -> bool:
+    """Return True if the vehicle disc intersects the obstacle disc."""
+    return obstacle.distance_to(state.x_m, state.y_m) <= (
+        obstacle.radius_m + vehicle_radius_m
+    )
+
+
+def first_collision(
+    state: VehicleState,
+    obstacles: Iterable[Obstacle],
+    vehicle_radius_m: float,
+) -> Optional[Obstacle]:
+    """Return the first obstacle the vehicle collides with, or None."""
+    for obstacle in obstacles:
+        if circle_hit(state, obstacle, vehicle_radius_m):
+            return obstacle
+    return None

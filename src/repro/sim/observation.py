@@ -1,0 +1,123 @@
+"""Range-scan observations of the world.
+
+The perception models of the paper (ResNet-152 detectors, the VAE of
+ShieldNN) consume camera frames.  Offline we cannot render camera images, so
+the functional observation this repository feeds to detectors and the VAE is
+a 1-D *range scan*: a fan of rays cast from the vehicle over a field of view,
+each returning the distance to the first obstacle or road edge it hits.  The
+scan preserves exactly the information the downstream controller needs
+(where the free space and the obstacles are) while remaining cheap to
+compute, and it gives the neural substrate a realistic input tensor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.world import World
+
+
+@dataclass(frozen=True)
+class RangeScanner:
+    """Casts a fan of rays from the ego vehicle and reports hit distances.
+
+    Attributes:
+        num_beams: Number of rays in the fan.
+        fov_rad: Total field of view centred on the vehicle heading.
+        max_range_m: Maximum sensing range; rays that hit nothing report it.
+        include_road_edges: Whether rays also terminate on the road edges.
+            The VAE state encoder wants the drivable-corridor geometry in its
+            input, while the object detectors should only report obstacles.
+    """
+
+    num_beams: int = 32
+    fov_rad: float = math.radians(120.0)
+    max_range_m: float = 40.0
+    include_road_edges: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_beams < 2:
+            raise ValueError("num_beams must be at least 2")
+        if not 0.0 < self.fov_rad <= 2.0 * math.pi:
+            raise ValueError("fov_rad must be in (0, 2*pi]")
+        if self.max_range_m <= 0:
+            raise ValueError("max_range_m must be positive")
+
+    def beam_angles(self) -> np.ndarray:
+        """Relative beam angles (radians) from rightmost to leftmost."""
+        half = 0.5 * self.fov_rad
+        return np.linspace(-half, half, self.num_beams)
+
+    def scan(self, world: World) -> np.ndarray:
+        """Return the range scan for the current world state.
+
+        Each entry is the distance (metres, capped at ``max_range_m``) to the
+        first obstacle surface intersected by the corresponding ray.  Road
+        edges are also reported so the scan encodes the drivable corridor.
+        """
+        state = world.state
+        angles = self.beam_angles() + state.heading_rad
+        ranges = np.full(self.num_beams, self.max_range_m, dtype=float)
+
+        for index, angle in enumerate(angles):
+            direction = (math.cos(angle), math.sin(angle))
+            best = self.max_range_m
+            for obstacle in world.obstacles:
+                hit = _ray_circle_distance(
+                    (state.x_m, state.y_m),
+                    direction,
+                    obstacle.position,
+                    obstacle.radius_m,
+                )
+                if hit is not None and hit < best:
+                    best = hit
+            if self.include_road_edges:
+                edge = _ray_road_edge_distance(
+                    (state.x_m, state.y_m), direction, world.road.half_width_m
+                )
+                if edge is not None and edge < best:
+                    best = edge
+            ranges[index] = best
+        return ranges
+
+    def normalized_scan(self, world: World) -> np.ndarray:
+        """Range scan scaled to [0, 1]; convenient input for neural models."""
+        return self.scan(world) / self.max_range_m
+
+
+def _ray_circle_distance(origin, direction, centre, radius):
+    """Distance along a ray to a circle, or None if the ray misses it."""
+    ox, oy = origin
+    dx, dy = direction
+    cx, cy = centre
+    fx, fy = ox - cx, oy - cy
+    b = 2.0 * (fx * dx + fy * dy)
+    c = fx * fx + fy * fy - radius * radius
+    discriminant = b * b - 4.0 * c
+    if discriminant < 0.0:
+        return None
+    sqrt_disc = math.sqrt(discriminant)
+    t1 = (-b - sqrt_disc) / 2.0
+    t2 = (-b + sqrt_disc) / 2.0
+    if t1 >= 0.0:
+        return t1
+    if t2 >= 0.0:
+        return 0.0
+    return None
+
+
+def _ray_road_edge_distance(origin, direction, half_width):
+    """Distance along a ray to the nearest road edge (y = +/- half_width)."""
+    _, oy = origin
+    _, dy = direction
+    if abs(dy) < 1e-9:
+        return None
+    candidates = []
+    for edge in (half_width, -half_width):
+        t = (edge - oy) / dy
+        if t >= 0.0:
+            candidates.append(t)
+    return min(candidates) if candidates else None

@@ -1,0 +1,120 @@
+"""Static obstacles and the risk-level obstacle placement of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.road import Road
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A static circular obstacle on the road.
+
+    The controller-shielding literature the paper follows models obstacles as
+    points surrounded by a safety sphere; a circle of radius ``radius_m`` in
+    the plane is the 2-D equivalent.
+    """
+
+    x_m: float
+    y_m: float
+    radius_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0:
+            raise ValueError("radius_m must be positive")
+
+    @property
+    def position(self) -> Tuple[float, float]:
+        """Planar position (x, y) of the obstacle centre."""
+        return (self.x_m, self.y_m)
+
+    def distance_to(self, x_m: float, y_m: float) -> float:
+        """Distance from a point to the obstacle *centre*."""
+        return float(np.hypot(self.x_m - x_m, self.y_m - y_m))
+
+    def surface_distance_to(self, x_m: float, y_m: float) -> float:
+        """Distance from a point to the obstacle *surface* (negative inside)."""
+        return self.distance_to(x_m, y_m) - self.radius_m
+
+
+def place_obstacles(
+    road: Road,
+    count: int,
+    rng: np.random.Generator,
+    radius_m: float = 1.0,
+    min_gap_m: float = 6.0,
+    lateral_fraction: float = 0.3,
+    max_attempts: int = 200,
+) -> List[Obstacle]:
+    """Place ``count`` obstacles in the road's obstacle zone (the final third).
+
+    Obstacles are spread longitudinally through the zone with random lateral
+    offsets, while keeping at least ``min_gap_m`` between obstacle centres and
+    always leaving a drivable corridor on at least one side.
+
+    Args:
+        road: Road geometry providing the obstacle zone.
+        count: Number of obstacles; this is the paper's risk-level knob
+            (0, 2 and 4 obstacles in Fig. 6 / Table II).
+        rng: Random generator controlling placement.
+        radius_m: Obstacle radius.
+        min_gap_m: Minimum distance between obstacle centres.
+        lateral_fraction: Fraction of the half-width usable for the lateral
+            offset, so a corridor always remains on the opposite side.
+        max_attempts: Sampling attempts per obstacle before relaxing the gap.
+
+    Returns:
+        A list of obstacles sorted by longitudinal position.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if count == 0:
+        return []
+
+    zone_start = road.obstacle_zone_start_m
+    zone_end = road.length_m * 0.97
+    zone_length = zone_end - zone_start
+    if zone_length <= 0:
+        raise ValueError("road obstacle zone is empty")
+
+    lateral_limit = road.half_width_m * lateral_fraction
+    obstacles: List[Obstacle] = []
+    # Deterministic longitudinal anchors spread through the zone keep the
+    # scenario solvable even for higher obstacle counts; lateral placement and
+    # longitudinal jitter remain random.
+    anchors = np.linspace(zone_start, zone_end, count + 2)[1:-1]
+    jitter_span = zone_length / (2.0 * (count + 1))
+
+    for anchor in anchors:
+        placed: Optional[Obstacle] = None
+        for _ in range(max_attempts):
+            x = float(anchor + rng.uniform(-jitter_span, jitter_span))
+            y = float(rng.uniform(-lateral_limit, lateral_limit))
+            candidate = Obstacle(x_m=x, y_m=y, radius_m=radius_m)
+            if all(
+                candidate.distance_to(o.x_m, o.y_m) >= min_gap_m for o in obstacles
+            ):
+                placed = candidate
+                break
+        if placed is None:
+            # Fall back to the anchor itself; alternate sides to keep a corridor.
+            side = -1.0 if len(obstacles) % 2 else 1.0
+            placed = Obstacle(
+                x_m=float(anchor), y_m=side * 0.5 * lateral_limit, radius_m=radius_m
+            )
+        obstacles.append(placed)
+
+    return sorted(obstacles, key=lambda o: o.x_m)
+
+
+def nearest_obstacle(
+    obstacles: Sequence[Obstacle], x_m: float, y_m: float
+) -> Optional[Obstacle]:
+    """Return the obstacle whose centre is closest to ``(x_m, y_m)``."""
+    if not obstacles:
+        return None
+    return min(obstacles, key=lambda o: o.distance_to(x_m, y_m))

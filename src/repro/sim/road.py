@@ -1,0 +1,69 @@
+"""Straight-road geometry used by the evaluation scenario."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dynamics.state import VehicleState
+
+
+@dataclass(frozen=True)
+class Road:
+    """A straight road segment aligned with the +x axis.
+
+    Attributes:
+        length_m: Total route length; the paper uses a 100 m road.
+        width_m: Drivable width centred on ``y = 0``.
+        obstacle_zone_start_fraction: Fraction of the route after which
+            obstacles may be placed.  The paper populates the final third,
+            i.e. a start fraction of 2/3.
+    """
+
+    length_m: float = 100.0
+    width_m: float = 8.0
+    obstacle_zone_start_fraction: float = 2.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if self.length_m <= 0:
+            raise ValueError("length_m must be positive")
+        if self.width_m <= 0:
+            raise ValueError("width_m must be positive")
+        if not 0.0 <= self.obstacle_zone_start_fraction < 1.0:
+            raise ValueError("obstacle_zone_start_fraction must be in [0, 1)")
+
+    @property
+    def half_width_m(self) -> float:
+        """Half of the drivable width."""
+        return 0.5 * self.width_m
+
+    @property
+    def obstacle_zone_start_m(self) -> float:
+        """Longitudinal position at which the obstacle zone begins."""
+        return self.length_m * self.obstacle_zone_start_fraction
+
+    def contains(self, x_m: float, y_m: float, margin_m: float = 0.0) -> bool:
+        """Return True if the point lies on the drivable surface.
+
+        Args:
+            x_m: Longitudinal coordinate.
+            y_m: Lateral coordinate.
+            margin_m: Extra lateral margin required on each side (e.g. half
+                the vehicle width), so a vehicle body stays on the road.
+        """
+        if x_m < -1e-9:
+            return False
+        return abs(y_m) <= self.half_width_m - margin_m + 1e-9
+
+    def progress(self, state: VehicleState) -> float:
+        """Fraction of the route completed by a vehicle state, in [0, 1]."""
+        return float(min(1.0, max(0.0, state.x_m / self.length_m)))
+
+    def finished(self, state: VehicleState) -> bool:
+        """Return True once the vehicle has passed the end of the route."""
+        return state.x_m >= self.length_m
+
+    def off_road(self, state: VehicleState, vehicle_half_width_m: float = 0.0) -> bool:
+        """Return True if the vehicle has left the drivable surface laterally."""
+        return not self.contains(
+            max(0.0, state.x_m), state.y_m, margin_m=vehicle_half_width_m
+        )

@@ -1,0 +1,88 @@
+"""Scenario configuration: the paper's 100 m obstacle-course use case."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.dynamics.params import VehicleParams
+from repro.dynamics.state import VehicleState
+from repro.sim.obstacles import place_obstacles
+from repro.sim.road import Road
+from repro.sim.world import World
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Configuration of the evaluation scenario (paper Section VI-A).
+
+    Attributes:
+        road_length_m: Route length; the paper drives a 100 m road.
+        road_width_m: Drivable width.
+        num_obstacles: Number of obstacles in the final third of the route;
+            this is the risk-level knob swept in Fig. 6 / Table II.
+        obstacle_radius_m: Radius of each obstacle's safety disc.
+        initial_speed_mps: Ego speed at episode start.
+        target_speed_mps: Cruise speed the controller aims for.
+        initial_lateral_offset_m: Lateral offset of the start pose.
+        seed: Seed for obstacle placement; ``None`` requires an explicit
+            generator to be passed to :func:`build_world`.
+    """
+
+    road_length_m: float = 100.0
+    road_width_m: float = 12.0
+    num_obstacles: int = 3
+    obstacle_radius_m: float = 1.0
+    initial_speed_mps: float = 8.0
+    target_speed_mps: float = 8.0
+    initial_lateral_offset_m: float = 0.0
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.num_obstacles < 0:
+            raise ValueError("num_obstacles must be non-negative")
+        if self.initial_speed_mps < 0:
+            raise ValueError("initial_speed_mps must be non-negative")
+        if self.target_speed_mps <= 0:
+            raise ValueError("target_speed_mps must be positive")
+
+
+def build_world(
+    config: ScenarioConfig,
+    rng: Optional[np.random.Generator] = None,
+    vehicle_params: Optional[VehicleParams] = None,
+) -> World:
+    """Construct a :class:`repro.sim.world.World` from a scenario config.
+
+    Args:
+        config: Scenario parameters.
+        rng: Random generator for obstacle placement.  When omitted, a
+            generator seeded with ``config.seed`` is used.
+        vehicle_params: Optional vehicle parameter override.
+
+    Returns:
+        A world with the ego vehicle at the route start and obstacles placed
+        in the final third of the road.
+    """
+    if rng is None:
+        if config.seed is None:
+            raise ValueError("either rng or config.seed must be provided")
+        rng = np.random.default_rng(config.seed)
+
+    road = Road(length_m=config.road_length_m, width_m=config.road_width_m)
+    obstacles = place_obstacles(
+        road,
+        config.num_obstacles,
+        rng,
+        radius_m=config.obstacle_radius_m,
+    )
+    params = vehicle_params if vehicle_params is not None else VehicleParams()
+    start = VehicleState(
+        x_m=0.0,
+        y_m=config.initial_lateral_offset_m,
+        heading_rad=0.0,
+        speed_mps=config.initial_speed_mps,
+    )
+    return World(road=road, obstacles=obstacles, vehicle_params=params, state=start)

@@ -1,0 +1,119 @@
+"""Simulated multi-sensor front-ends.
+
+The paper's pipeline is explicitly *multi-sensor*: each processing model
+``N_i`` is associated with a single sensor and synchronized to that sensor's
+sampling period ``p_i`` (Section III-C), and the sensors themselves draw
+measurement and mechanical power (Section V-B, Table III).  This module
+models the *functional* side of the sensors — when they sample and what
+observation they produce — while their power draw lives in
+:mod:`repro.platform.sensors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sim.observation import RangeScanner
+from repro.sim.world import World
+
+
+@dataclass
+class SimulatedSensor:
+    """A sensor that samples the world every ``sampling_period_s`` seconds.
+
+    Attributes:
+        name: Sensor identifier (e.g. ``"front-camera"``).
+        sampling_period_s: Native sampling period ``p_i`` of the sensor.
+        scanner: Range scanner producing the raw observation.
+        noise_std_m: Standard deviation of additive range noise.
+        seed: Seed of the per-sensor noise generator.
+    """
+
+    name: str
+    sampling_period_s: float
+    scanner: RangeScanner = field(default_factory=RangeScanner)
+    noise_std_m: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sampling_period_s <= 0:
+            raise ValueError("sampling_period_s must be positive")
+        if self.noise_std_m < 0:
+            raise ValueError("noise_std_m must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+        self._last_sample_time: Optional[float] = None
+        self._last_observation: Optional[np.ndarray] = None
+
+    @property
+    def sampling_rate_hz(self) -> float:
+        """Native sampling rate of the sensor in Hz."""
+        return 1.0 / self.sampling_period_s
+
+    def due(self, time_s: float) -> bool:
+        """Return True if a new sample is due at ``time_s``."""
+        if self._last_sample_time is None:
+            return True
+        return time_s - self._last_sample_time >= self.sampling_period_s - 1e-9
+
+    def sample(self, world: World, time_s: float) -> np.ndarray:
+        """Take a (noisy) measurement of the world at ``time_s``."""
+        observation = self.scanner.scan(world)
+        if self.noise_std_m > 0.0:
+            noise = self._rng.normal(0.0, self.noise_std_m, size=observation.shape)
+            observation = np.clip(
+                observation + noise, 0.0, self.scanner.max_range_m
+            )
+        self._last_sample_time = time_s
+        self._last_observation = observation
+        return observation
+
+    def latest(self) -> Optional[np.ndarray]:
+        """Most recent measurement, or None before the first sample."""
+        return self._last_observation
+
+    def reset(self) -> None:
+        """Forget sampling history (e.g. between episodes)."""
+        self._last_sample_time = None
+        self._last_observation = None
+        self._rng = np.random.default_rng(self.seed)
+
+
+@dataclass
+class SensorSuite:
+    """A named collection of simulated sensors sharing a timeline."""
+
+    sensors: List[SimulatedSensor] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [sensor.name for sensor in self.sensors]
+        if len(names) != len(set(names)):
+            raise ValueError("sensor names must be unique")
+
+    def add(self, sensor: SimulatedSensor) -> None:
+        """Add a sensor to the suite (names must stay unique)."""
+        if any(existing.name == sensor.name for existing in self.sensors):
+            raise ValueError(f"duplicate sensor name: {sensor.name!r}")
+        self.sensors.append(sensor)
+
+    def get(self, name: str) -> SimulatedSensor:
+        """Return the sensor called ``name``."""
+        for sensor in self.sensors:
+            if sensor.name == name:
+                return sensor
+        raise KeyError(name)
+
+    def sample_due(self, world: World, time_s: float) -> Dict[str, np.ndarray]:
+        """Sample every sensor whose period has elapsed; return new readings."""
+        readings: Dict[str, np.ndarray] = {}
+        for sensor in self.sensors:
+            if sensor.due(time_s):
+                readings[sensor.name] = sensor.sample(world, time_s)
+        return readings
+
+    def reset(self) -> None:
+        """Reset the sampling history of every sensor."""
+        for sensor in self.sensors:
+            sensor.reset()

@@ -1,0 +1,120 @@
+"""Mutable driving world: vehicle + road + obstacles.
+
+The world is the single source of ground truth the rest of the stack queries:
+the controller and perception models observe it (possibly with noise), and
+the safety machinery reads the relative state of the nearest obstacle from it
+— mirroring the paper, which retrieves the safety-filter state estimates
+"directly from Carla for simplicity" (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dynamics.bicycle import KinematicBicycleModel
+from repro.dynamics.params import VehicleParams
+from repro.dynamics.state import ControlAction, VehicleState, relative_view
+from repro.sim.collision import first_collision
+from repro.sim.obstacles import Obstacle, nearest_obstacle
+from repro.sim.road import Road
+
+
+@dataclass
+class WorldStatus:
+    """Episode termination flags for the current world state."""
+
+    collided: bool = False
+    off_road: bool = False
+    finished: bool = False
+
+    @property
+    def done(self) -> bool:
+        """True if the episode should terminate."""
+        return self.collided or self.off_road or self.finished
+
+
+@dataclass
+class World:
+    """The simulated driving world.
+
+    Attributes:
+        road: Road geometry.
+        obstacles: Static obstacles along the route.
+        vehicle_params: Physical parameters of the ego vehicle.
+        state: Current ego vehicle state.
+        time_s: Simulation time elapsed since reset.
+    """
+
+    road: Road
+    obstacles: List[Obstacle] = field(default_factory=list)
+    vehicle_params: VehicleParams = field(default_factory=VehicleParams)
+    state: VehicleState = field(default_factory=VehicleState)
+    time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._model = KinematicBicycleModel(self.vehicle_params)
+        self._initial_state = self.state
+
+    @property
+    def dynamics(self) -> KinematicBicycleModel:
+        """The kinematic bicycle model advancing the ego vehicle."""
+        return self._model
+
+    def reset(self, state: Optional[VehicleState] = None) -> VehicleState:
+        """Reset time and the ego vehicle to ``state`` (or the initial state)."""
+        self.state = state if state is not None else self._initial_state
+        self.time_s = 0.0
+        return self.state
+
+    def step(self, control: ControlAction, dt: float) -> VehicleState:
+        """Advance the world by ``dt`` seconds under ``control``."""
+        self.state = self._model.step(self.state, control, dt)
+        self.time_s += dt
+        return self.state
+
+    # ------------------------------------------------------------------
+    # Queries used by perception, control and the safety machinery.
+    # ------------------------------------------------------------------
+    def nearest_obstacle(self) -> Optional[Obstacle]:
+        """The obstacle closest to the current vehicle position, if any."""
+        return nearest_obstacle(self.obstacles, self.state.x_m, self.state.y_m)
+
+    def nearest_obstacle_view(self) -> Optional[Tuple[float, float, Obstacle]]:
+        """Return ``(surface_distance, bearing, obstacle)`` for the nearest threat.
+
+        The distance is measured to the obstacle's safety boundary (its
+        surface), matching the paper's remark that ``x'`` characterizes the
+        obstacle's safety-bound coordinates rather than its exact state.
+
+        Obstacles in the forward half-plane are preferred: an obstacle that
+        has already been passed (behind the vehicle) is not the safety-
+        relevant reference point even if it is momentarily the closest one.
+        When no obstacle lies ahead, the globally nearest one is returned.
+        """
+        if not self.obstacles:
+            return None
+        views = []
+        for obstacle in self.obstacles:
+            centre_distance, bearing = relative_view(self.state, obstacle.position)
+            surface_distance = max(0.0, centre_distance - obstacle.radius_m)
+            views.append((surface_distance, bearing, obstacle))
+        ahead = [view for view in views if abs(view[1]) <= 0.5 * 3.141592653589793]
+        candidates = ahead if ahead else views
+        return min(candidates, key=lambda view: view[0])
+
+    def status(self) -> WorldStatus:
+        """Evaluate collision / off-road / completion flags."""
+        vehicle_radius = self.vehicle_params.collision_radius_m
+        collided = (
+            first_collision(self.state, self.obstacles, vehicle_radius) is not None
+        )
+        off_road = self.road.off_road(
+            self.state, vehicle_half_width_m=0.5 * self.vehicle_params.width_m
+        )
+        finished = self.road.finished(self.state)
+        return WorldStatus(collided=collided, off_road=off_road, finished=finished)
+
+    def progress(self) -> float:
+        """Fraction of the route completed, in [0, 1]."""
+        return self.road.progress(self.state)

@@ -1,0 +1,44 @@
+"""Tests for the experiment command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, run
+
+
+class TestParser:
+    def test_known_experiments_are_registered(self):
+        for name in ("fig1", "fig5", "fig6", "table1", "table2", "table3"):
+            assert name in EXPERIMENTS
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.experiment == "fig5"
+        assert args.episodes == 10
+        assert args.seed == 0
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7"])
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        output = run(["table3", "--episodes", "1", "--max-steps", "400"])
+        assert "Table III" in output
+        captured = capsys.readouterr()
+        assert "Table III" in captured.out
+
+    def test_run_writes_output_file(self, tmp_path):
+        target = tmp_path / "fig1.txt"
+        run(
+            [
+                "fig1",
+                "--episodes",
+                "1",
+                "--max-steps",
+                "400",
+                "--output",
+                str(target),
+            ]
+        )
+        assert "Fig. 1" in target.read_text()

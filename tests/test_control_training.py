@@ -1,0 +1,89 @@
+"""Tests for the cross-entropy-method controller trainer."""
+
+import numpy as np
+import pytest
+
+from repro.control.training import CrossEntropyTrainer, episode_return, evaluate_policy
+from repro.control.heuristic import ObstacleAvoidanceController
+from repro.nn.policy import MLPPolicy
+from repro.sim.episode import EpisodeRunner
+from repro.sim.scenario import ScenarioConfig, build_world
+
+
+@pytest.fixture
+def tiny_scenario() -> ScenarioConfig:
+    return ScenarioConfig(num_obstacles=0, road_length_m=30.0, seed=0)
+
+
+class TestEpisodeReturn:
+    def test_successful_episode_scores_high(self, tiny_scenario):
+        world = build_world(tiny_scenario)
+        runner = EpisodeRunner(world=world, controller=ObstacleAvoidanceController())
+        assert episode_return(runner) > 100.0
+
+    def test_short_episode_scores_low(self, tiny_scenario):
+        world = build_world(tiny_scenario)
+        runner = EpisodeRunner(
+            world=world, controller=ObstacleAvoidanceController(), max_steps=5
+        )
+        assert episode_return(runner) < 20.0
+
+
+class TestEvaluatePolicy:
+    def test_returns_finite_score(self, tiny_scenario):
+        policy = MLPPolicy(input_dim=7, hidden_dims=(8,), seed=0)
+        score = evaluate_policy(policy, tiny_scenario, episodes=1, max_steps=200)
+        assert np.isfinite(score)
+
+    def test_rejects_nonpositive_episodes(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            evaluate_policy(MLPPolicy(input_dim=7), tiny_scenario, episodes=0)
+
+
+class TestCrossEntropyTrainer:
+    def test_training_improves_mean_return(self, tiny_scenario):
+        policy = MLPPolicy(input_dim=7, hidden_dims=(8,), seed=0)
+        trainer = CrossEntropyTrainer(
+            scenario=tiny_scenario,
+            population=8,
+            episodes_per_candidate=1,
+            max_steps=250,
+            seed=0,
+        )
+        result = trainer.train(policy, generations=3)
+        assert result.generations == 3
+        assert len(result.mean_returns) == 3
+        # The elite return of the last generation should not be worse than
+        # the population mean of the first one.
+        assert result.elite_returns[-1] >= result.mean_returns[0]
+
+    def test_best_parameters_are_loaded_into_policy(self, tiny_scenario):
+        policy = MLPPolicy(input_dim=7, hidden_dims=(8,), seed=0)
+        trainer = CrossEntropyTrainer(
+            scenario=tiny_scenario, population=6, episodes_per_candidate=1,
+            max_steps=150, seed=1,
+        )
+        result = trainer.train(policy, generations=2)
+        assert policy.get_flat_parameters() == pytest.approx(result.best_parameters)
+
+    def test_callback_is_invoked_per_generation(self, tiny_scenario):
+        calls = []
+        trainer = CrossEntropyTrainer(
+            scenario=tiny_scenario, population=6, episodes_per_candidate=1,
+            max_steps=100, seed=2,
+        )
+        trainer.train(
+            MLPPolicy(input_dim=7, hidden_dims=(8,), seed=0),
+            generations=2,
+            callback=lambda generation, best: calls.append((generation, best)),
+        )
+        assert len(calls) == 2
+
+    def test_rejects_bad_configuration(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            CrossEntropyTrainer(scenario=tiny_scenario, population=2)
+        with pytest.raises(ValueError):
+            CrossEntropyTrainer(scenario=tiny_scenario, elite_fraction=0.0)
+        trainer = CrossEntropyTrainer(scenario=tiny_scenario, population=6)
+        with pytest.raises(ValueError):
+            trainer.train(MLPPolicy(input_dim=7), generations=0)

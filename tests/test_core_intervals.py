@@ -1,0 +1,218 @@
+"""Tests for safe-interval estimation, discretization and the lookup table."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.intervals import (
+    SafeIntervalEstimator,
+    discretize_deadline,
+    discretize_period,
+)
+from repro.core.lookup import DeadlineLookupTable, LookupGrid
+from repro.core.safety import BrakingDistanceBarrier, SafetyInputs
+from repro.dynamics.state import ControlAction, VehicleState
+from repro.sim.obstacles import Obstacle
+
+
+class TestDiscretizePeriod:
+    def test_exact_multiples(self):
+        assert discretize_period(0.02, 0.02) == 1
+        assert discretize_period(0.04, 0.02) == 2
+        assert discretize_period(0.1, 0.02) == 5
+
+    def test_non_multiples_round_up(self):
+        assert discretize_period(0.03, 0.02) == 2
+        assert discretize_period(0.021, 0.02) == 2
+
+    def test_period_smaller_than_tau(self):
+        assert discretize_period(0.01, 0.02) == 1
+
+    def test_float_representation_of_exact_multiple(self):
+        # 0.06 / 0.02 is not exactly 3.0 in floating point; eq. (4) must still
+        # treat it as an exact multiple.
+        assert discretize_period(0.06, 0.02) == 3
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(ValueError):
+            discretize_period(0.0, 0.02)
+        with pytest.raises(ValueError):
+            discretize_period(0.02, 0.0)
+
+
+class TestDiscretizeDeadline:
+    def test_floor_behaviour(self):
+        assert discretize_deadline(0.079, 0.02) == 3
+        assert discretize_deadline(0.0, 0.02) == 0
+        assert discretize_deadline(0.019, 0.02) == 0
+
+    def test_exact_multiple(self):
+        assert discretize_deadline(0.08, 0.02) == 4
+        assert discretize_deadline(0.06, 0.02) == 3
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            discretize_deadline(-0.1, 0.02)
+        with pytest.raises(ValueError):
+            discretize_deadline(0.1, 0.0)
+
+
+class TestSafeIntervalEstimator:
+    def test_far_obstacle_returns_horizon(self, fast_estimator):
+        state = VehicleState(speed_mps=8.0)
+        obstacle = Obstacle(x_m=50.0, y_m=0.0, radius_m=1.0)
+        delta = fast_estimator.estimate(state, obstacle, ControlAction())
+        assert delta == pytest.approx(fast_estimator.horizon_s)
+
+    def test_already_unsafe_returns_zero(self, fast_estimator):
+        state = VehicleState(speed_mps=10.0)
+        obstacle = Obstacle(x_m=2.0, y_m=0.0, radius_m=1.0)
+        assert fast_estimator.estimate(state, obstacle, ControlAction()) == 0.0
+
+    def test_monotone_in_initial_distance(self, fast_estimator):
+        control = ControlAction(throttle=0.5)
+        state = VehicleState(speed_mps=10.0)
+        deltas = [
+            fast_estimator.estimate(state, Obstacle(x_m=d, y_m=0.0, radius_m=1.0), control)
+            for d in (9.0, 9.4, 9.8, 11.0, 14.0)
+        ]
+        assert all(b >= a for a, b in zip(deltas, deltas[1:]))
+
+    def test_braking_control_never_shortens_interval(self, fast_estimator):
+        state = VehicleState(speed_mps=10.0)
+        obstacle = Obstacle(x_m=9.5, y_m=0.0, radius_m=1.0)
+        accelerating = fast_estimator.estimate(state, obstacle, ControlAction(throttle=1.0))
+        braking = fast_estimator.estimate(state, obstacle, ControlAction(throttle=-1.0))
+        assert braking >= accelerating
+
+    def test_estimate_from_world(self, small_world, fast_estimator):
+        delta = fast_estimator.estimate_from_world(small_world, ControlAction())
+        assert 0.0 <= delta <= fast_estimator.horizon_s
+
+    def test_estimate_from_empty_world(self, empty_world, fast_estimator):
+        assert fast_estimator.estimate_from_world(
+            empty_world, ControlAction()
+        ) == pytest.approx(fast_estimator.horizon_s)
+
+    def test_batch_matches_scalar_path(self, fast_estimator):
+        distances = np.array([3.0, 6.0, 9.0, 15.0, 30.0])
+        bearings = np.array([0.0, 0.1, -0.2, 0.5, 0.0])
+        speeds = np.array([10.0, 8.0, 6.0, 12.0, 4.0])
+        steerings = np.zeros(5)
+        throttles = np.array([0.0, 0.5, -0.5, 1.0, 0.0])
+        batch = fast_estimator.estimate_batch(
+            distances, bearings, speeds, steerings, throttles, obstacle_radius_m=1.0
+        )
+        for index in range(5):
+            centre_range = distances[index] + 1.0
+            obstacle = Obstacle(
+                x_m=float(centre_range * np.cos(bearings[index])),
+                y_m=float(centre_range * np.sin(bearings[index])),
+                radius_m=1.0,
+            )
+            scalar = fast_estimator.estimate(
+                VehicleState(speed_mps=float(speeds[index])),
+                obstacle,
+                ControlAction(
+                    steering=float(steerings[index]), throttle=float(throttles[index])
+                ),
+            )
+            # The batch path integrates with Euler instead of RK4; results may
+            # differ by at most one integration step.
+            assert batch[index] == pytest.approx(scalar, abs=fast_estimator.step_s)
+
+    def test_batch_requires_matching_shapes(self, fast_estimator):
+        with pytest.raises(ValueError):
+            fast_estimator.estimate_batch(
+                np.zeros(3), np.zeros(2), np.zeros(3), np.zeros(3), np.zeros(3)
+            )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SafeIntervalEstimator(horizon_s=0.0)
+        with pytest.raises(ValueError):
+            SafeIntervalEstimator(horizon_s=0.05, step_s=0.1)
+
+
+class TestDeadlineLookupTable:
+    def test_build_shape_and_bounds(self, fast_estimator, small_lookup_grid):
+        table = DeadlineLookupTable.build(fast_estimator, grid=small_lookup_grid)
+        assert table.size == small_lookup_grid.num_entries
+        assert np.all(table.values >= 0.0)
+        assert np.all(table.values <= fast_estimator.horizon_s + 1e-12)
+
+    def test_query_no_obstacle_returns_horizon(self, fast_estimator, small_lookup_grid):
+        table = DeadlineLookupTable.build(fast_estimator, grid=small_lookup_grid)
+        inputs = SafetyInputs(distance_m=1e6, bearing_rad=0.0, speed_mps=5.0)
+        assert table.query(inputs, ControlAction()) == pytest.approx(table.horizon_s)
+
+    def test_query_beyond_grid_returns_horizon(self, fast_estimator, small_lookup_grid):
+        table = DeadlineLookupTable.build(fast_estimator, grid=small_lookup_grid)
+        inputs = SafetyInputs(distance_m=200.0, bearing_rad=0.0, speed_mps=5.0)
+        assert table.query(inputs, ControlAction()) == pytest.approx(table.horizon_s)
+
+    def test_query_is_conservative_wrt_exact_value(self, fast_estimator, small_lookup_grid):
+        table = DeadlineLookupTable.build(fast_estimator, grid=small_lookup_grid)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            distance = float(rng.uniform(1.0, 25.0))
+            bearing = float(rng.uniform(-0.6, 0.6))
+            speed = float(rng.uniform(2.0, 11.0))
+            control = ControlAction(
+                steering=float(rng.uniform(-1, 1)), throttle=float(rng.uniform(-1, 1))
+            )
+            inputs = SafetyInputs(distance_m=distance, bearing_rad=bearing, speed_mps=speed)
+            exact = fast_estimator.estimate_batch(
+                np.array([distance]),
+                np.array([bearing]),
+                np.array([speed]),
+                np.array([control.steering]),
+                np.array([control.throttle]),
+            )[0]
+            # Conservative: the table should not report a longer safe interval
+            # than the exact evaluation by more than one integration step.
+            assert table.query(inputs, control) <= exact + fast_estimator.step_s + 1e-9
+
+    def test_close_obstacle_yields_shorter_deadline_than_far(self, fast_estimator, small_lookup_grid):
+        table = DeadlineLookupTable.build(fast_estimator, grid=small_lookup_grid)
+        control = ControlAction(throttle=0.5)
+        close = table.query(
+            SafetyInputs(distance_m=4.0, bearing_rad=0.0, speed_mps=10.0), control
+        )
+        far = table.query(
+            SafetyInputs(distance_m=25.0, bearing_rad=0.0, speed_mps=10.0), control
+        )
+        assert close <= far
+
+    def test_query_counter_increments(self, fast_estimator, small_lookup_grid):
+        table = DeadlineLookupTable.build(fast_estimator, grid=small_lookup_grid)
+        table.query(SafetyInputs(distance_m=5.0, bearing_rad=0.0, speed_mps=5.0), ControlAction())
+        table.query(SafetyInputs(distance_m=5.0, bearing_rad=0.0, speed_mps=5.0), ControlAction())
+        assert table.queries == 2
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            LookupGrid(max_distance_m=0.0)
+        with pytest.raises(ValueError):
+            LookupGrid(num_bearings=1)
+        with pytest.raises(ValueError):
+            LookupGrid(num_steering_bins=0)
+
+    def test_save_and_load_round_trip(self, fast_estimator, small_lookup_grid, tmp_path):
+        table = DeadlineLookupTable.build(fast_estimator, grid=small_lookup_grid)
+        path = tmp_path / "table.npz"
+        table.save(path)
+        loaded = DeadlineLookupTable.load(path)
+        assert loaded.grid == table.grid
+        assert loaded.horizon_s == pytest.approx(table.horizon_s)
+        assert np.array_equal(loaded.values, table.values)
+        inputs = SafetyInputs(distance_m=7.0, bearing_rad=0.1, speed_mps=6.0)
+        control = ControlAction(throttle=0.3)
+        assert loaded.query(inputs, control) == pytest.approx(table.query(inputs, control))
+
+    def test_values_shape_mismatch_rejected(self, small_lookup_grid):
+        with pytest.raises(ValueError):
+            DeadlineLookupTable(
+                grid=small_lookup_grid, values=np.zeros((2, 2, 2, 2, 2)), horizon_s=0.08
+            )

@@ -1,0 +1,190 @@
+"""Tests for the optimization strategies (Omega)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.offload import OffloadPlanner
+from repro.core.optimizations import (
+    ACTION_GATED,
+    ACTION_IDLE,
+    ACTION_LOCAL,
+    ACTION_OFFLOAD,
+    ACTION_SENSOR_GATED,
+    GatingStrategy,
+    LocalOnlyStrategy,
+    OffloadStrategy,
+    PeriodContext,
+    make_strategy_factory,
+)
+from repro.core.models import SensoryModel
+from repro.platform.presets import DRIVE_PX2_RESNET152, NAVTECH_RADAR, ZERO_POWER_SENSOR
+
+TAU = 0.02
+
+
+def _model(period_multiple=1, sensor=NAVTECH_RADAR) -> SensoryModel:
+    return SensoryModel(
+        name="det",
+        period_s=period_multiple * TAU,
+        compute=DRIVE_PX2_RESNET152,
+        sensor=sensor,
+    )
+
+
+def _context(n, delta_i, delta_max, natural=None, full=None, global_step=None):
+    natural_slot = natural if natural is not None else (n % delta_i == 0)
+    if full is None:
+        full_slot = natural_slot if delta_i >= delta_max else n == delta_max - delta_i
+    else:
+        full_slot = full
+    return PeriodContext(
+        interval_step=n,
+        global_step=global_step if global_step is not None else n,
+        delta_i=delta_i,
+        delta_max=delta_max,
+        natural_slot=natural_slot,
+        full_slot=full_slot,
+        tau_s=TAU,
+    )
+
+
+class TestLocalOnlyStrategy:
+    def test_natural_slot_runs_local(self, rng):
+        strategy = LocalOnlyStrategy(_model())
+        execution = strategy.execute_period(_context(0, 1, 4), rng)
+        assert execution.action == ACTION_LOCAL
+        assert execution.fresh_output
+        assert execution.compute_energy_j == pytest.approx(0.119)
+
+    def test_off_slot_only_sensor(self, rng):
+        strategy = LocalOnlyStrategy(_model(period_multiple=2))
+        execution = strategy.execute_period(_context(1, 2, 4), rng)
+        assert execution.action == ACTION_IDLE
+        assert execution.compute_energy_j == 0.0
+        assert execution.sensor_measurement_energy_j > 0.0
+
+
+class TestGatingStrategy:
+    def test_full_slot_runs_local(self, rng):
+        strategy = GatingStrategy(_model(), gate_sensor=False)
+        execution = strategy.execute_period(_context(3, 1, 4), rng)
+        assert execution.action == ACTION_LOCAL
+        assert execution.fresh_output
+
+    def test_model_gating_keeps_measurement_on(self, rng):
+        strategy = GatingStrategy(_model(), gate_sensor=False)
+        execution = strategy.execute_period(_context(0, 1, 4), rng)
+        assert execution.action == ACTION_GATED
+        assert not execution.fresh_output
+        assert execution.compute_energy_j == 0.0
+        assert execution.sensor_measurement_energy_j == pytest.approx(TAU * 21.6)
+
+    def test_sensor_gating_cuts_measurement_until_final_window(self, rng):
+        strategy = GatingStrategy(_model(), gate_sensor=True)
+        gated = strategy.execute_period(_context(0, 1, 4), rng)
+        assert gated.action == ACTION_SENSOR_GATED
+        assert gated.sensor_measurement_energy_j == 0.0
+        assert gated.sensor_mechanical_energy_j == pytest.approx(TAU * 2.4)
+
+    def test_sensor_gating_measures_during_final_window(self, rng):
+        strategy = GatingStrategy(_model(period_multiple=2), gate_sensor=True)
+        # delta_i = 2, delta_max = 4 -> fallback slot at n = 2; n = 3 belongs to
+        # the measurement window that feeds the mandatory run.
+        measuring = strategy.execute_period(_context(3, 2, 4, full=False), rng)
+        assert measuring.sensor_measurement_energy_j > 0.0
+
+    def test_no_optimization_when_delta_i_reaches_deadline(self, rng):
+        strategy = GatingStrategy(_model(period_multiple=2), gate_sensor=True)
+        execution = strategy.execute_period(_context(1, 2, 2, natural=False, full=False), rng)
+        assert execution.action == ACTION_IDLE
+        assert execution.sensor_measurement_energy_j > 0.0
+
+    def test_interval_energy_matches_analytic_model(self, rng):
+        from repro.core.energy import gating_interval_energy_j
+
+        model = _model(period_multiple=1)
+        for gate_sensor in (False, True):
+            strategy = GatingStrategy(model, gate_sensor=gate_sensor)
+            delta_max = 4
+            total = 0.0
+            for n in range(delta_max):
+                total += strategy.execute_period(_context(n, 1, delta_max), rng).total_energy_j
+            assert total == pytest.approx(
+                gating_interval_energy_j(model, TAU, delta_max, gate_sensor)
+            )
+
+
+class TestOffloadStrategy:
+    def _strategy(self, model=None, payload=28_000):
+        model = model if model is not None else _model(sensor=ZERO_POWER_SENSOR)
+        return OffloadStrategy(model, planner=OffloadPlanner(payload_bytes=payload))
+
+    def test_offloads_on_optimizable_natural_slot(self, rng):
+        strategy = self._strategy()
+        strategy.begin_interval(1, 4, rng)
+        execution = strategy.execute_period(_context(0, 1, 4), rng)
+        assert execution.action == ACTION_OFFLOAD
+        assert execution.offload_issued
+        assert execution.transmission_energy_j > 0.0
+        assert execution.compute_energy_j == 0.0
+
+    def test_full_slot_runs_local(self, rng):
+        strategy = self._strategy()
+        strategy.begin_interval(1, 4, rng)
+        execution = strategy.execute_period(_context(3, 1, 4), rng)
+        assert execution.action == ACTION_LOCAL
+        assert execution.compute_energy_j == pytest.approx(0.119)
+
+    def test_response_arrives_later(self, rng):
+        strategy = self._strategy()
+        strategy.begin_interval(1, 4, rng)
+        strategy.execute_period(_context(0, 1, 4), rng)
+        # The response lands one or two periods later, producing a fresh output.
+        fresh = []
+        for n in (1, 2):
+            execution = strategy.execute_period(_context(n, 1, 4), rng)
+            fresh.append(execution.fresh_output)
+        assert any(fresh)
+
+    def test_infeasible_offload_runs_local_instead(self, rng):
+        # A huge payload cannot make the deadline; the model must run locally.
+        strategy = self._strategy(payload=5_000_000)
+        strategy.begin_interval(1, 4, rng)
+        execution = strategy.execute_period(_context(0, 1, 4), rng)
+        assert execution.action == ACTION_LOCAL
+        assert not execution.offload_issued
+
+    def test_no_optimization_when_deadline_too_short(self, rng):
+        strategy = self._strategy(_model(period_multiple=2, sensor=ZERO_POWER_SENSOR))
+        strategy.begin_interval(2, 2, rng)
+        execution = strategy.execute_period(_context(0, 2, 2), rng)
+        assert execution.action == ACTION_LOCAL
+
+    def test_begin_interval_clears_pending_responses(self, rng):
+        strategy = self._strategy()
+        strategy.begin_interval(1, 4, rng)
+        strategy.execute_period(_context(0, 1, 4), rng)
+        strategy.begin_interval(1, 4, rng)
+        execution = strategy.execute_period(_context(1, 1, 4, natural=False, full=False), rng)
+        assert not execution.fresh_output
+
+
+class TestStrategyFactory:
+    def test_known_methods(self):
+        model = _model()
+        assert isinstance(make_strategy_factory("none")(model), LocalOnlyStrategy)
+        assert isinstance(make_strategy_factory("offload")(model), OffloadStrategy)
+        gating = make_strategy_factory("model_gating")(model)
+        assert isinstance(gating, GatingStrategy) and not gating.gate_sensor
+        sensor_gating = make_strategy_factory("sensor_gating")(model)
+        assert isinstance(sensor_gating, GatingStrategy) and sensor_gating.gate_sensor
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            make_strategy_factory("quantization")(_model())
+
+    def test_planner_factory_is_used(self):
+        shared = OffloadPlanner(payload_bytes=12_345)
+        factory = make_strategy_factory("offload", planner_factory=lambda model: shared)
+        strategy = factory(_model())
+        assert strategy.planner is shared

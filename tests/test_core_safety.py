@@ -1,0 +1,186 @@
+"""Tests for the safety function, safety state and steering shield."""
+
+import math
+
+import pytest
+
+from repro.core.safety import (
+    NO_OBSTACLE_DISTANCE_M,
+    BrakingDistanceBarrier,
+    SafetyInputs,
+    safety_state,
+)
+from repro.core.shield import SteeringShield
+from repro.dynamics.state import ControlAction, VehicleState
+from repro.sim.obstacles import Obstacle
+from repro.sim.road import Road
+from repro.sim.world import World
+
+
+def _inputs(distance, bearing=0.0, speed=8.0, lateral=0.0, half_width=6.0):
+    return SafetyInputs(
+        distance_m=distance,
+        bearing_rad=bearing,
+        speed_mps=speed,
+        lateral_offset_m=lateral,
+        road_half_width_m=half_width,
+    )
+
+
+class TestSafetyState:
+    def test_binary_mapping(self):
+        assert safety_state(0.0) == 1
+        assert safety_state(3.2) == 1
+        assert safety_state(-0.001) == 0
+
+
+class TestBrakingDistanceBarrier:
+    def test_far_obstacle_is_safe(self):
+        barrier = BrakingDistanceBarrier()
+        assert barrier.evaluate(_inputs(distance=50.0)) > 0.0
+
+    def test_close_obstacle_is_unsafe(self):
+        barrier = BrakingDistanceBarrier()
+        assert barrier.evaluate(_inputs(distance=0.5, speed=10.0)) < 0.0
+
+    def test_required_clearance_grows_with_speed(self):
+        barrier = BrakingDistanceBarrier()
+        slow = barrier.required_clearance_m(_inputs(distance=10.0, speed=2.0))
+        fast = barrier.required_clearance_m(_inputs(distance=10.0, speed=12.0))
+        assert fast > slow
+
+    def test_side_obstacle_needs_less_clearance(self):
+        barrier = BrakingDistanceBarrier()
+        head_on = barrier.required_clearance_m(_inputs(distance=10.0, bearing=0.0))
+        beside = barrier.required_clearance_m(_inputs(distance=10.0, bearing=math.pi / 2))
+        assert beside < head_on
+        assert beside == pytest.approx(barrier.clearance_m)
+
+    def test_no_obstacle_reports_large_h(self):
+        barrier = BrakingDistanceBarrier()
+        inputs = SafetyInputs(
+            distance_m=NO_OBSTACLE_DISTANCE_M, bearing_rad=0.0, speed_mps=8.0
+        )
+        assert barrier.evaluate(inputs) == pytest.approx(NO_OBSTACLE_DISTANCE_M)
+
+    def test_zero_speed_reduces_to_clearance(self):
+        barrier = BrakingDistanceBarrier(clearance_m=1.0)
+        assert barrier.evaluate(_inputs(distance=1.0, speed=0.0)) == pytest.approx(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BrakingDistanceBarrier(max_brake_mps2=0.0)
+        with pytest.raises(ValueError):
+            BrakingDistanceBarrier(clearance_m=-1.0)
+
+    def test_inputs_validation(self):
+        with pytest.raises(ValueError):
+            SafetyInputs(distance_m=-1.0, bearing_rad=0.0, speed_mps=1.0)
+        with pytest.raises(ValueError):
+            SafetyInputs(distance_m=1.0, bearing_rad=0.0, speed_mps=-1.0)
+
+    def test_from_world_extracts_nearest_view(self):
+        world = World(
+            road=Road(),
+            obstacles=[Obstacle(x_m=10.0, y_m=0.0, radius_m=1.0)],
+            state=VehicleState(speed_mps=6.0),
+        )
+        inputs = SafetyInputs.from_world(world)
+        assert inputs.obstacle_present
+        assert inputs.distance_m == pytest.approx(9.0)
+        assert inputs.speed_mps == pytest.approx(6.0)
+
+    def test_from_world_without_obstacles(self, empty_world):
+        inputs = SafetyInputs.from_world(empty_world)
+        assert not inputs.obstacle_present
+
+
+class TestSteeringShield:
+    def test_passes_through_when_safe(self):
+        shield = SteeringShield()
+        raw = ControlAction(steering=0.3, throttle=0.5)
+        filtered, decision = shield.filter_action(_inputs(distance=40.0), raw)
+        assert filtered == raw
+        assert not decision.intervened
+        assert decision.safe == 1
+
+    def test_intervenes_when_unsafe(self):
+        shield = SteeringShield()
+        raw = ControlAction(steering=0.0, throttle=0.8)
+        filtered, decision = shield.filter_action(
+            _inputs(distance=2.0, bearing=0.05, speed=10.0), raw
+        )
+        assert decision.intervened
+        assert decision.safe == 0
+        assert filtered.throttle < raw.throttle
+        assert filtered.steering != raw.steering
+
+    def test_never_less_evasive_than_controller(self):
+        shield = SteeringShield()
+        # The controller already steers hard away from an obstacle on the left.
+        raw = ControlAction(steering=-0.9, throttle=0.0)
+        filtered, _ = shield.filter_action(
+            _inputs(distance=3.0, bearing=0.3, speed=8.0), raw
+        )
+        assert filtered.steering <= raw.steering + 1e-9
+
+    def test_steers_away_from_obstacle_side(self):
+        shield = SteeringShield()
+        raw = ControlAction()
+        left_obstacle, _ = shield.filter_action(
+            _inputs(distance=2.0, bearing=0.4, speed=9.0), raw
+        )
+        right_obstacle, _ = shield.filter_action(
+            _inputs(distance=2.0, bearing=-0.4, speed=9.0), raw
+        )
+        assert left_obstacle.steering < 0.0
+        assert right_obstacle.steering > 0.0
+
+    def test_road_edge_awareness_flips_direction(self):
+        shield = SteeringShield()
+        raw = ControlAction()
+        # Obstacle slightly to the right would normally push the vehicle left,
+        # but the vehicle is already near the left road edge.
+        filtered, _ = shield.filter_action(
+            _inputs(distance=2.0, bearing=-0.1, speed=9.0, lateral=4.5, half_width=5.0),
+            raw,
+        )
+        assert filtered.steering < 0.0
+
+    def test_creep_behaviour_at_low_speed(self):
+        shield = SteeringShield()
+        raw = ControlAction(throttle=-1.0)
+        filtered, _ = shield.filter_action(
+            _inputs(distance=1.5, bearing=0.2, speed=1.0), raw
+        )
+        assert filtered.throttle > 0.0
+
+    def test_counters_track_interventions(self):
+        shield = SteeringShield()
+        shield.filter_action(_inputs(distance=40.0), ControlAction())
+        shield.filter_action(_inputs(distance=1.0, speed=10.0), ControlAction())
+        assert shield.evaluations == 2
+        assert shield.interventions == 1
+        assert shield.intervention_rate == pytest.approx(0.5)
+        shield.reset_counters()
+        assert shield.evaluations == 0
+
+    def test_filter_adapter_uses_world_state(self, small_world):
+        shield = SteeringShield()
+        action = shield.filter(small_world, ControlAction(throttle=0.5))
+        assert -1.0 <= action.steering <= 1.0
+
+    def test_no_obstacle_never_intervenes(self):
+        shield = SteeringShield()
+        inputs = SafetyInputs(
+            distance_m=NO_OBSTACLE_DISTANCE_M, bearing_rad=0.0, speed_mps=8.0
+        )
+        filtered, decision = shield.filter_action(inputs, ControlAction(throttle=1.0))
+        assert not decision.intervened
+        assert filtered.throttle == 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SteeringShield(intervention_margin_m=-1.0)
+        with pytest.raises(ValueError):
+            SteeringShield(blend_band_m=0.0)

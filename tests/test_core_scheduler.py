@@ -1,0 +1,241 @@
+"""Tests for the Algorithm-1 runtime scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import (
+    baseline_interval_energy_j,
+    gating_interval_energy_j,
+)
+from repro.core.models import ModelSet, SensoryModel
+from repro.core.optimizations import make_strategy_factory
+from repro.core.safety import SafetyInputs
+from repro.core.scheduler import SafeRuntimeScheduler
+from repro.dynamics.state import ControlAction
+from repro.platform.compute import ComputeProfile
+from repro.platform.presets import DRIVE_PX2_RESNET152, ZED_CAMERA, ZERO_POWER_SENSOR
+
+TAU = 0.02
+SAFE_INPUTS = SafetyInputs(distance_m=30.0, bearing_rad=0.0, speed_mps=8.0)
+CONTROL = ControlAction()
+
+
+def _model_set() -> ModelSet:
+    return ModelSet.from_models(
+        [
+            SensoryModel(
+                name="vae",
+                period_s=TAU,
+                compute=ComputeProfile(name="vae", latency_s=0.004, power_w=4.0),
+                sensor=ZERO_POWER_SENSOR,
+                critical=True,
+            ),
+            SensoryModel(
+                name="det-fast", period_s=TAU, compute=DRIVE_PX2_RESNET152,
+                sensor=ZED_CAMERA,
+            ),
+            SensoryModel(
+                name="det-slow", period_s=2 * TAU, compute=DRIVE_PX2_RESNET152,
+                sensor=ZED_CAMERA,
+            ),
+        ]
+    )
+
+
+def _scheduler(deadline_s=0.08, optimization="model_gating", max_deadline=4):
+    return SafeRuntimeScheduler(
+        model_set=_model_set(),
+        tau_s=TAU,
+        deadline_provider=lambda inputs, control: deadline_s,
+        strategy_factory=make_strategy_factory(optimization),
+        max_deadline_periods=max_deadline,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestIntervalManagement:
+    def test_first_step_samples_deadline(self):
+        scheduler = _scheduler(deadline_s=0.08)
+        report = scheduler.step(SAFE_INPUTS, CONTROL)
+        assert report.new_interval
+        assert report.delta_max_periods == 4
+        assert scheduler.stats.delta_max_samples == [4]
+
+    def test_deadline_clamped_to_max(self):
+        scheduler = _scheduler(deadline_s=10.0, max_deadline=4)
+        report = scheduler.step(SAFE_INPUTS, CONTROL)
+        assert report.delta_max_periods == 4
+
+    def test_interval_length_follows_slowest_model(self):
+        # delta_max = 4, fastest model delta_i = 1 -> its mandatory slot is at
+        # n = 3, so a new interval starts at the 5th step.
+        scheduler = _scheduler(deadline_s=0.08)
+        new_flags = [scheduler.step(SAFE_INPUTS, CONTROL).new_interval for _ in range(8)]
+        assert new_flags == [True, False, False, False, True, False, False, False]
+
+    def test_zero_deadline_resamples_every_period(self):
+        scheduler = _scheduler(deadline_s=0.0)
+        new_flags = [scheduler.step(SAFE_INPUTS, CONTROL).new_interval for _ in range(3)]
+        assert new_flags == [True, True, True]
+
+    def test_reset_clears_state(self):
+        scheduler = _scheduler()
+        for _ in range(5):
+            scheduler.step(SAFE_INPUTS, CONTROL)
+        scheduler.reset()
+        assert scheduler.ledger.total_j() == 0.0
+        assert scheduler.stats.delta_max_samples == []
+        assert scheduler.step(SAFE_INPUTS, CONTROL).new_interval
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SafeRuntimeScheduler(
+                model_set=_model_set(),
+                tau_s=0.0,
+                deadline_provider=lambda i, c: 0.08,
+                strategy_factory=make_strategy_factory("none"),
+            )
+        with pytest.raises(ValueError):
+            SafeRuntimeScheduler(
+                model_set=_model_set(),
+                tau_s=TAU,
+                deadline_provider=lambda i, c: 0.08,
+                strategy_factory=make_strategy_factory("none"),
+                max_deadline_periods=0,
+            )
+
+
+class TestDirectives:
+    def test_critical_model_runs_every_natural_slot(self):
+        scheduler = _scheduler()
+        fresh_steps = 0
+        for _ in range(8):
+            report = scheduler.step(SAFE_INPUTS, CONTROL)
+            directive = report.directive_for("vae")
+            assert directive.critical
+            if directive.fresh_output:
+                fresh_steps += 1
+        assert fresh_steps == 8
+
+    def test_gated_model_runs_once_per_interval(self):
+        scheduler = _scheduler(deadline_s=0.08, optimization="model_gating")
+        local_runs = 0
+        for _ in range(4):
+            report = scheduler.step(SAFE_INPUTS, CONTROL)
+            if report.directive_for("det-fast").action == "local":
+                local_runs += 1
+        assert local_runs == 1
+
+    def test_unknown_model_directive_raises(self):
+        scheduler = _scheduler()
+        report = scheduler.step(SAFE_INPUTS, CONTROL)
+        with pytest.raises(KeyError):
+            report.directive_for("missing")
+
+    def test_short_deadline_runs_slow_model_at_natural_period(self):
+        # delta_max = 1 < delta_i = 2: the slow detector keeps its native
+        # schedule (full operation), per eq. (6)'s fallback branch.
+        scheduler = _scheduler(deadline_s=0.02, optimization="model_gating")
+        actions = []
+        for _ in range(4):
+            report = scheduler.step(SAFE_INPUTS, CONTROL)
+            actions.append(report.directive_for("det-slow").action)
+        assert actions[0] == "local"
+        assert actions[2] == "local"
+        assert actions[1] != "local" and actions[3] != "local"
+
+
+class TestEnergyAccounting:
+    def test_baseline_matches_analytic_interval_energy(self):
+        scheduler = _scheduler(deadline_s=0.08, optimization="model_gating")
+        for _ in range(4):
+            scheduler.step(SAFE_INPUTS, CONTROL)
+        fast = scheduler.model_set.get("det-fast")
+        baseline = scheduler.baseline_ledger.total_by_model()["det-fast"]
+        assert baseline == pytest.approx(baseline_interval_energy_j(fast, TAU, 4))
+
+    def test_gating_energy_matches_analytic_interval_energy(self):
+        scheduler = _scheduler(deadline_s=0.08, optimization="model_gating")
+        for _ in range(4):
+            scheduler.step(SAFE_INPUTS, CONTROL)
+        fast = scheduler.model_set.get("det-fast")
+        optimized = scheduler.ledger.total_by_model()["det-fast"]
+        assert optimized == pytest.approx(
+            gating_interval_energy_j(fast, TAU, 4, gate_sensor=False)
+        )
+
+    def test_local_only_strategy_has_zero_gain(self):
+        scheduler = _scheduler(deadline_s=0.08, optimization="none")
+        for _ in range(8):
+            scheduler.step(SAFE_INPUTS, CONTROL)
+        for gain in scheduler.energy_gain_by_model().values():
+            assert gain == pytest.approx(0.0, abs=1e-12)
+        assert scheduler.overall_energy_gain() == pytest.approx(0.0, abs=1e-12)
+
+    def test_gating_gain_positive_and_below_one(self):
+        scheduler = _scheduler(deadline_s=0.08, optimization="model_gating")
+        for _ in range(16):
+            scheduler.step(SAFE_INPUTS, CONTROL)
+        gains = scheduler.energy_gain_by_model()
+        assert 0.0 < gains["det-fast"] < 1.0
+        assert 0.0 < gains["det-slow"] < 1.0
+        assert gains["det-fast"] > gains["det-slow"]
+
+    def test_offloading_charges_transmission_energy(self):
+        scheduler = _scheduler(deadline_s=0.08, optimization="offload")
+        for _ in range(8):
+            scheduler.step(SAFE_INPUTS, CONTROL)
+        categories = scheduler.ledger.total_by_category()
+        assert categories.get("transmission", 0.0) > 0.0
+        assert scheduler.stats.offloads_issued > 0
+
+    def test_critical_model_energy_identical_to_baseline(self):
+        scheduler = _scheduler(deadline_s=0.08, optimization="model_gating")
+        for _ in range(8):
+            scheduler.step(SAFE_INPUTS, CONTROL)
+        assert scheduler.ledger.total_by_model()["vae"] == pytest.approx(
+            scheduler.baseline_ledger.total_by_model()["vae"]
+        )
+
+    def test_statistics_track_local_runs_and_gated_periods(self):
+        scheduler = _scheduler(deadline_s=0.08, optimization="model_gating")
+        for _ in range(8):
+            scheduler.step(SAFE_INPUTS, CONTROL)
+        assert scheduler.stats.local_runs["det-fast"] >= 2
+        assert scheduler.stats.gated_periods["det-fast"] >= 4
+        assert scheduler.stats.mean_delta_max() == pytest.approx(4.0)
+
+
+class TestDeadlineProviderInteraction:
+    def test_provider_receives_inputs_and_control(self):
+        captured = {}
+
+        def provider(inputs, control):
+            captured["inputs"] = inputs
+            captured["control"] = control
+            return 0.08
+
+        scheduler = SafeRuntimeScheduler(
+            model_set=_model_set(),
+            tau_s=TAU,
+            deadline_provider=provider,
+            strategy_factory=make_strategy_factory("none"),
+        )
+        scheduler.step(SAFE_INPUTS, ControlAction(steering=0.5))
+        assert captured["inputs"] is SAFE_INPUTS
+        assert captured["control"].steering == 0.5
+
+    def test_lower_deadline_means_fewer_gated_periods(self):
+        energetic = _scheduler(deadline_s=0.08, optimization="model_gating")
+        cautious = _scheduler(deadline_s=0.04, optimization="model_gating")
+        for _ in range(16):
+            energetic.step(SAFE_INPUTS, CONTROL)
+            cautious.step(SAFE_INPUTS, CONTROL)
+        assert (
+            cautious.stats.gated_periods["det-fast"]
+            < energetic.stats.gated_periods["det-fast"]
+        )
+        assert (
+            cautious.energy_gain_by_model()["det-fast"]
+            < energetic.energy_gain_by_model()["det-fast"]
+        )

@@ -1,0 +1,149 @@
+"""Tests for the kinematic bicycle model and the integrators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dynamics.bicycle import KinematicBicycleModel
+from repro.dynamics.integrators import euler_step, rk4_step
+from repro.dynamics.params import VehicleParams
+from repro.dynamics.state import ControlAction, VehicleState
+
+
+@pytest.fixture
+def model() -> KinematicBicycleModel:
+    return KinematicBicycleModel(VehicleParams())
+
+
+class TestIntegrators:
+    def test_euler_constant_derivative(self):
+        result = euler_step(np.array([0.0, 0.0]), lambda s: np.array([1.0, 2.0]), 0.1)
+        assert result == pytest.approx([0.1, 0.2])
+
+    def test_rk4_matches_exact_for_linear_system(self):
+        # x' = x has exact solution e^t; RK4 should be accurate to ~1e-8 at t=0.1.
+        result = rk4_step(np.array([1.0]), lambda s: s, 0.1)
+        assert result[0] == pytest.approx(math.exp(0.1), abs=1e-7)
+
+    def test_euler_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            euler_step(np.zeros(1), lambda s: s, 0.0)
+
+    def test_rk4_rejects_nonpositive_dt(self):
+        with pytest.raises(ValueError):
+            rk4_step(np.zeros(1), lambda s: s, -0.1)
+
+
+class TestControlMapping:
+    def test_positive_throttle_maps_to_acceleration(self, model):
+        _, accel = model.control_to_physical(ControlAction(throttle=1.0))
+        assert accel == pytest.approx(model.params.max_accel_mps2)
+
+    def test_negative_throttle_maps_to_braking(self, model):
+        _, accel = model.control_to_physical(ControlAction(throttle=-1.0))
+        assert accel == pytest.approx(-model.params.max_brake_mps2)
+
+    def test_steering_saturates(self, model):
+        steer, _ = model.control_to_physical(ControlAction(steering=5.0))
+        assert steer == pytest.approx(model.params.max_steer_rad)
+
+
+class TestStep:
+    def test_straight_line_motion(self, model):
+        state = VehicleState(speed_mps=10.0)
+        nxt = model.step(state, ControlAction(), 0.1)
+        assert nxt.x_m == pytest.approx(1.0, rel=1e-6)
+        assert nxt.y_m == pytest.approx(0.0, abs=1e-9)
+        assert nxt.heading_rad == pytest.approx(0.0, abs=1e-9)
+
+    def test_throttle_increases_speed(self, model):
+        state = VehicleState(speed_mps=5.0)
+        nxt = model.step(state, ControlAction(throttle=1.0), 0.5)
+        assert nxt.speed_mps > 5.0
+
+    def test_braking_reduces_speed_but_not_below_zero(self, model):
+        state = VehicleState(speed_mps=1.0)
+        nxt = model.step(state, ControlAction(throttle=-1.0), 1.0)
+        assert nxt.speed_mps == 0.0
+
+    def test_speed_respects_ceiling(self, model):
+        state = VehicleState(speed_mps=model.params.max_speed_mps)
+        nxt = model.step(state, ControlAction(throttle=1.0), 1.0)
+        assert nxt.speed_mps <= model.params.max_speed_mps
+
+    def test_left_steer_increases_heading(self, model):
+        state = VehicleState(speed_mps=5.0)
+        nxt = model.step(state, ControlAction(steering=1.0), 0.2)
+        assert nxt.heading_rad > 0.0
+
+    def test_right_steer_decreases_heading(self, model):
+        state = VehicleState(speed_mps=5.0)
+        nxt = model.step(state, ControlAction(steering=-1.0), 0.2)
+        assert nxt.heading_rad < 0.0
+
+    def test_zero_speed_does_not_turn(self, model):
+        state = VehicleState(speed_mps=0.0)
+        nxt = model.step(state, ControlAction(steering=1.0), 0.2)
+        assert nxt.heading_rad == pytest.approx(0.0, abs=1e-9)
+        assert nxt.x_m == pytest.approx(0.0, abs=1e-6)
+
+    def test_euler_and_rk4_agree_for_small_steps(self, model):
+        state = VehicleState(speed_mps=8.0)
+        control = ControlAction(steering=0.3, throttle=0.2)
+        rk4 = model.step(state, control, 0.01, method="rk4")
+        euler = model.step(state, control, 0.01, method="euler")
+        assert rk4.x_m == pytest.approx(euler.x_m, abs=1e-3)
+        assert rk4.heading_rad == pytest.approx(euler.heading_rad, abs=1e-3)
+
+    def test_unknown_method_raises(self, model):
+        with pytest.raises(ValueError):
+            model.step(VehicleState(), ControlAction(), 0.1, method="leapfrog")
+
+
+class TestRollout:
+    def test_rollout_length(self, model):
+        trajectory = model.rollout(VehicleState(speed_mps=5.0), ControlAction(), 0.1, 10)
+        assert len(trajectory) == 11
+
+    def test_rollout_starts_with_initial_state(self, model):
+        start = VehicleState(speed_mps=5.0)
+        trajectory = model.rollout(start, ControlAction(), 0.1, 3)
+        assert trajectory[0] == start
+
+    def test_rollout_zero_steps(self, model):
+        start = VehicleState()
+        assert model.rollout(start, ControlAction(), 0.1, 0) == [start]
+
+    def test_rollout_rejects_negative_steps(self, model):
+        with pytest.raises(ValueError):
+            model.rollout(VehicleState(), ControlAction(), 0.1, -1)
+
+    def test_circular_motion_returns_near_start(self, model):
+        # Constant steering at constant speed traces a circle; after one full
+        # period the vehicle should be back near its starting point.
+        speed = 5.0
+        steer = 0.5
+        steer_rad = steer * model.params.max_steer_rad
+        radius = model.params.wheelbase_m / math.tan(steer_rad)
+        period = 2.0 * math.pi * radius / speed
+        steps = 2000
+        dt = period / steps
+        trajectory = model.rollout(
+            VehicleState(speed_mps=speed), ControlAction(steering=steer), dt, steps
+        )
+        end = trajectory[-1]
+        assert math.hypot(end.x_m, end.y_m) < 0.2
+
+
+class TestStoppingDistance:
+    def test_zero_speed_zero_distance(self, model):
+        assert model.stopping_distance(0.0) == 0.0
+
+    def test_matches_kinematic_formula(self, model):
+        speed = 10.0
+        expected = speed**2 / (2 * model.params.max_brake_mps2)
+        assert model.stopping_distance(speed) == pytest.approx(expected)
+
+    def test_monotone_in_speed(self, model):
+        assert model.stopping_distance(12.0) > model.stopping_distance(6.0)

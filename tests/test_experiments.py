@@ -1,0 +1,138 @@
+"""Tests for the experiment drivers (fast settings).
+
+These are functional tests of the harness plumbing: each driver must produce
+the rows/series its paper artifact needs.  The trend assertions use relaxed
+comparisons because the fast settings run very few episodes.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_lookup_ablation, run_safety_awareness_ablation
+from repro.experiments.common import (
+    ExperimentSettings,
+    run_configuration,
+    standard_config,
+    with_obstacles,
+)
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.platform.presets import NAVTECH_RADAR, ZED_CAMERA, ZERO_POWER_SENSOR
+
+FAST = ExperimentSettings(episodes=2, max_steps=700, seed=0)
+
+
+class TestCommonHelpers:
+    def test_standard_config_sensor_defaults(self):
+        offload = standard_config(FAST, optimization="offload", filtered=True)
+        gating = standard_config(FAST, optimization="model_gating", filtered=True)
+        assert offload.detector_sensor == ZERO_POWER_SENSOR
+        assert gating.detector_sensor == ZED_CAMERA
+
+    def test_standard_config_sensor_override(self):
+        config = standard_config(
+            FAST, optimization="sensor_gating", filtered=True, detector_sensor=NAVTECH_RADAR
+        )
+        assert config.detector_sensor == NAVTECH_RADAR
+
+    def test_with_obstacles(self):
+        config = standard_config(FAST, optimization="offload", filtered=True)
+        assert with_obstacles(config, 5).scenario.num_obstacles == 5
+
+    def test_run_configuration_returns_summary(self):
+        config = standard_config(FAST, optimization="model_gating", filtered=False)
+        summary = run_configuration(config, FAST)
+        assert summary.episodes == FAST.episodes
+        assert summary.model_gains
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(episodes=0)
+
+
+class TestFigureAndTableDrivers:
+    def test_fig1_series(self):
+        result = run_fig1(FAST, obstacle_counts=(0, 3))
+        series = result.series("detector-p1tau")
+        assert [count for count, _ in series] == [0, 3]
+        # Normalized energy grows with risk for the fast detector.
+        assert series[0][1] <= series[1][1] + 0.05
+        assert "Fig. 1" in result.to_table()
+
+    def test_fig5_covers_all_cells(self):
+        result = run_fig5(FAST)
+        assert set(result.gains) == {
+            ("offload", False),
+            ("offload", True),
+            ("model_gating", False),
+            ("model_gating", True),
+        }
+        for per_model in result.gains.values():
+            assert set(per_model) == {"detector-p1tau", "detector-p2tau"}
+        # Faster detector benefits at least as much as the slower one.
+        for per_model in result.gains.values():
+            assert per_model["detector-p1tau"] >= per_model["detector-p2tau"] - 0.02
+        assert "Fig. 5" in result.to_table()
+
+    def test_table1_rows_and_average(self):
+        result = run_table1(FAST)
+        assert len(result.rows) == 4
+        row = result.row("offload", True)
+        assert row.average_gain == pytest.approx(0.5 * (row.gain_p1 + row.gain_p2))
+        assert "Table I" in result.to_table()
+
+    def test_fig6_histograms(self):
+        result = run_fig6(FAST, obstacle_counts=(0, 4))
+        histogram_open = result.histogram("model_gating", 0)
+        histogram_risky = result.histogram("model_gating", 4)
+        assert histogram_open.frequency(4) >= histogram_risky.frequency(4)
+        assert result.average_gains[("model_gating", 0)] >= result.average_gains[
+            ("model_gating", 4)
+        ] - 0.02
+        assert "Fig. 6" in result.to_table()
+
+    def test_table2_rows(self):
+        result = run_table2(FAST, obstacle_counts=(0, 4))
+        assert len(result.rows) == 4
+        open_road = result.row(False, 0)
+        risky = result.row(False, 4)
+        assert open_road.offloading_gain >= risky.offloading_gain - 0.02
+        assert open_road.mean_delta_max >= risky.mean_delta_max
+        assert "Table II" in result.to_table()
+
+    def test_table3_matches_paper_4tau_column(self):
+        result = run_table3(FAST)
+        assert len(result.rows) == 6
+        camera = result.row("zed-stereo-camera", 1)
+        radar = result.row("navtech-cts350x-radar", 1)
+        lidar = result.row("velodyne-hdl32e-lidar", 1)
+        assert camera.four_tau_gain == pytest.approx(0.75, abs=0.01)
+        assert radar.four_tau_gain == pytest.approx(0.689, abs=0.01)
+        assert lidar.four_tau_gain == pytest.approx(0.648, abs=0.01)
+        # Paper ordering: camera > radar > lidar, and p=tau > p=2tau.
+        assert camera.average_gain >= radar.average_gain >= lidar.average_gain - 0.02
+        assert camera.average_gain >= result.row("zed-stereo-camera", 2).average_gain
+        assert "Table III" in result.to_table()
+
+    def test_unknown_rows_raise(self):
+        result = run_table1(FAST)
+        with pytest.raises(KeyError):
+            result.row("offload", None)
+
+
+class TestAblations:
+    def test_safety_awareness_ablation(self):
+        result = run_safety_awareness_ablation(FAST, num_obstacles=3)
+        # Ignoring safety can only increase (or match) the energy gains.
+        assert result.oblivious.average_model_gain >= result.aware.average_model_gain - 0.02
+        assert result.gain_delta >= -0.02
+
+    def test_lookup_ablation(self):
+        result = run_lookup_ablation(FAST, num_obstacles=2)
+        # The quantized table is conservative: it should not report larger
+        # deadlines than the exact evaluation (small tolerance for sampling).
+        assert result.lookup.mean_delta_max <= result.exact.mean_delta_max + 0.3
+        assert result.lookup.episodes == FAST.episodes

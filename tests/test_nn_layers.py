@@ -1,0 +1,217 @@
+"""Tests for the NumPy neural substrate: layers, activations, optimizers, losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import Identity, ReLU, Sigmoid, Softplus, Tanh
+from repro.nn.init import he_init, xavier_init
+from repro.nn.layers import Dense
+from repro.nn.losses import bce_loss, gaussian_kl, mse_loss
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD, Adam
+
+
+class TestInitializers:
+    def test_xavier_bounds(self, rng):
+        weights = xavier_init(100, 50, rng)
+        limit = np.sqrt(6.0 / 150)
+        assert weights.shape == (100, 50)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_he_statistics(self, rng):
+        weights = he_init(1000, 100, rng)
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_rejects_nonpositive_dims(self, rng):
+        with pytest.raises(ValueError):
+            xavier_init(0, 5, rng)
+        with pytest.raises(ValueError):
+            he_init(5, 0, rng)
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        layer = ReLU()
+        out = layer.forward(np.array([[-1.0, 2.0]]))
+        assert out.tolist() == [[0.0, 2.0]]
+
+    def test_relu_backward_masks_negative(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 2.0]]))
+        grad = layer.backward(np.array([[1.0, 1.0]]))
+        assert grad.tolist() == [[0.0, 1.0]]
+
+    def test_tanh_range(self):
+        out = Tanh().forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_sigmoid_range(self):
+        out = Sigmoid().forward(np.array([[-100.0, 0.0, 100.0]]))
+        assert np.all((out > 0.0) & (out <= 1.0))
+        assert out[0, 1] == pytest.approx(0.5)
+
+    def test_softplus_positive(self):
+        out = Softplus().forward(np.array([[-10.0, 0.0, 10.0]]))
+        assert np.all(out > 0.0)
+
+    def test_identity_passthrough(self):
+        values = np.array([[1.0, -2.0]])
+        layer = Identity()
+        assert np.array_equal(layer.forward(values), values)
+        assert np.array_equal(layer.backward(values), values)
+
+    @pytest.mark.parametrize("activation", [ReLU, Tanh, Sigmoid, Softplus])
+    def test_backward_matches_numerical_gradient(self, activation):
+        layer = activation()
+        x = np.array([[0.3, -0.7, 1.2]])
+        eps = 1e-6
+        layer.forward(x)
+        analytic = layer.backward(np.ones_like(x))
+        numeric = np.zeros_like(x)
+        for index in range(x.shape[1]):
+            plus = x.copy()
+            minus = x.copy()
+            plus[0, index] += eps
+            minus[0, index] -= eps
+            numeric[0, index] = (
+                layer.forward(plus)[0, index] - layer.forward(minus)[0, index]
+            ) / (2 * eps)
+        assert analytic == pytest.approx(numeric, abs=1e-4)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        out = layer.forward(np.ones((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_rejects_wrong_width(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((2, 5)))
+
+    def test_backward_gradient_check(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        eps = 1e-6
+
+        def loss(weights):
+            layer.params["weight"] = weights
+            return float(np.sum(layer.forward(x) ** 2))
+
+        weights = layer.params["weight"].copy()
+        layer.params["weight"] = weights
+        out = layer.forward(x)
+        layer.zero_grad()
+        layer.backward(2.0 * out)
+        analytic = layer.grads["weight"].copy()
+
+        numeric = np.zeros_like(weights)
+        for i in range(weights.shape[0]):
+            for j in range(weights.shape[1]):
+                plus = weights.copy()
+                minus = weights.copy()
+                plus[i, j] += eps
+                minus[i, j] -= eps
+                numeric[i, j] = (loss(plus) - loss(minus)) / (2 * eps)
+        assert analytic == pytest.approx(numeric, abs=1e-4)
+
+    def test_parameter_vector_round_trip(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        vector = layer.parameter_vector()
+        layer.set_parameter_vector(np.zeros_like(vector))
+        assert np.all(layer.parameter_vector() == 0.0)
+        layer.set_parameter_vector(vector)
+        assert layer.parameter_vector() == pytest.approx(vector)
+
+    def test_set_parameter_vector_rejects_wrong_length(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        with pytest.raises(ValueError):
+            layer.set_parameter_vector(np.zeros(3))
+
+
+class TestSequential:
+    def _network(self, rng):
+        return Sequential([Dense(2, 8, rng=rng), Tanh(), Dense(8, 1, rng=rng)])
+
+    def test_forward_shape(self, rng):
+        network = self._network(rng)
+        assert network.forward(np.ones((4, 2))).shape == (4, 1)
+
+    def test_parameter_count(self, rng):
+        network = self._network(rng)
+        assert network.parameter_count() == 2 * 8 + 8 + 8 * 1 + 1
+
+    def test_parameter_vector_round_trip(self, rng):
+        network = self._network(rng)
+        vector = network.parameter_vector()
+        network.set_parameter_vector(vector * 0.0)
+        assert np.all(network.parameter_vector() == 0.0)
+
+    def test_requires_at_least_one_layer(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_sgd_reduces_regression_loss(self, rng):
+        network = self._network(rng)
+        optimizer = SGD(network, learning_rate=0.05)
+        x = rng.normal(size=(64, 2))
+        y = (x[:, :1] + 0.5 * x[:, 1:2])
+        first_loss = None
+        for _ in range(200):
+            optimizer.zero_grad()
+            predictions = network.forward(x)
+            loss, grad = mse_loss(predictions, y)
+            if first_loss is None:
+                first_loss = loss
+            network.backward(grad)
+            optimizer.step()
+        assert loss < 0.2 * first_loss
+
+    def test_adam_reduces_regression_loss(self, rng):
+        network = self._network(rng)
+        optimizer = Adam(network, learning_rate=0.01)
+        x = rng.normal(size=(64, 2))
+        y = np.sin(x[:, :1])
+        first_loss = None
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss, grad = mse_loss(network.forward(x), y)
+            if first_loss is None:
+                first_loss = loss
+            network.backward(grad)
+            optimizer.step()
+        assert loss < 0.5 * first_loss
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self):
+        value, grad = mse_loss(np.ones(4), np.ones(4))
+        assert value == 0.0
+        assert np.all(grad == 0.0)
+
+    def test_mse_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.ones(3), np.ones(4))
+
+    def test_bce_minimum_at_targets(self):
+        value_good, _ = bce_loss(np.array([0.99, 0.01]), np.array([1.0, 0.0]))
+        value_bad, _ = bce_loss(np.array([0.01, 0.99]), np.array([1.0, 0.0]))
+        assert value_good < value_bad
+
+    def test_gaussian_kl_zero_for_standard_normal(self):
+        value, grad_mean, grad_log_var = gaussian_kl(np.zeros((2, 3)), np.zeros((2, 3)))
+        assert value == pytest.approx(0.0)
+        assert np.all(grad_mean == 0.0)
+        assert grad_log_var == pytest.approx(np.zeros((2, 3)))
+
+    def test_gaussian_kl_positive_otherwise(self):
+        value, _, _ = gaussian_kl(np.ones((1, 3)), np.zeros((1, 3)))
+        assert value > 0.0
+
+    def test_optimizer_rejects_bad_learning_rate(self, rng):
+        network = Sequential([Dense(2, 2, rng=rng)])
+        with pytest.raises(ValueError):
+            SGD(network, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            Adam(network, learning_rate=-1.0)

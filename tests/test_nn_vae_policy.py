@@ -1,0 +1,86 @@
+"""Tests for the VAE and the MLP policy."""
+
+import numpy as np
+import pytest
+
+from repro.nn.policy import MLPPolicy
+from repro.nn.vae import VariationalAutoencoder
+
+
+class TestVariationalAutoencoder:
+    def test_encode_decode_shapes(self):
+        vae = VariationalAutoencoder(input_dim=16, latent_dim=4, hidden_dim=32, seed=0)
+        batch = np.random.default_rng(0).uniform(size=(8, 16))
+        mean, log_var = vae.encode(batch)
+        assert mean.shape == (8, 4)
+        assert log_var.shape == (8, 4)
+        assert vae.decode(mean).shape == (8, 16)
+
+    def test_features_are_deterministic(self):
+        vae = VariationalAutoencoder(input_dim=8, latent_dim=3, seed=1)
+        batch = np.random.default_rng(1).uniform(size=(4, 8))
+        assert np.array_equal(vae.features(batch), vae.features(batch))
+
+    def test_training_reduces_loss(self):
+        rng = np.random.default_rng(2)
+        # Structured data: two prototype scans plus noise.
+        prototypes = rng.uniform(size=(2, 12))
+        data = np.vstack([
+            prototypes[rng.integers(0, 2)] + rng.normal(0, 0.02, size=12)
+            for _ in range(128)
+        ])
+        vae = VariationalAutoencoder(input_dim=12, latent_dim=2, hidden_dim=32, seed=2)
+        history = vae.fit(data, epochs=15, batch_size=32)
+        assert history[-1].total < history[0].total
+
+    def test_train_step_rejects_wrong_width(self):
+        vae = VariationalAutoencoder(input_dim=8, latent_dim=2)
+        with pytest.raises(ValueError):
+            vae.train_step(np.ones((4, 9)))
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            VariationalAutoencoder(input_dim=0)
+        with pytest.raises(ValueError):
+            VariationalAutoencoder(input_dim=4, beta=-1.0)
+
+    def test_fit_rejects_bad_epochs(self):
+        vae = VariationalAutoencoder(input_dim=4)
+        with pytest.raises(ValueError):
+            vae.fit(np.ones((4, 4)), epochs=0)
+
+
+class TestMLPPolicy:
+    def test_action_shape_and_bounds(self):
+        policy = MLPPolicy(input_dim=7, seed=0)
+        action = policy.act(np.zeros(7))
+        assert action.shape == (2,)
+        assert np.all(np.abs(action) <= 1.0)
+
+    def test_rejects_wrong_feature_length(self):
+        policy = MLPPolicy(input_dim=7)
+        with pytest.raises(ValueError):
+            policy.act(np.zeros(5))
+
+    def test_flat_parameter_round_trip(self):
+        policy = MLPPolicy(input_dim=4, hidden_dims=(8,), seed=0)
+        vector = policy.get_flat_parameters()
+        assert vector.size == policy.num_parameters()
+        policy.set_flat_parameters(np.zeros_like(vector))
+        assert np.all(policy.act(np.ones(4)) == 0.0)
+        policy.set_flat_parameters(vector)
+        assert policy.get_flat_parameters() == pytest.approx(vector)
+
+    def test_different_parameters_change_behaviour(self):
+        policy = MLPPolicy(input_dim=4, hidden_dims=(8,), seed=0)
+        features = np.ones(4)
+        baseline = policy.act(features).copy()
+        rng = np.random.default_rng(3)
+        policy.set_flat_parameters(rng.normal(size=policy.num_parameters()))
+        assert not np.allclose(policy.act(features), baseline)
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            MLPPolicy(input_dim=0)
+        with pytest.raises(ValueError):
+            MLPPolicy(input_dim=4, hidden_dims=())

@@ -1,0 +1,150 @@
+"""Tests for the perception models (detector and VAE encoder)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.perception.detections import Detection, DetectionSet
+from repro.perception.detector import DetectorModel
+from repro.perception.encoder import VAEStateEncoder, collect_scan_dataset
+from repro.sim.observation import RangeScanner
+from repro.sim.obstacles import Obstacle
+from repro.sim.road import Road
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.world import World
+from repro.dynamics.state import VehicleState
+
+
+def _world(obstacles):
+    return World(
+        road=Road(width_m=40.0),
+        obstacles=obstacles,
+        state=VehicleState(speed_mps=5.0),
+    )
+
+
+class TestDetectionContainers:
+    def test_detection_validation(self):
+        with pytest.raises(ValueError):
+            Detection(distance_m=-1.0, bearing_rad=0.0)
+        with pytest.raises(ValueError):
+            Detection(distance_m=1.0, bearing_rad=0.0, confidence=2.0)
+
+    def test_nearest_returns_closest(self):
+        detections = DetectionSet(
+            detections=[
+                Detection(distance_m=10.0, bearing_rad=0.1),
+                Detection(distance_m=4.0, bearing_rad=-0.2),
+            ]
+        )
+        assert detections.nearest().distance_m == 4.0
+
+    def test_nearest_empty_is_none(self):
+        assert DetectionSet().nearest() is None
+
+    def test_aged_marks_stale_and_keeps_content(self):
+        original = DetectionSet(
+            detections=[Detection(distance_m=5.0, bearing_rad=0.0)], source="det"
+        )
+        aged = original.aged()
+        assert aged.stale and not original.stale
+        assert len(aged) == 1
+
+
+class TestDetectorModel:
+    def test_detects_single_obstacle_ahead(self):
+        detector = DetectorModel(name="det", range_noise_std_m=0.0, bearing_noise_std_rad=0.0)
+        world = _world([Obstacle(x_m=12.0, y_m=0.0, radius_m=1.0)])
+        result = detector.infer(world)
+        assert len(result) >= 1
+        nearest = result.nearest()
+        assert nearest.distance_m == pytest.approx(11.0, abs=0.5)
+        assert abs(nearest.bearing_rad) < 0.2
+
+    def test_detects_two_separated_obstacles(self):
+        detector = DetectorModel(name="det", range_noise_std_m=0.0, bearing_noise_std_rad=0.0)
+        world = _world(
+            [
+                Obstacle(x_m=12.0, y_m=-5.0, radius_m=1.0),
+                Obstacle(x_m=12.0, y_m=5.0, radius_m=1.0),
+            ]
+        )
+        result = detector.infer(world)
+        assert len(result) == 2
+        bearings = sorted(det.bearing_rad for det in result.detections)
+        assert bearings[0] < 0 < bearings[1]
+
+    def test_empty_world_yields_no_detections(self):
+        detector = DetectorModel(name="det")
+        assert len(detector.infer(_world([]))) == 0
+
+    def test_obstacle_behind_is_not_detected(self):
+        detector = DetectorModel(name="det")
+        world = _world([Obstacle(x_m=-10.0, y_m=0.0, radius_m=1.0)])
+        assert len(detector.infer(world)) == 0
+
+    def test_miss_rate_one_would_be_invalid(self):
+        with pytest.raises(ValueError):
+            DetectorModel(name="det", miss_rate=1.0)
+
+    def test_high_miss_rate_drops_detections(self):
+        detector = DetectorModel(name="det", miss_rate=0.99, seed=1)
+        world = _world([Obstacle(x_m=12.0, y_m=0.0, radius_m=1.0)])
+        dropped = sum(len(detector.infer(world)) == 0 for _ in range(20))
+        assert dropped >= 15
+
+    def test_rate_and_energy_properties(self):
+        detector = DetectorModel(name="det", period_s=0.02)
+        assert detector.rate_hz == pytest.approx(50.0)
+        assert detector.local_inference_energy_j() == pytest.approx(0.017 * 7.0)
+
+    def test_describe_mentions_rate(self):
+        assert "50 Hz" in DetectorModel(name="det", period_s=0.02).describe()
+
+    def test_reset_restores_noise_sequence(self):
+        detector = DetectorModel(name="det", range_noise_std_m=0.3, seed=5)
+        world = _world([Obstacle(x_m=12.0, y_m=0.0, radius_m=1.0)])
+        first = detector.infer(world).nearest().distance_m
+        detector.reset()
+        second = detector.infer(world).nearest().distance_m
+        assert first == pytest.approx(second)
+
+
+class TestVAEStateEncoder:
+    def test_collect_scan_dataset_shape(self):
+        scanner = RangeScanner(num_beams=16)
+        data = collect_scan_dataset(
+            ScenarioConfig(num_obstacles=2, seed=0),
+            scanner,
+            num_worlds=2,
+            samples_per_world=5,
+            seed=0,
+        )
+        assert data.shape == (10, 16)
+        assert np.all((data >= 0.0) & (data <= 1.0))
+
+    def test_encode_returns_latent_vector(self):
+        scanner = RangeScanner(num_beams=16)
+        encoder = VAEStateEncoder(scanner=scanner, latent_dim=5)
+        world = _world([Obstacle(x_m=15.0, y_m=0.0)])
+        features = encoder.encode(world)
+        assert features.shape == (5,)
+
+    def test_fit_marks_trained(self):
+        scanner = RangeScanner(num_beams=8)
+        encoder = VAEStateEncoder(scanner=scanner, latent_dim=3)
+        data = np.random.default_rng(0).uniform(size=(32, 8))
+        assert not encoder.trained
+        encoder.fit(data, epochs=2, batch_size=16)
+        assert encoder.trained
+
+    def test_per_invocation_energy(self):
+        encoder = VAEStateEncoder()
+        assert encoder.per_invocation_energy_j() == pytest.approx(0.004 * 4.0)
+
+    def test_collect_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            collect_scan_dataset(
+                ScenarioConfig(num_obstacles=0, seed=0), RangeScanner(), num_worlds=0
+            )

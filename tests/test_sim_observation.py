@@ -1,0 +1,172 @@
+"""Tests for range-scan observations, simulated sensors and the episode runner."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.control.heuristic import ObstacleAvoidanceController
+from repro.control.pure_pursuit import PurePursuitController
+from repro.core.shield import SteeringShield
+from repro.dynamics.state import VehicleState
+from repro.sim.episode import EpisodeRunner
+from repro.sim.obstacles import Obstacle
+from repro.sim.observation import RangeScanner
+from repro.sim.road import Road
+from repro.sim.scenario import ScenarioConfig, build_world
+from repro.sim.sensors import SensorSuite, SimulatedSensor
+from repro.sim.world import World
+
+
+def _world_with_single_obstacle(distance: float = 10.0) -> World:
+    return World(
+        road=Road(width_m=60.0),
+        obstacles=[Obstacle(x_m=distance, y_m=0.0, radius_m=1.0)],
+        state=VehicleState(x_m=0.0, y_m=0.0, heading_rad=0.0, speed_mps=5.0),
+    )
+
+
+class TestRangeScanner:
+    def test_scan_length_matches_num_beams(self):
+        scanner = RangeScanner(num_beams=16)
+        world = _world_with_single_obstacle()
+        assert scanner.scan(world).shape == (16,)
+
+    def test_obstacle_ahead_shortens_central_beam(self):
+        scanner = RangeScanner(num_beams=31, max_range_m=40.0)
+        world = _world_with_single_obstacle(distance=10.0)
+        scan = scanner.scan(world)
+        central = scan[len(scan) // 2]
+        assert central == pytest.approx(9.0, abs=0.2)
+
+    def test_no_obstacle_beams_report_road_edge_or_max_range(self):
+        scanner = RangeScanner(num_beams=11, max_range_m=40.0)
+        world = World(road=Road(width_m=8.0), obstacles=[], state=VehicleState())
+        scan = scanner.scan(world)
+        assert np.all(scan <= 40.0)
+        assert scan[len(scan) // 2] == pytest.approx(40.0)
+        # Off-axis beams hit the road edges before the maximum range.
+        assert scan[0] < 40.0
+
+    def test_normalized_scan_is_unit_interval(self):
+        scanner = RangeScanner()
+        world = _world_with_single_obstacle()
+        normalized = scanner.normalized_scan(world)
+        assert np.all(normalized >= 0.0) and np.all(normalized <= 1.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RangeScanner(num_beams=1)
+        with pytest.raises(ValueError):
+            RangeScanner(max_range_m=0.0)
+
+    def test_beam_angles_span_fov(self):
+        scanner = RangeScanner(num_beams=5, fov_rad=math.radians(90))
+        angles = scanner.beam_angles()
+        assert angles[0] == pytest.approx(-math.radians(45))
+        assert angles[-1] == pytest.approx(math.radians(45))
+
+
+class TestSimulatedSensor:
+    def test_due_respects_sampling_period(self):
+        sensor = SimulatedSensor(name="cam", sampling_period_s=0.04)
+        world = _world_with_single_obstacle()
+        assert sensor.due(0.0)
+        sensor.sample(world, 0.0)
+        assert not sensor.due(0.02)
+        assert sensor.due(0.04)
+
+    def test_noise_is_bounded_by_max_range(self):
+        sensor = SimulatedSensor(name="cam", sampling_period_s=0.02, noise_std_m=5.0)
+        world = _world_with_single_obstacle()
+        reading = sensor.sample(world, 0.0)
+        assert np.all(reading <= sensor.scanner.max_range_m)
+        assert np.all(reading >= 0.0)
+
+    def test_reset_clears_history(self):
+        sensor = SimulatedSensor(name="cam", sampling_period_s=0.02)
+        world = _world_with_single_obstacle()
+        sensor.sample(world, 0.0)
+        sensor.reset()
+        assert sensor.latest() is None
+        assert sensor.due(0.0)
+
+    def test_suite_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            SensorSuite(
+                sensors=[
+                    SimulatedSensor(name="cam", sampling_period_s=0.02),
+                    SimulatedSensor(name="cam", sampling_period_s=0.04),
+                ]
+            )
+
+    def test_suite_samples_only_due_sensors(self):
+        fast = SimulatedSensor(name="fast", sampling_period_s=0.02)
+        slow = SimulatedSensor(name="slow", sampling_period_s=0.04)
+        suite = SensorSuite(sensors=[fast, slow])
+        world = _world_with_single_obstacle()
+        first = suite.sample_due(world, 0.0)
+        assert set(first) == {"fast", "slow"}
+        second = suite.sample_due(world, 0.02)
+        assert set(second) == {"fast"}
+
+    def test_suite_get_unknown_raises(self):
+        suite = SensorSuite(sensors=[SimulatedSensor(name="cam", sampling_period_s=0.02)])
+        with pytest.raises(KeyError):
+            suite.get("lidar")
+
+
+class TestEpisodeRunner:
+    def test_empty_road_is_completed(self):
+        world = build_world(ScenarioConfig(num_obstacles=0, road_length_m=40.0, seed=1))
+        runner = EpisodeRunner(world=world, controller=ObstacleAvoidanceController())
+        result = runner.run()
+        assert result.success
+        assert result.progress == pytest.approx(1.0)
+
+    def test_obstacle_course_with_heuristic_controller(self):
+        world = build_world(ScenarioConfig(num_obstacles=2, seed=2))
+        runner = EpisodeRunner(world=world, controller=ObstacleAvoidanceController())
+        result = runner.run()
+        assert result.completed
+        assert not result.collided
+
+    def test_pure_pursuit_collides_without_filter(self):
+        # The obstacle-blind controller on a head-on obstacle must collide.
+        world = World(
+            road=Road(width_m=12.0, length_m=60.0),
+            obstacles=[Obstacle(x_m=40.0, y_m=0.0, radius_m=1.5)],
+            state=VehicleState(speed_mps=8.0),
+        )
+        runner = EpisodeRunner(world=world, controller=PurePursuitController())
+        result = runner.run()
+        assert result.collided
+
+    def test_safety_filter_reduces_collisions_for_blind_controller(self):
+        world = World(
+            road=Road(width_m=12.0, length_m=60.0),
+            obstacles=[Obstacle(x_m=40.0, y_m=0.0, radius_m=1.5)],
+            state=VehicleState(speed_mps=8.0),
+        )
+        runner = EpisodeRunner(
+            world=world,
+            controller=PurePursuitController(),
+            safety_filter=SteeringShield(),
+        )
+        result = runner.run()
+        assert not result.collided
+        assert result.filter_interventions > 0
+
+    def test_max_steps_bounds_episode_length(self):
+        world = build_world(ScenarioConfig(num_obstacles=0, seed=1))
+        runner = EpisodeRunner(
+            world=world, controller=ObstacleAvoidanceController(), max_steps=10
+        )
+        result = runner.run()
+        assert result.steps == 10
+        assert not result.completed
+
+    def test_rejects_bad_parameters(self):
+        world = build_world(ScenarioConfig(num_obstacles=0, seed=1))
+        with pytest.raises(ValueError):
+            EpisodeRunner(world=world, controller=ObstacleAvoidanceController(), dt_s=0.0)
