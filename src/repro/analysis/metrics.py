@@ -11,10 +11,14 @@ from repro.core.framework import EpisodeReport
 
 
 def mean_and_std(values: Sequence[float]) -> Tuple[float, float]:
-    """Mean and standard deviation of a sequence (0, 0 when empty)."""
-    if not values:
+    """Mean and standard deviation of a sequence (0, 0 when empty).
+
+    Accepts any sized sequence, including numpy arrays (whose truth value is
+    ambiguous, hence the explicit length check).
+    """
+    if len(values) == 0:
         return 0.0, 0.0
-    array = np.asarray(list(values), dtype=float)
+    array = np.asarray(values, dtype=float)
     return float(array.mean()), float(array.std())
 
 

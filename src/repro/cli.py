@@ -3,13 +3,18 @@
 Examples::
 
     python -m repro.cli fig5 --episodes 5
-    python -m repro.cli table2 --episodes 25 --seed 1
+    python -m repro.cli table2 --episodes 25 --seed 1 --jobs 4
     python -m repro.cli table3
     python -m repro.cli ablation-safety
     python -m repro.cli ablation-lookup
+    python -m repro.cli suite --family dense-traffic --family narrow-road
+    python -m repro.cli all --jobs 8 --lookup-cache .cache/deadline
 
-Each command prints the reproduced table to stdout and optionally writes it
-to a file with ``--output``.
+Each subcommand prints the reproduced table to stdout and optionally writes
+it to a file with ``--output``.  Every subcommand accepts ``--jobs N`` to
+spread episodes over N worker processes (results are identical to the
+serial run) and ``--lookup-cache DIR`` to persist deadline lookup tables
+across invocations.
 """
 
 from __future__ import annotations
@@ -24,9 +29,12 @@ from repro.experiments.common import ExperimentSettings
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
+from repro.experiments.suite import run_suite
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
+from repro.runtime.cache import LookupTableCache, set_default_cache
+from repro.sim.scenario import DEFAULT_SUITE
 
 
 def _ablation_safety_table(settings: ExperimentSettings) -> str:
@@ -84,28 +92,65 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentSettings], str]] = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (clean error instead of a traceback)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
+    return value
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by every subcommand."""
+    parser.add_argument(
+        "--episodes", type=_positive_int, default=10,
+        help="episodes per configuration (the paper averages 25 successful runs)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--max-steps", type=_positive_int, default=1200, help="base periods per episode"
+    )
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes episodes are spread over (results match serial)",
+    )
+    parser.add_argument(
+        "--lookup-cache", type=Path, default=None, metavar="DIR",
+        help="directory to persist deadline lookup tables (.npz) across runs",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="optional file to write the rendered table(s) to",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the experiment CLI."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the SEO paper's figures and tables.",
     )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which paper artifact to regenerate ('all' runs every one)",
+    subparsers = parser.add_subparsers(
+        dest="experiment", required=True, metavar="experiment"
     )
-    parser.add_argument(
-        "--episodes", type=int, default=10,
-        help="episodes per configuration (the paper averages 25 successful runs)",
+    for name in sorted(EXPERIMENTS):
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        _add_common_options(sub)
+    all_parser = subparsers.add_parser("all", help="regenerate every artifact")
+    _add_common_options(all_parser)
+
+    suite_parser = subparsers.add_parser(
+        "suite", help="run the named scenario families (workload suite)"
     )
-    parser.add_argument("--seed", type=int, default=0, help="base random seed")
-    parser.add_argument(
-        "--max-steps", type=int, default=1200, help="base periods per episode"
+    _add_common_options(suite_parser)
+    suite_parser.add_argument(
+        "--family", action="append", choices=DEFAULT_SUITE.names(), default=None,
+        help="scenario family to run (repeatable; default: the whole suite)",
     )
-    parser.add_argument(
-        "--output", type=Path, default=None,
-        help="optional file to write the rendered table(s) to",
+    suite_parser.add_argument(
+        "--optimization", default="offload",
+        choices=("offload", "model_gating", "sensor_gating", "none"),
+        help="energy optimization applied to the detectors",
     )
     return parser
 
@@ -114,12 +159,22 @@ def run(argv: Optional[Sequence[str]] = None) -> str:
     """Run the CLI and return the rendered output (also printed to stdout)."""
     args = build_parser().parse_args(argv)
     settings = ExperimentSettings(
-        episodes=args.episodes, seed=args.seed, max_steps=args.max_steps
+        episodes=args.episodes,
+        seed=args.seed,
+        max_steps=args.max_steps,
+        jobs=args.jobs,
     )
+    if args.lookup_cache is not None:
+        set_default_cache(LookupTableCache(cache_dir=args.lookup_cache))
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    sections = [EXPERIMENTS[name](settings) for name in names]
-    output = "\n\n".join(sections)
+    if args.experiment == "suite":
+        output = run_suite(
+            settings, families=args.family, optimization=args.optimization
+        ).to_table()
+    else:
+        names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        sections = [EXPERIMENTS[name](settings) for name in names]
+        output = "\n\n".join(sections)
 
     print(output)
     if args.output is not None:

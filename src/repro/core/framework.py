@@ -24,7 +24,7 @@ is how every figure/table experiment of the paper is regenerated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -51,6 +51,9 @@ from repro.platform.presets import DRIVE_PX2_RESNET152, ZERO_POWER_SENSOR
 from repro.platform.sensors import SensorPowerSpec
 from repro.sim.observation import RangeScanner
 from repro.sim.scenario import ScenarioConfig, build_world
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.executor import EpisodeExecutor
 
 #: Compute profile charged for the critical VAE pipeline every base period.
 VAE_COMPUTE_PROFILE = ComputeProfile(name="vae@drive-px2", latency_s=0.004, power_w=4.0)
@@ -178,8 +181,11 @@ class SEOFramework:
         )
         self.lookup_table: Optional[DeadlineLookupTable] = None
         if config.use_lookup_table:
+            # Imported here: repro.runtime imports this module at load time.
+            from repro.runtime.cache import default_cache
+
             grid = config.lookup_grid if config.lookup_grid is not None else LookupGrid()
-            self.lookup_table = DeadlineLookupTable.build(
+            self.lookup_table = default_cache().get_or_build(
                 self.estimator,
                 grid=grid,
                 obstacle_radius_m=config.scenario.obstacle_radius_m,
@@ -271,15 +277,14 @@ class SEOFramework:
         def provider(inputs: SafetyInputs, control) -> float:
             if not inputs.obstacle_present:
                 return estimator.horizon_s
-            values = estimator.estimate_batch(
-                np.array([inputs.distance_m]),
-                np.array([inputs.bearing_rad]),
-                np.array([inputs.speed_mps]),
-                np.array([control.steering]),
-                np.array([control.throttle]),
+            return estimator.estimate_one(
+                inputs.distance_m,
+                inputs.bearing_rad,
+                inputs.speed_mps,
+                control.steering,
+                control.throttle,
                 obstacle_radius_m=scenario.obstacle_radius_m,
             )
-            return float(values[0])
 
         return provider
 
@@ -365,17 +370,39 @@ class SEOFramework:
         report.offload_deadline_misses = scheduler.stats.offload_deadline_misses
         return report
 
-    def run(self, episodes: int, only_successful: bool = False) -> List[EpisodeReport]:
+    def run(
+        self,
+        episodes: int,
+        only_successful: bool = False,
+        jobs: int = 1,
+        executor: Optional["EpisodeExecutor"] = None,
+    ) -> List[EpisodeReport]:
         """Run several episodes (different obstacle placements and channel draws).
+
+        Episodes are fully determined by ``(config, episode index)``, so they
+        may execute out of process; the returned list is always ordered by
+        episode index and identical to the serial path.
 
         Args:
             episodes: Number of episodes to run.
             only_successful: When True, keep only episodes that completed the
                 route collision-free — the paper averages over 25 such runs.
+            jobs: Worker processes to spread episodes over (1 = in-process).
+            executor: Explicit :class:`repro.runtime.executor.EpisodeExecutor`
+                overriding ``jobs``.
         """
         if episodes <= 0:
             raise ValueError("episodes must be positive")
-        reports = [self.run_episode(episode) for episode in range(episodes)]
+        if executor is None:
+            if jobs == 1:
+                reports = [self.run_episode(episode) for episode in range(episodes)]
+            else:
+                # Imported here: repro.runtime imports this module at load time.
+                from repro.runtime.executor import ParallelExecutor
+
+                reports = ParallelExecutor(jobs=jobs).run(self.config, episodes)
+        else:
+            reports = executor.run(self.config, episodes)
         if only_successful:
             successful = [report for report in reports if report.success]
             return successful if successful else reports

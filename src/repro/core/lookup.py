@@ -9,8 +9,9 @@ constructed to enable real-time sampling of Delta_max values at runtime."
 states (obstacle distance, relative orientation, ego speed) and quantized
 controls, and queried at runtime in O(1).  Quantization is conservative:
 distances round *down*, speeds round *up* and the returned value is the
-minimum over the neighbouring control bins, so the table never reports a
-longer safe interval than the underlying estimator would.
+minimum over the neighbouring bearing and control bins (the bearing axis is
+circular and wraps at +-pi), so the table never reports a longer safe
+interval than the underlying estimator would.
 """
 
 from __future__ import annotations
@@ -33,7 +34,8 @@ class LookupGrid:
         max_distance_m: Largest obstacle distance represented in the table;
             larger distances saturate to the estimator horizon.
         distance_step_m: Distance resolution.
-        num_bearings: Number of bearing bins covering (-pi, pi].
+        num_bearings: Number of bearing bins covering [-pi, pi), endpoint
+            exclusive (the axis is circular, so -pi and +pi share a bin).
         max_speed_mps: Largest ego speed represented.
         speed_step_mps: Speed resolution.
         num_steering_bins: Number of steering bins covering [-1, 1].
@@ -63,8 +65,13 @@ class LookupGrid:
         return np.arange(0.0, self.max_distance_m + 1e-9, self.distance_step_m)
 
     def bearing_values(self) -> np.ndarray:
-        """Bearing grid points (radians), spanning (-pi, pi]."""
-        return np.linspace(-np.pi, np.pi, self.num_bearings)
+        """Bearing grid points (radians), spanning [-pi, pi).
+
+        The grid is endpoint-exclusive because -pi and +pi are the same
+        physical angle; including both would waste a bin and double-represent
+        the rear sector.  Queries treat the axis as circular.
+        """
+        return np.linspace(-np.pi, np.pi, self.num_bearings, endpoint=False)
 
     def speed_values(self) -> np.ndarray:
         """Speed grid points (m/s)."""
@@ -84,10 +91,10 @@ class LookupGrid:
 
     @property
     def num_entries(self) -> int:
-        """Number of table cells."""
+        """Number of table cells (each physical bearing counted once)."""
         return (
             self.distance_values().size
-            * self.num_bearings
+            * self.bearing_values().size
             * self.speed_values().size
             * self.num_steering_bins
             * self.num_throttle_bins
@@ -185,18 +192,24 @@ class DeadlineLookupTable:
                 speeds.size - 1,
             )
         )
-        bearing_index = int(np.argmin(np.abs(bearings - inputs.bearing_rad)))
+        # The bearing axis is circular: bin on wrapped angular distance so a
+        # bearing of -pi + eps maps next to +pi - eps instead of sweeping the
+        # whole grid.
+        bearing_error = _wrap_angle(bearings - inputs.bearing_rad)
+        bearing_index = int(np.argmin(np.abs(bearing_error)))
 
         clipped = control.clipped()
         steer_index = int(np.argmin(np.abs(steerings - clipped.steering)))
         throttle_index = int(np.argmin(np.abs(throttles - clipped.throttle)))
 
-        # Take the minimum over the neighbouring control bins so control
-        # quantization never extends the reported safe interval.
+        # Take the minimum over the neighbouring bearing and control bins so
+        # quantization never extends the reported safe interval; the bearing
+        # neighbourhood wraps around the rear sector.
+        bearing_indices = np.arange(bearing_index - 1, bearing_index + 2) % bearings.size
         steer_slice = _neighbour_slice(steer_index, steerings.size)
         throttle_slice = _neighbour_slice(throttle_index, throttles.size)
         cell = self.values[
-            distance_index, bearing_index, speed_index, steer_slice, throttle_slice
+            distance_index, bearing_indices, speed_index, steer_slice, throttle_slice
         ]
         return float(np.min(cell))
 
@@ -257,3 +270,8 @@ class DeadlineLookupTable:
 def _neighbour_slice(index: int, length: int) -> slice:
     """A slice covering ``index`` and its immediate neighbours."""
     return slice(max(0, index - 1), min(length, index + 2))
+
+
+def _wrap_angle(angle: np.ndarray) -> np.ndarray:
+    """Wrap angles into [-pi, pi)."""
+    return np.mod(angle + np.pi, 2.0 * np.pi) - np.pi

@@ -56,7 +56,7 @@ def run_safety_awareness_ablation(
     for aware in (True, False):
         config = replace(base, safety_aware=aware)
         framework = SEOFramework(config)
-        reports = framework.run(settings.episodes)
+        reports = framework.run(settings.episodes, jobs=settings.jobs)
         results[aware] = aggregate_reports(reports)
         unsafe[aware] = float(np.mean([report.unsafe_steps for report in reports]))
     return SafetyAwarenessAblationResult(
@@ -99,7 +99,7 @@ def run_lookup_ablation(
     for use_lookup in (True, False):
         config = replace(base, use_lookup_table=use_lookup)
         framework = SEOFramework(config)
-        summary = aggregate_reports(framework.run(settings.episodes))
+        summary = aggregate_reports(framework.run(settings.episodes, jobs=settings.jobs))
         if use_lookup:
             lookup_summary = summary
         else:

@@ -29,18 +29,23 @@ class ExperimentSettings:
         seed: Base seed for scenario generation and stochastic strategies.
         max_steps: Cap on base periods per episode.
         target_speed_mps: Controller cruise speed.
+        jobs: Worker processes episodes are spread over (1 = in-process
+            serial execution; results are identical either way).
     """
 
     episodes: int = 10
     seed: int = 0
     max_steps: int = 1200
     target_speed_mps: float = 8.0
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.episodes <= 0:
             raise ValueError("episodes must be positive")
         if self.max_steps <= 0:
             raise ValueError("max_steps must be positive")
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
 
 
 def standard_config(
@@ -90,7 +95,7 @@ def run_configuration(
 ) -> RunSummary:
     """Run one configuration for ``settings.episodes`` episodes and aggregate."""
     framework = SEOFramework(config)
-    reports = framework.run(settings.episodes)
+    reports = framework.run(settings.episodes, jobs=settings.jobs)
     return aggregate_reports(reports, only_successful=only_successful)
 
 

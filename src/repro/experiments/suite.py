@@ -1,0 +1,109 @@
+"""Scenario-suite driver: one SEO run per named scenario family.
+
+Not a paper artifact — this driver widens the workload beyond the paper's
+single obstacle course by sweeping the families registered in
+:data:`repro.sim.scenario.DEFAULT_SUITE` (dense traffic, high-speed highway,
+narrow road, ...) under one optimization method, and reporting energy gains
+and safety outcomes side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import RunSummary, aggregate_reports
+from repro.analysis.tables import format_table
+from repro.core.framework import SEOConfig, SEOFramework
+from repro.experiments.common import ExperimentSettings
+from repro.sim.scenario import DEFAULT_SUITE, ScenarioSuite
+
+
+@dataclass(frozen=True)
+class SuiteRow:
+    """Aggregate outcome of one scenario family."""
+
+    family: str
+    description: str
+    success_rate: float
+    average_gain: float
+    mean_delta_max: float
+    collisions: int
+
+
+@dataclass
+class SuiteResult:
+    """All rows of a scenario-suite run."""
+
+    optimization: str
+    rows: List[SuiteRow] = field(default_factory=list)
+    summaries: Dict[str, RunSummary] = field(default_factory=dict)
+
+    def row(self, family: str) -> SuiteRow:
+        """Return the row for one scenario family."""
+        for row in self.rows:
+            if row.family == family:
+                return row
+        raise KeyError(family)
+
+    def to_table(self) -> str:
+        """Render the suite comparison as text."""
+        rendered = [
+            [
+                row.family,
+                100.0 * row.success_rate,
+                100.0 * row.average_gain,
+                row.mean_delta_max,
+                row.collisions,
+            ]
+            for row in self.rows
+        ]
+        return format_table(
+            ["scenario", "success [%]", "avg gain [%]", "delta_max", "collisions"],
+            rendered,
+            title=f"Scenario suite — {self.optimization} optimization, filtered control",
+        )
+
+
+def run_suite(
+    settings: ExperimentSettings = ExperimentSettings(),
+    families: Optional[Sequence[str]] = None,
+    optimization: str = "offload",
+    suite: ScenarioSuite = DEFAULT_SUITE,
+) -> SuiteResult:
+    """Run every requested scenario family for ``settings.episodes`` episodes.
+
+    Args:
+        settings: Shared experiment knobs (episodes, seed, jobs, ...).
+        families: Family names to run; ``None`` runs the whole suite.
+        optimization: Energy optimization applied to the detectors.
+        suite: Registry to resolve family names against.
+    """
+    names = list(families) if families is not None else suite.names()
+    result = SuiteResult(optimization=optimization)
+    for name in names:
+        family = suite.get(name)
+        scenario = replace(family.base, seed=settings.seed)
+        config = SEOConfig(
+            scenario=scenario,
+            optimization=optimization,
+            filtered=True,
+            target_speed_mps=scenario.target_speed_mps,
+            max_steps=settings.max_steps,
+            seed=settings.seed,
+        )
+        framework = SEOFramework(config)
+        reports = framework.run(settings.episodes, jobs=settings.jobs)
+        summary = aggregate_reports(reports)
+        result.summaries[name] = summary
+        result.rows.append(
+            SuiteRow(
+                family=name,
+                description=family.description,
+                success_rate=summary.success_rate,
+                average_gain=summary.average_model_gain,
+                mean_delta_max=summary.mean_delta_max,
+                collisions=summary.collision_episodes,
+            )
+        )
+    return result

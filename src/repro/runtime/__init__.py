@@ -1,0 +1,40 @@
+"""Runtime subsystem: parallel episode execution and lookup-table caching.
+
+This package is the scaling layer between the SEO framework facade and the
+experiment drivers:
+
+* :mod:`repro.runtime.executor` — :class:`EpisodeExecutor` strategies.
+  :class:`SerialExecutor` preserves the original in-process loop;
+  :class:`ParallelExecutor` fans episodes out over a process pool and
+  returns bit-identical reports in episode order.
+* :mod:`repro.runtime.cache` — :class:`LookupTableCache`, memoizing
+  :meth:`repro.core.lookup.DeadlineLookupTable.build` per process and
+  optionally persisting tables to ``.npz`` files, so parameter sweeps
+  sharing one grid build the table exactly once.
+
+See ``docs/runtime.md`` for the design notes and CLI usage (``--jobs``).
+"""
+
+from repro.runtime.cache import (
+    LookupTableCache,
+    cache_key,
+    default_cache,
+    set_default_cache,
+)
+from repro.runtime.executor import (
+    EpisodeExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+
+__all__ = [
+    "EpisodeExecutor",
+    "LookupTableCache",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "cache_key",
+    "default_cache",
+    "make_executor",
+    "set_default_cache",
+]

@@ -22,18 +22,27 @@ from repro.sim.road import Road
 from repro.sim.obstacles import Obstacle, place_obstacles
 from repro.sim.collision import circle_hit, first_collision
 from repro.sim.world import World
-from repro.sim.scenario import ScenarioConfig, build_world
+from repro.sim.scenario import (
+    DEFAULT_SUITE,
+    ScenarioConfig,
+    ScenarioFamily,
+    ScenarioSuite,
+    build_world,
+)
 from repro.sim.observation import RangeScanner
 from repro.sim.sensors import SimulatedSensor, SensorSuite
 from repro.sim.episode import EpisodeResult, EpisodeRunner
 
 __all__ = [
+    "DEFAULT_SUITE",
     "EpisodeResult",
     "EpisodeRunner",
     "Obstacle",
     "RangeScanner",
     "Road",
     "ScenarioConfig",
+    "ScenarioFamily",
+    "ScenarioSuite",
     "SensorSuite",
     "SimulatedSensor",
     "World",

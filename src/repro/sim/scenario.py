@@ -1,9 +1,15 @@
-"""Scenario configuration: the paper's 100 m obstacle-course use case."""
+"""Scenario configuration: the paper's 100 m obstacle-course use case.
+
+Beyond the paper's single scenario, :class:`ScenarioSuite` keeps a registry
+of named scenario *families* (dense traffic, high-speed highway, narrow
+road, ...) so experiment drivers and the CLI can widen workload diversity
+without hand-writing configs.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -86,3 +92,119 @@ def build_world(
         speed_mps=config.initial_speed_mps,
     )
     return World(road=road, obstacles=obstacles, vehicle_params=params, state=start)
+
+
+# ----------------------------------------------------------------------
+# Named scenario families
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A named scenario family: a base config plus a human description."""
+
+    name: str
+    description: str
+    base: ScenarioConfig
+
+    def build(self, seed: Optional[int] = None) -> ScenarioConfig:
+        """Instantiate the family's config, optionally re-seeded."""
+        if seed is None:
+            return self.base
+        return replace(self.base, seed=seed)
+
+
+class ScenarioSuite:
+    """Registry of named scenario families.
+
+    The default suite (:data:`DEFAULT_SUITE`) ships the paper's obstacle
+    course plus three stress families; experiments and the CLI resolve
+    scenario names against it, and downstream code can register more::
+
+        DEFAULT_SUITE.register(ScenarioFamily("rush-hour", "...", config))
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, ScenarioFamily] = {}
+
+    def register(self, family: ScenarioFamily) -> ScenarioFamily:
+        """Add a family to the registry (rejects duplicate names)."""
+        if family.name in self._families:
+            raise ValueError(f"scenario family {family.name!r} already registered")
+        self._families[family.name] = family
+        return family
+
+    def get(self, name: str) -> ScenarioFamily:
+        """Look up a family by name."""
+        try:
+            return self._families[name]
+        except KeyError:
+            known = ", ".join(sorted(self._families))
+            raise KeyError(f"unknown scenario family {name!r} (known: {known})") from None
+
+    def build(self, name: str, seed: Optional[int] = None) -> ScenarioConfig:
+        """Instantiate the named family's config, optionally re-seeded."""
+        return self.get(name).build(seed=seed)
+
+    def names(self) -> List[str]:
+        """Registered family names, sorted."""
+        return sorted(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __iter__(self) -> Iterator[ScenarioFamily]:
+        return iter(self._families[name] for name in self.names())
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+
+#: The built-in suite used by the experiment drivers and the CLI.
+DEFAULT_SUITE = ScenarioSuite()
+
+DEFAULT_SUITE.register(
+    ScenarioFamily(
+        name="obstacle-course",
+        description="The paper's 100 m road with obstacles in the final third.",
+        base=ScenarioConfig(),
+    )
+)
+DEFAULT_SUITE.register(
+    ScenarioFamily(
+        name="dense-traffic",
+        description="A wider, longer road heavily populated with obstacles: sustained at-risk driving.",
+        base=ScenarioConfig(
+            road_length_m=110.0,
+            road_width_m=14.0,
+            num_obstacles=5,
+            initial_speed_mps=6.0,
+            target_speed_mps=6.0,
+        ),
+    )
+)
+DEFAULT_SUITE.register(
+    ScenarioFamily(
+        name="high-speed-highway",
+        description="Long, wide road driven near the vehicle's speed ceiling.",
+        base=ScenarioConfig(
+            road_length_m=250.0,
+            road_width_m=16.0,
+            num_obstacles=2,
+            initial_speed_mps=13.0,
+            target_speed_mps=13.0,
+        ),
+    )
+)
+DEFAULT_SUITE.register(
+    ScenarioFamily(
+        name="narrow-road",
+        description="A narrowed road: little room to steer around obstacles.",
+        base=ScenarioConfig(
+            road_width_m=9.0,
+            num_obstacles=3,
+            initial_speed_mps=6.0,
+            target_speed_mps=6.0,
+        ),
+    )
+)

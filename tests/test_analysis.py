@@ -35,6 +35,15 @@ class TestMeanAndStd:
         assert mean == pytest.approx(2.0)
         assert std == pytest.approx(1.0)
 
+    def test_accepts_numpy_arrays(self):
+        import numpy as np
+
+        # Regression: `if not values:` raised "truth value is ambiguous" here.
+        mean, std = mean_and_std(np.array([1.0, 3.0]))
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+        assert mean_and_std(np.array([])) == (0.0, 0.0)
+
 
 class TestAggregateReports:
     def test_rejects_empty_input(self):

@@ -15,6 +15,21 @@ class TestParser:
         assert args.experiment == "fig5"
         assert args.episodes == 10
         assert args.seed == 0
+        assert args.jobs == 1
+        assert args.lookup_cache is None
+
+    def test_every_subcommand_accepts_jobs(self):
+        parser = build_parser()
+        for name in list(EXPERIMENTS) + ["all", "suite"]:
+            args = parser.parse_args([name, "--jobs", "4"])
+            assert args.jobs == 4
+
+    def test_suite_subcommand_options(self):
+        args = build_parser().parse_args(
+            ["suite", "--family", "narrow-road", "--optimization", "model_gating"]
+        )
+        assert args.family == ["narrow-road"]
+        assert args.optimization == "model_gating"
 
     def test_parser_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
@@ -27,6 +42,26 @@ class TestRun:
         assert "Table III" in output
         captured = capsys.readouterr()
         assert "Table III" in captured.out
+
+    def test_run_suite_subcommand(self, capsys):
+        output = run(
+            [
+                "suite",
+                "--episodes",
+                "1",
+                "--max-steps",
+                "300",
+                "--family",
+                "narrow-road",
+            ]
+        )
+        assert "Scenario suite" in output
+        assert "narrow-road" in output
+
+    def test_run_with_jobs_matches_serial(self):
+        serial = run(["table3", "--episodes", "2", "--max-steps", "400"])
+        parallel = run(["table3", "--episodes", "2", "--max-steps", "400", "--jobs", "2"])
+        assert parallel == serial
 
     def test_run_writes_output_file(self, tmp_path):
         target = tmp_path / "fig1.txt"

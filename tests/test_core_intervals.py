@@ -11,7 +11,7 @@ from repro.core.intervals import (
     discretize_period,
 )
 from repro.core.lookup import DeadlineLookupTable, LookupGrid
-from repro.core.safety import BrakingDistanceBarrier, SafetyInputs
+from repro.core.safety import BrakingDistanceBarrier, SafetyFunction, SafetyInputs
 from repro.dynamics.state import ControlAction, VehicleState
 from repro.sim.obstacles import Obstacle
 
@@ -122,6 +122,40 @@ class TestSafeIntervalEstimator:
             # differ by at most one integration step.
             assert batch[index] == pytest.approx(scalar, abs=fast_estimator.step_s)
 
+    def test_estimate_one_matches_batch(self, fast_estimator):
+        """The scalar hot path must agree with the vectorized evaluation."""
+        cases = [
+            (3.0, 0.0, 10.0, 0.0, 0.0),
+            (6.0, 0.1, 8.0, 0.3, 0.5),
+            (9.0, -0.2, 6.0, -0.7, -0.5),
+            (15.0, 0.5, 12.0, 1.5, 2.0),  # controls beyond [-1, 1] get clipped
+            (30.0, 3.0, 4.0, 0.0, 1.0),
+            (2.0, math.pi, 9.0, 0.0, -1.0),
+        ]
+        for distance, bearing, speed, steering, throttle in cases:
+            batch = fast_estimator.estimate_batch(
+                np.array([distance]),
+                np.array([bearing]),
+                np.array([speed]),
+                np.array([steering]),
+                np.array([throttle]),
+                obstacle_radius_m=1.5,
+            )[0]
+            one = fast_estimator.estimate_one(
+                distance, bearing, speed, steering, throttle, obstacle_radius_m=1.5
+            )
+            assert one == pytest.approx(batch, abs=1e-12)
+
+    def test_estimate_one_scalar_fallback_for_custom_barrier(self):
+        class AlwaysSafe(SafetyFunction):
+            def evaluate(self, inputs, control=None):
+                return 1.0
+
+        estimator = SafeIntervalEstimator(
+            safety_function=AlwaysSafe(), horizon_s=0.08, step_s=0.01
+        )
+        assert estimator.estimate_one(5.0, 0.0, 5.0, 0.0, 0.0) == pytest.approx(0.08)
+
     def test_batch_requires_matching_shapes(self, fast_estimator):
         with pytest.raises(ValueError):
             fast_estimator.estimate_batch(
@@ -190,6 +224,69 @@ class TestDeadlineLookupTable:
         table.query(SafetyInputs(distance_m=5.0, bearing_rad=0.0, speed_mps=5.0), ControlAction())
         table.query(SafetyInputs(distance_m=5.0, bearing_rad=0.0, speed_mps=5.0), ControlAction())
         assert table.queries == 2
+
+    def test_bearing_grid_is_endpoint_exclusive(self, small_lookup_grid):
+        bearings = small_lookup_grid.bearing_values()
+        assert bearings.size == small_lookup_grid.num_bearings
+        assert bearings[0] == pytest.approx(-math.pi)
+        # -pi and +pi are the same physical angle; only one may be gridded.
+        assert np.all(bearings < math.pi)
+        wrapped = np.arctan2(np.sin(bearings), np.cos(bearings))
+        assert np.unique(np.round(wrapped, 12)).size == bearings.size
+
+    def test_query_wraps_bearing_at_pi(self, fast_estimator, small_lookup_grid):
+        """Bearings just either side of +-pi are the same rear obstacle."""
+        table = DeadlineLookupTable.build(fast_estimator, grid=small_lookup_grid)
+        control = ControlAction(throttle=0.5)
+        for epsilon in (1e-3, 0.05, 0.3):
+            rear_left = table.query(
+                SafetyInputs(
+                    distance_m=6.0, bearing_rad=math.pi - epsilon, speed_mps=8.0
+                ),
+                control,
+            )
+            rear_right = table.query(
+                SafetyInputs(
+                    distance_m=6.0, bearing_rad=-math.pi + epsilon, speed_mps=8.0
+                ),
+                control,
+            )
+            assert rear_left == pytest.approx(rear_right)
+
+    def test_rear_obstacle_not_binned_as_frontal(self, fast_estimator, small_lookup_grid):
+        """A bearing of -3.1 rad must map to the rear bin, not a distant one."""
+        table = DeadlineLookupTable.build(fast_estimator, grid=small_lookup_grid)
+        bearings = small_lookup_grid.bearing_values()
+        wrapped_error = np.arctan2(
+            np.sin(bearings - (-3.1)), np.cos(bearings - (-3.1))
+        )
+        best = int(np.argmin(np.abs(wrapped_error)))
+        # The nearest wrapped bin is the -pi (rear) bin.
+        assert bearings[best] == pytest.approx(-math.pi)
+        # And the query for the rear obstacle is never shorter than what the
+        # rear-bin neighbourhood holds (it must not fall into a frontal bin).
+        distances = small_lookup_grid.distance_values()
+        speeds = small_lookup_grid.speed_values()
+        d_idx = int(np.searchsorted(distances, 6.0, side="right") - 1)
+        s_idx = int(np.searchsorted(speeds, 8.0, side="left"))
+        neighbourhood = np.take(
+            table.values[d_idx, :, s_idx], [best - 1, best, best + 1], axis=0, mode="wrap"
+        )
+        value = table.query(
+            SafetyInputs(distance_m=6.0, bearing_rad=-3.1, speed_mps=8.0),
+            ControlAction(),
+        )
+        assert value >= float(neighbourhood.min()) - 1e-12
+
+    def test_query_bearing_conservative_across_wrap(
+        self, fast_estimator, small_lookup_grid
+    ):
+        """Quantization may never report longer intervals than the estimator."""
+        table = DeadlineLookupTable.build(fast_estimator, grid=small_lookup_grid)
+        for bearing in (-3.1, 3.1, math.pi - 1e-6, -math.pi):
+            inputs = SafetyInputs(distance_m=4.0, bearing_rad=bearing, speed_mps=10.0)
+            exact = fast_estimator.estimate_one(4.0, bearing, 10.0, 0.0, 0.0)
+            assert table.query(inputs, ControlAction()) <= exact + fast_estimator.step_s + 1e-9
 
     def test_grid_validation(self):
         with pytest.raises(ValueError):

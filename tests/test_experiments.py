@@ -123,6 +123,43 @@ class TestFigureAndTableDrivers:
             result.row("offload", None)
 
 
+class TestScenarioSuite:
+    def test_default_suite_families(self):
+        from repro.sim.scenario import DEFAULT_SUITE
+
+        names = DEFAULT_SUITE.names()
+        for expected in ("obstacle-course", "dense-traffic", "high-speed-highway", "narrow-road"):
+            assert expected in names
+
+    def test_registry_round_trip(self):
+        from repro.sim.scenario import ScenarioConfig, ScenarioFamily, ScenarioSuite
+
+        suite = ScenarioSuite()
+        family = ScenarioFamily("test", "a test family", ScenarioConfig(num_obstacles=1))
+        suite.register(family)
+        assert "test" in suite
+        assert suite.get("test") is family
+        assert suite.build("test", seed=7).seed == 7
+        with pytest.raises(ValueError):
+            suite.register(family)
+        with pytest.raises(KeyError):
+            suite.get("missing")
+
+    def test_run_suite_driver(self):
+        from repro.experiments.suite import run_suite
+
+        result = run_suite(
+            ExperimentSettings(episodes=1, max_steps=400),
+            families=("narrow-road", "obstacle-course"),
+        )
+        assert [row.family for row in result.rows] == ["narrow-road", "obstacle-course"]
+        row = result.row("narrow-road")
+        assert 0.0 <= row.success_rate <= 1.0
+        assert "Scenario suite" in result.to_table()
+        with pytest.raises(KeyError):
+            result.row("missing")
+
+
 class TestAblations:
     def test_safety_awareness_ablation(self):
         result = run_safety_awareness_ablation(FAST, num_obstacles=3)
