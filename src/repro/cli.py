@@ -12,9 +12,12 @@ Examples::
 
 Each subcommand prints the reproduced table to stdout and optionally writes
 it to a file with ``--output``.  Every subcommand accepts ``--jobs N`` to
-spread episodes over N worker processes (results are identical to the
-serial run) and ``--lookup-cache DIR`` to persist deadline lookup tables
-across invocations.
+spread episodes over N workers (``0`` = all CPU cores; results are identical
+to the serial run), ``--backend {process,thread}`` to pick the worker-pool
+flavour, and ``--lookup-cache DIR`` to persist deadline lookup tables across
+invocations.  One :class:`repro.runtime.sweep.SweepRunner` is shared by
+every experiment of an invocation, so even ``all`` constructs at most one
+worker pool.
 """
 
 from __future__ import annotations
@@ -34,6 +37,8 @@ from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.runtime.cache import LookupTableCache, set_default_cache
+from repro.runtime.executor import EXECUTOR_BACKENDS
+from repro.runtime.sweep import SweepRunner
 from repro.sim.scenario import DEFAULT_SUITE
 
 
@@ -100,6 +105,16 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _jobs_int(text: str) -> int:
+    """argparse type for ``--jobs``: an integer >= 0 (0 = all CPU cores)."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be non-negative (0 = use all CPU cores), got {value}"
+        )
+    return value
+
+
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
     """Options shared by every subcommand."""
     parser.add_argument(
@@ -111,8 +126,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--max-steps", type=_positive_int, default=1200, help="base periods per episode"
     )
     parser.add_argument(
-        "--jobs", type=_positive_int, default=1,
-        help="worker processes episodes are spread over (results match serial)",
+        "--jobs", type=_jobs_int, default=1,
+        help="workers episodes are spread over (0 = all cores; results match serial)",
+    )
+    parser.add_argument(
+        "--backend", choices=EXECUTOR_BACKENDS, default="process",
+        help="worker-pool backend (threads suit free-threaded builds)",
     )
     parser.add_argument(
         "--lookup-cache", type=Path, default=None, metavar="DIR",
@@ -158,23 +177,40 @@ def build_parser() -> argparse.ArgumentParser:
 def run(argv: Optional[Sequence[str]] = None) -> str:
     """Run the CLI and return the rendered output (also printed to stdout)."""
     args = build_parser().parse_args(argv)
-    settings = ExperimentSettings(
-        episodes=args.episodes,
-        seed=args.seed,
-        max_steps=args.max_steps,
-        jobs=args.jobs,
-    )
+    previous_cache = None
     if args.lookup_cache is not None:
-        set_default_cache(LookupTableCache(cache_dir=args.lookup_cache))
+        previous_cache = set_default_cache(
+            LookupTableCache(cache_dir=args.lookup_cache)
+        )
 
-    if args.experiment == "suite":
-        output = run_suite(
-            settings, families=args.family, optimization=args.optimization
-        ).to_table()
-    else:
-        names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-        sections = [EXPERIMENTS[name](settings) for name in names]
-        output = "\n\n".join(sections)
+    # One sweep runner — and therefore at most one worker pool — serves every
+    # experiment of this invocation (the pool is created lazily on the first
+    # parallel batch, so serial runs never spawn one).
+    try:
+        with SweepRunner(jobs=args.jobs, backend=args.backend) as runner:
+            settings = ExperimentSettings(
+                episodes=args.episodes,
+                seed=args.seed,
+                max_steps=args.max_steps,
+                jobs=args.jobs,
+                backend=args.backend,
+                runner=runner,
+            )
+            if args.experiment == "suite":
+                output = run_suite(
+                    settings, families=args.family, optimization=args.optimization
+                ).to_table()
+            else:
+                names = (
+                    sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+                )
+                sections = [EXPERIMENTS[name](settings) for name in names]
+                output = "\n\n".join(sections)
+    finally:
+        # The cache override is scoped to this invocation, like every other
+        # per-invocation knob; restore whatever was installed before.
+        if previous_cache is not None:
+            set_default_cache(previous_cache)
 
     print(output)
     if args.output is not None:

@@ -18,7 +18,7 @@ costs.  Three strategies mirror the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -229,14 +229,6 @@ class OffloadStrategy(OptimizationStrategy):
     ) -> StepExecution:
         sensor = self._sensor_energies(context.tau_s, measurement_on=True)
 
-        if context.full_slot:
-            return StepExecution(
-                action=ACTION_LOCAL,
-                fresh_output=True,
-                compute_energy_j=self._local_inference_energy_j(),
-                **sensor,
-            )
-
         response_arrived = context.interval_step in self._pending_arrivals
         if response_arrived:
             self._pending_arrivals = [
@@ -244,6 +236,24 @@ class OffloadStrategy(OptimizationStrategy):
                 for arrival in self._pending_arrivals
                 if arrival != context.interval_step
             ]
+
+        if context.full_slot:
+            if response_arrived:
+                # Exact-boundary case: the response lands at the fallback slot
+                # itself.  It meets the deadline (arrival <= fallback slot is
+                # exactly what issuance and the miss test require), so it
+                # supersedes the mandatory local run of eq. (6)'s fallback
+                # branch — re-running locally would double-pay for an output
+                # the server just delivered.
+                return StepExecution(
+                    action=ACTION_RESPONSE, fresh_output=True, **sensor
+                )
+            return StepExecution(
+                action=ACTION_LOCAL,
+                fresh_output=True,
+                compute_energy_j=self._local_inference_energy_j(),
+                **sensor,
+            )
 
         can_offload = (
             context.optimization_applicable
@@ -264,7 +274,10 @@ class OffloadStrategy(OptimizationStrategy):
             return StepExecution(action=action, fresh_output=response_arrived, **sensor)
 
         # Deadline-aware feasibility check (the delta_hat comparison of V-A):
-        # offload only when the expected response fits before the fallback slot.
+        # offload only when the expected response lands no later than the
+        # fallback slot — arriving exactly there still meets the deadline,
+        # because the full-slot branch above consumes it in place of the
+        # mandatory local run.
         delta_hat = self.planner.estimated_response_periods(context.tau_s)
         if context.interval_step + delta_hat > context.fallback_slot:
             return StepExecution(

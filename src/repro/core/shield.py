@@ -55,7 +55,11 @@ class SteeringShield:
         steer_authority: Magnitude of the corrective steering command.
         brake_authority: Magnitude of the corrective braking command.
         blend_band_m: Width of the band over which the correction is blended
-            with the raw control (full override at ``h <= 0``).
+            with the raw control.  The ramp starts at 0 where the
+            intervention starts (``h = intervention_margin_m``) and reaches
+            full override at ``h = max(0, intervention_margin_m -
+            blend_band_m)`` — the band is capped at the margin so the blend
+            is continuous and full override always holds at ``h <= 0``.
     """
 
     safety_function: SafetyFunction = field(default_factory=BrakingDistanceBarrier)
@@ -94,8 +98,16 @@ class SteeringShield:
             )
             return control, decision
 
-        # Severity grows from 0 at the margin to 1 at (and below) h = 0.
-        severity = 1.0 - max(0.0, h_value) / self.blend_band_m
+        # Severity grows from 0 exactly at the margin (so the correction is
+        # continuous where the intervention starts) to 1 at the end of the
+        # blend band, and saturates at (and below) h = 0.
+        ramp_band_m = min(self.blend_band_m, self.intervention_margin_m)
+        if ramp_band_m > 0.0:
+            severity = (self.intervention_margin_m - h_value) / ramp_band_m
+        else:
+            # A zero margin means the shield only ever acts at h < 0, where
+            # the override is total.
+            severity = 1.0
         severity = min(1.0, max(0.0, severity))
         filtered = self._compose(inputs, control, severity)
 
@@ -114,23 +126,35 @@ class SteeringShield:
     def _compose(
         self, inputs: SafetyInputs, control: ControlAction, severity: float
     ) -> ControlAction:
-        """Combine the raw control with the corrective behaviour conservatively.
+        """Blend the raw control with the fully-corrective behaviour.
 
-        The filtered action is never *less* evasive than the raw one: the
-        steering component along the chosen evasive direction is the larger
-        of the controller's and the shield's, and the throttle is the smaller
-        (more braking) of the two — except at creep speed, where a small
-        positive throttle is enforced so the manoeuvre can complete.
+        The fully-shielded action is never *less* evasive than the raw one:
+        the steering component along the chosen evasive direction is the
+        larger of the controller's and the shield's, and the throttle is the
+        smaller (more braking) of the two.  The filtered action interpolates
+        raw → fully-shielded with ``severity``, so it approaches the raw
+        control continuously as ``h`` approaches the intervention margin and
+        still lies between raw and shielded on every component (never less
+        evasive than raw).
+
+        Exception: at creep speed the corrective throttle (small and
+        positive) is applied in full as soon as the shield intervenes —
+        anti-stall takes precedence over blend continuity, otherwise a
+        braking controller could pin the blended throttle negative and
+        freeze the vehicle inside the intervention band.
         """
         away_direction, corrective = self._corrective_action(inputs)
-        corrective_steer_mag = severity * abs(corrective.steering)
         raw_along_away = control.steering * away_direction
-        steering = away_direction * max(raw_along_away, corrective_steer_mag)
+        shielded_steering = away_direction * max(
+            raw_along_away, abs(corrective.steering)
+        )
+        steering = (1.0 - severity) * control.steering + severity * shielded_steering
 
         if inputs.speed_mps <= self.creep_speed_mps:
             throttle = corrective.throttle
         else:
-            throttle = min(control.throttle, severity * corrective.throttle)
+            shielded_throttle = min(control.throttle, corrective.throttle)
+            throttle = (1.0 - severity) * control.throttle + severity * shielded_throttle
         return ControlAction(steering=steering, throttle=throttle).clipped()
 
     def _corrective_action(self, inputs: SafetyInputs) -> Tuple[float, ControlAction]:

@@ -18,13 +18,11 @@ Two ablations motivated by DESIGN.md:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
 
 import numpy as np
 
 from repro.analysis.metrics import RunSummary, aggregate_reports
-from repro.core.framework import SEOFramework
-from repro.experiments.common import ExperimentSettings, standard_config
+from repro.experiments.common import ExperimentSettings, run_batch, standard_config
 
 
 @dataclass
@@ -51,17 +49,17 @@ def run_safety_awareness_ablation(
     base = standard_config(
         settings, optimization=optimization, filtered=True, num_obstacles=num_obstacles
     )
-    results: Dict[bool, RunSummary] = {}
-    unsafe: Dict[bool, float] = {}
-    for aware in (True, False):
-        config = replace(base, safety_aware=aware)
-        framework = SEOFramework(config)
-        reports = framework.run(settings.episodes, jobs=settings.jobs)
-        results[aware] = aggregate_reports(reports)
-        unsafe[aware] = float(np.mean([report.unsafe_steps for report in reports]))
+    batch = run_batch(
+        {aware: replace(base, safety_aware=aware) for aware in (True, False)},
+        settings,
+    )
+    unsafe = {
+        aware: float(np.mean([report.unsafe_steps for report in reports]))
+        for aware, reports in batch.items()
+    }
     return SafetyAwarenessAblationResult(
-        aware=results[True],
-        oblivious=results[False],
+        aware=aggregate_reports(batch[True]),
+        oblivious=aggregate_reports(batch[False]),
         aware_unsafe_steps=unsafe[True],
         oblivious_unsafe_steps=unsafe[False],
     )
@@ -94,14 +92,13 @@ def run_lookup_ablation(
     base = standard_config(
         settings, optimization=optimization, filtered=True, num_obstacles=num_obstacles
     )
-    lookup_summary = None
-    exact_summary = None
-    for use_lookup in (True, False):
-        config = replace(base, use_lookup_table=use_lookup)
-        framework = SEOFramework(config)
-        summary = aggregate_reports(framework.run(settings.episodes, jobs=settings.jobs))
-        if use_lookup:
-            lookup_summary = summary
-        else:
-            exact_summary = summary
-    return LookupAblationResult(lookup=lookup_summary, exact=exact_summary)
+    batch = run_batch(
+        {
+            use_lookup: replace(base, use_lookup_table=use_lookup)
+            for use_lookup in (True, False)
+        },
+        settings,
+    )
+    return LookupAblationResult(
+        lookup=aggregate_reports(batch[True]), exact=aggregate_reports(batch[False])
+    )

@@ -1,14 +1,25 @@
-"""Shared configuration builders for the experiment drivers."""
+"""Shared configuration builders and sweep plumbing for the experiment drivers.
+
+Every driver declares its artifact as a *batch* of named configurations and
+runs it through :func:`run_batch` / :func:`run_summaries`, which route the
+work into a :class:`repro.runtime.sweep.SweepRunner`.  When
+``settings.runner`` is set (the CLI does this), every driver of an
+invocation shares that runner — and therefore at most one worker pool;
+otherwise each call owns a short-lived runner of its own.  Either way the
+reports are bit-identical to the serial per-config path.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, List, Mapping, Optional
 
 from repro.analysis.metrics import RunSummary, aggregate_reports
-from repro.core.framework import SEOConfig, SEOFramework
+from repro.core.framework import EpisodeReport, SEOConfig
 from repro.platform.presets import ZED_CAMERA, ZERO_POWER_SENSOR
 from repro.platform.sensors import SensorPowerSpec
+from repro.runtime.executor import EXECUTOR_BACKENDS
+from repro.runtime.sweep import SweepRunner, sweep_jobs
 from repro.sim.scenario import ScenarioConfig
 
 #: Number of obstacles in the "default" evaluation scenario used by Fig. 5 /
@@ -29,8 +40,13 @@ class ExperimentSettings:
         seed: Base seed for scenario generation and stochastic strategies.
         max_steps: Cap on base periods per episode.
         target_speed_mps: Controller cruise speed.
-        jobs: Worker processes episodes are spread over (1 = in-process
-            serial execution; results are identical either way).
+        jobs: Workers episodes are spread over (1 = in-process serial
+            execution, 0 = all CPU cores; results are identical either way).
+        backend: Worker-pool backend, ``"process"`` or ``"thread"``.
+        runner: Optional shared :class:`~repro.runtime.sweep.SweepRunner`.
+            When set, every driver batch funnels into it (one pool per
+            invocation); when ``None``, each batch owns a transient runner
+            built from ``jobs``/``backend``.
     """
 
     episodes: int = 10
@@ -38,14 +54,28 @@ class ExperimentSettings:
     max_steps: int = 1200
     target_speed_mps: float = 8.0
     jobs: int = 1
+    backend: str = "process"
+    runner: Optional[SweepRunner] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.episodes <= 0:
             raise ValueError("episodes must be positive")
         if self.max_steps <= 0:
             raise ValueError("max_steps must be positive")
-        if self.jobs < 1:
-            raise ValueError("jobs must be at least 1")
+        if self.jobs < 0:
+            raise ValueError("jobs must be non-negative (0 = use all CPU cores)")
+        if self.backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown backend: {self.backend!r} (choose from {EXECUTOR_BACKENDS})"
+            )
+
+
+def default_detector_sensor(optimization: str) -> SensorPowerSpec:
+    """The paper's per-method sensor accounting: offloading experiments
+    consider only compute and transmission energy (eq. 7 — a zero-power
+    sensor), while gating experiments include the camera front-end (eq. 8).
+    """
+    return ZERO_POWER_SENSOR if optimization == "offload" else ZED_CAMERA
 
 
 def standard_config(
@@ -60,16 +90,12 @@ def standard_config(
 ) -> SEOConfig:
     """Build the paper's standard two-detector configuration.
 
-    The sensor attached to the detectors follows the paper's accounting:
-    offloading experiments consider only compute and transmission energy
-    (eq. 7 — a zero-power sensor), while gating experiments include the
-    camera front-end (eq. 8).  Pass ``detector_sensor`` explicitly to
-    override (Table III does, with radar and LiDAR specifications).
+    The detector sensor defaults to :func:`default_detector_sensor`'s
+    per-method accounting; pass ``detector_sensor`` explicitly to override
+    (Table III does, with radar and LiDAR specifications).
     """
     if detector_sensor is None:
-        detector_sensor = (
-            ZERO_POWER_SENSOR if optimization == "offload" else ZED_CAMERA
-        )
+        detector_sensor = default_detector_sensor(optimization)
     scenario = ScenarioConfig(
         num_obstacles=num_obstacles,
         target_speed_mps=settings.target_speed_mps,
@@ -90,13 +116,41 @@ def standard_config(
     )
 
 
+def run_batch(
+    configs: Mapping[Hashable, SEOConfig], settings: ExperimentSettings
+) -> Dict[Hashable, List[EpisodeReport]]:
+    """Run every named config for ``settings.episodes`` episodes in one sweep.
+
+    All episodes of all configs share one worker pool: the shared
+    ``settings.runner`` when present, otherwise a runner scoped to this
+    call.  Reports come back keyed like ``configs``, in episode order.
+    """
+    jobs = sweep_jobs(configs, settings.episodes)
+    if settings.runner is not None:
+        return settings.runner.run(jobs)
+    with SweepRunner(jobs=settings.jobs, backend=settings.backend) as runner:
+        return runner.run(jobs)
+
+
+def run_summaries(
+    configs: Mapping[Hashable, SEOConfig],
+    settings: ExperimentSettings,
+    only_successful: bool = True,
+) -> Dict[Hashable, RunSummary]:
+    """Run a config batch through the shared pool and aggregate each job."""
+    return {
+        key: aggregate_reports(reports, only_successful=only_successful)
+        for key, reports in run_batch(configs, settings).items()
+    }
+
+
 def run_configuration(
     config: SEOConfig, settings: ExperimentSettings, only_successful: bool = True
 ) -> RunSummary:
     """Run one configuration for ``settings.episodes`` episodes and aggregate."""
-    framework = SEOFramework(config)
-    reports = framework.run(settings.episodes, jobs=settings.jobs)
-    return aggregate_reports(reports, only_successful=only_successful)
+    return run_summaries(
+        {"configuration": config}, settings, only_successful=only_successful
+    )["configuration"]
 
 
 def with_obstacles(config: SEOConfig, num_obstacles: int) -> SEOConfig:

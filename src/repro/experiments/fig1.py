@@ -17,7 +17,7 @@ from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
 from repro.experiments.common import (
     ExperimentSettings,
-    run_configuration,
+    run_summaries,
     standard_config,
 )
 
@@ -65,16 +65,18 @@ def run_fig1(
     obstacle_counts: Tuple[int, ...] = FIG1_OBSTACLE_COUNTS,
 ) -> Fig1Result:
     """Regenerate the motivational Fig. 1 (model gating, filtered control)."""
-    result = Fig1Result(tau_s=tau_s)
-    for count in obstacle_counts:
-        config = standard_config(
+    configs = {
+        count: standard_config(
             settings,
             optimization="model_gating",
             filtered=True,
             tau_s=tau_s,
             num_obstacles=count,
         )
-        summary = run_configuration(config, settings)
+        for count in obstacle_counts
+    }
+    result = Fig1Result(tau_s=tau_s)
+    for count, summary in run_summaries(configs, settings).items():
         result.summaries[count] = summary
         for name, gain_summary in summary.model_gains.items():
             result.normalized_energy[(name, count)] = 1.0 - gain_summary.mean_gain

@@ -16,7 +16,7 @@ from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
 from repro.experiments.common import (
     ExperimentSettings,
-    run_configuration,
+    run_summaries,
     standard_config,
 )
 
@@ -61,16 +61,18 @@ def run_fig5(
     settings: ExperimentSettings = ExperimentSettings(), tau_s: float = 0.02
 ) -> Fig5Result:
     """Regenerate Fig. 5 (both optimization methods, both control cases)."""
+    cells = {
+        (method, filtered): standard_config(
+            settings, optimization=method, filtered=filtered, tau_s=tau_s
+        )
+        for method in FIG5_METHODS
+        for filtered in (False, True)
+    }
     result = Fig5Result(tau_s=tau_s)
-    for method in FIG5_METHODS:
-        for filtered in (False, True):
-            config = standard_config(
-                settings, optimization=method, filtered=filtered, tau_s=tau_s
-            )
-            summary = run_configuration(config, settings)
-            result.summaries[(method, filtered)] = summary
-            result.gains[(method, filtered)] = {
-                name: gain_summary.mean_gain
-                for name, gain_summary in summary.model_gains.items()
-            }
+    for cell, summary in run_summaries(cells, settings).items():
+        result.summaries[cell] = summary
+        result.gains[cell] = {
+            name: gain_summary.mean_gain
+            for name, gain_summary in summary.model_gains.items()
+        }
     return result

@@ -17,7 +17,7 @@ from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
 from repro.experiments.common import (
     ExperimentSettings,
-    run_configuration,
+    run_summaries,
     standard_config,
 )
 
@@ -65,19 +65,19 @@ def run_fig6(
     obstacle_counts: Tuple[int, ...] = FIG6_OBSTACLE_COUNTS,
 ) -> Fig6Result:
     """Regenerate Fig. 6 (unfiltered by default, as in the paper)."""
+    cells = {
+        (method, count): standard_config(
+            settings,
+            optimization=method,
+            filtered=filtered,
+            num_obstacles=count,
+        )
+        for method in FIG6_METHODS
+        for count in obstacle_counts
+    }
     result = Fig6Result(filtered=filtered)
-    for method in FIG6_METHODS:
-        for count in obstacle_counts:
-            config = standard_config(
-                settings,
-                optimization=method,
-                filtered=filtered,
-                num_obstacles=count,
-            )
-            summary = run_configuration(config, settings)
-            result.summaries[(method, count)] = summary
-            result.histograms[(method, count)] = delta_histogram(
-                summary.delta_max_samples
-            )
-            result.average_gains[(method, count)] = summary.average_model_gain
+    for cell, summary in run_summaries(cells, settings).items():
+        result.summaries[cell] = summary
+        result.histograms[cell] = delta_histogram(summary.delta_max_samples)
+        result.average_gains[cell] = summary.average_model_gain
     return result

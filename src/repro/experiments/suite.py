@@ -12,10 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.metrics import RunSummary, aggregate_reports
+from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
-from repro.core.framework import SEOConfig, SEOFramework
-from repro.experiments.common import ExperimentSettings
+from repro.core.framework import SEOConfig
+from repro.experiments.common import (
+    ExperimentSettings,
+    default_detector_sensor,
+    run_summaries,
+)
 from repro.sim.scenario import DEFAULT_SUITE, ScenarioSuite
 
 
@@ -80,26 +84,30 @@ def run_suite(
         suite: Registry to resolve family names against.
     """
     names = list(families) if families is not None else suite.names()
-    result = SuiteResult(optimization=optimization)
+    # Same per-method sensor accounting as the paper-artifact drivers —
+    # without it, sensor gating would report meaningless ~0 gains.
+    detector_sensor = default_detector_sensor(optimization)
+    configs = {}
     for name in names:
-        family = suite.get(name)
-        scenario = replace(family.base, seed=settings.seed)
-        config = SEOConfig(
+        scenario = replace(suite.get(name).base, seed=settings.seed)
+        configs[name] = SEOConfig(
             scenario=scenario,
             optimization=optimization,
             filtered=True,
+            detector_sensor=detector_sensor,
             target_speed_mps=scenario.target_speed_mps,
             max_steps=settings.max_steps,
             seed=settings.seed,
         )
-        framework = SEOFramework(config)
-        reports = framework.run(settings.episodes, jobs=settings.jobs)
-        summary = aggregate_reports(reports)
+    summaries = run_summaries(configs, settings)
+    result = SuiteResult(optimization=optimization)
+    for name in names:
+        summary = summaries[name]
         result.summaries[name] = summary
         result.rows.append(
             SuiteRow(
                 family=name,
-                description=family.description,
+                description=suite.get(name).description,
                 success_rate=summary.success_rate,
                 average_gain=summary.average_model_gain,
                 mean_delta_max=summary.mean_delta_max,

@@ -15,7 +15,7 @@ from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
 from repro.experiments.common import (
     ExperimentSettings,
-    run_configuration,
+    run_summaries,
     standard_config,
 )
 
@@ -75,21 +75,23 @@ def run_table1(
     settings: ExperimentSettings = ExperimentSettings(), tau_s: float = 0.025
 ) -> Table1Result:
     """Regenerate Table I (tau = 25 ms)."""
+    cells = {
+        (method, filtered): standard_config(
+            settings, optimization=method, filtered=filtered, tau_s=tau_s
+        )
+        for method in TABLE1_METHODS
+        for filtered in (False, True)
+    }
     result = Table1Result(tau_s=tau_s)
-    for method in TABLE1_METHODS:
-        for filtered in (False, True):
-            config = standard_config(
-                settings, optimization=method, filtered=filtered, tau_s=tau_s
+    for (method, filtered), summary in run_summaries(cells, settings).items():
+        result.summaries[(method, filtered)] = summary
+        names = sorted(summary.model_gains)
+        result.rows.append(
+            Table1Row(
+                method=method,
+                filtered=filtered,
+                gain_p1=summary.gain_for(names[0]) if names else 0.0,
+                gain_p2=summary.gain_for(names[1]) if len(names) > 1 else 0.0,
             )
-            summary = run_configuration(config, settings)
-            result.summaries[(method, filtered)] = summary
-            names = sorted(summary.model_gains)
-            result.rows.append(
-                Table1Row(
-                    method=method,
-                    filtered=filtered,
-                    gain_p1=summary.gain_for(names[0]) if names else 0.0,
-                    gain_p2=summary.gain_for(names[1]) if len(names) > 1 else 0.0,
-                )
-            )
+        )
     return result

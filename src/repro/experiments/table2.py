@@ -17,7 +17,7 @@ from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
 from repro.experiments.common import (
     ExperimentSettings,
-    run_configuration,
+    run_summaries,
     standard_config,
 )
 
@@ -78,30 +78,39 @@ def run_table2(
     obstacle_counts: Tuple[int, ...] = TABLE2_OBSTACLE_COUNTS,
 ) -> Table2Result:
     """Regenerate Table II."""
+    methods = ("offload", "model_gating")
+    cells = {
+        (method, filtered, count): standard_config(
+            settings,
+            optimization=method,
+            filtered=filtered,
+            tau_s=tau_s,
+            num_obstacles=count,
+        )
+        for filtered in (False, True)
+        for count in obstacle_counts
+        for method in methods
+    }
+    summaries = run_summaries(cells, settings)
     result = Table2Result(tau_s=tau_s)
+    result.summaries.update(summaries)
     for filtered in (False, True):
         for count in obstacle_counts:
-            per_method_gain = {}
-            mean_delta = 0.0
-            for method in ("offload", "model_gating"):
-                config = standard_config(
-                    settings,
-                    optimization=method,
-                    filtered=filtered,
-                    tau_s=tau_s,
-                    num_obstacles=count,
-                )
-                summary = run_configuration(config, settings)
-                result.summaries[(method, filtered, count)] = summary
-                per_method_gain[method] = summary.average_model_gain
-                mean_delta = summary.mean_delta_max
+            # The reported delta_max column comes from the gating run (the
+            # last method of the pre-sweep serial loop, kept for parity).
             result.rows.append(
                 Table2Row(
                     filtered=filtered,
                     num_obstacles=count,
-                    offloading_gain=per_method_gain["offload"],
-                    gating_gain=per_method_gain["model_gating"],
-                    mean_delta_max=mean_delta,
+                    offloading_gain=summaries[
+                        ("offload", filtered, count)
+                    ].average_model_gain,
+                    gating_gain=summaries[
+                        ("model_gating", filtered, count)
+                    ].average_model_gain,
+                    mean_delta_max=summaries[
+                        ("model_gating", filtered, count)
+                    ].mean_delta_max,
                 )
             )
     return result

@@ -20,7 +20,7 @@ from repro.core.energy import expected_gating_gain
 from repro.core.models import SensoryModel
 from repro.experiments.common import (
     ExperimentSettings,
-    run_configuration,
+    run_summaries,
     standard_config,
 )
 from repro.platform.presets import (
@@ -89,16 +89,21 @@ def run_table3(
     sensors: tuple = TABLE3_SENSORS,
 ) -> Table3Result:
     """Regenerate Table III (sensor gating, filtered control)."""
-    result = Table3Result(tau_s=tau_s)
-    for sensor in sensors:
-        config = standard_config(
+    configs = {
+        sensor.name: standard_config(
             settings,
             optimization="sensor_gating",
             filtered=True,
             tau_s=tau_s,
             detector_sensor=sensor,
         )
-        summary = run_configuration(config, settings)
+        for sensor in sensors
+    }
+    summaries = run_summaries(configs, settings)
+    result = Table3Result(tau_s=tau_s)
+    for sensor in sensors:
+        config = configs[sensor.name]
+        summary = summaries[sensor.name]
         result.summaries[sensor.name] = summary
         for multiple in config.detector_period_multiples:
             model_name = config.detector_name(multiple)

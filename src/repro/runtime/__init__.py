@@ -5,14 +5,20 @@ experiment drivers:
 
 * :mod:`repro.runtime.executor` — :class:`EpisodeExecutor` strategies.
   :class:`SerialExecutor` preserves the original in-process loop;
-  :class:`ParallelExecutor` fans episodes out over a process pool and
-  returns bit-identical reports in episode order.
+  :class:`ParallelExecutor` (process pool) and :class:`ThreadExecutor`
+  (thread pool) fan episodes out and return bit-identical reports in
+  episode order.
+* :mod:`repro.runtime.sweep` — :class:`SweepRunner`, the batched
+  multi-config sweep engine: all episodes of all configs of a batch share
+  one worker pool, and one runner (hence at most one pool) can serve every
+  batch of a CLI invocation.
 * :mod:`repro.runtime.cache` — :class:`LookupTableCache`, memoizing
   :meth:`repro.core.lookup.DeadlineLookupTable.build` per process and
   optionally persisting tables to ``.npz`` files, so parameter sweeps
   sharing one grid build the table exactly once.
 
-See ``docs/runtime.md`` for the design notes and CLI usage (``--jobs``).
+See ``docs/runtime.md`` for the design notes and CLI usage
+(``--jobs``/``--backend``).
 """
 
 from repro.runtime.cache import (
@@ -22,19 +28,30 @@ from repro.runtime.cache import (
     set_default_cache,
 )
 from repro.runtime.executor import (
+    EXECUTOR_BACKENDS,
     EpisodeExecutor,
     ParallelExecutor,
     SerialExecutor,
+    ThreadExecutor,
     make_executor,
+    resolve_jobs,
 )
+from repro.runtime.sweep import SweepJob, SweepRunner, pool_constructions, sweep_jobs
 
 __all__ = [
+    "EXECUTOR_BACKENDS",
     "EpisodeExecutor",
     "LookupTableCache",
     "ParallelExecutor",
     "SerialExecutor",
+    "SweepJob",
+    "SweepRunner",
+    "ThreadExecutor",
     "cache_key",
     "default_cache",
     "make_executor",
+    "pool_constructions",
+    "resolve_jobs",
     "set_default_cache",
+    "sweep_jobs",
 ]

@@ -1,0 +1,207 @@
+"""Batched multi-config sweeps sharing one worker pool.
+
+Every paper artifact (Fig. 1/5/6, Tables I-III, the ablations, the scenario
+suite) is a *sweep*: the same episode loop evaluated over a batch of named
+:class:`~repro.core.framework.SEOConfig` variants.  Before this module each
+experiment driver built its own executor per config, so ``cli all --jobs 8``
+span up and tore down a process pool per table cell.  :class:`SweepRunner`
+makes the sweep a first-class object instead: it accepts a batch of
+:class:`SweepJob` entries, fans **all episodes of all configs** into one
+shared worker pool, and routes the reports back per job in episode order.
+
+Because episodes are fully determined by ``(config, episode index)`` (see
+:mod:`repro.runtime.executor`), interleaving configs in one pool cannot
+change any report: the results are bit-identical to running each config
+through the serial path.
+
+The pool is created lazily on the first parallel batch and reused by every
+subsequent :meth:`SweepRunner.run` call, so a CLI invocation that regenerates
+every artifact constructs at most one pool.  Two backends are supported:
+
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`; each
+  worker memoizes one framework per config and inherits the parent's
+  lookup-cache directory.
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; workers
+  share the parent's in-process lookup cache (one table build per sweep) and
+  avoid spawn/pickling cost.  Full parallelism needs a free-threaded build.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+
+from repro.core.framework import EpisodeReport, SEOConfig
+from repro.runtime.cache import default_cache
+from repro.runtime.executor import (
+    EXECUTOR_BACKENDS,
+    SerialExecutor,
+    _init_worker,
+    _run_episode_task,
+    _run_episode_task_threaded,
+    resolve_jobs,
+)
+
+__all__ = [
+    "SweepJob",
+    "SweepRunner",
+    "sweep_jobs",
+    "pool_constructions",
+]
+
+#: Process-wide count of worker pools constructed by sweep runners.  Tests
+#: (and the CLI acceptance criterion "one pool per invocation") assert on
+#: deltas of this counter.
+_POOL_CONSTRUCTIONS = 0
+
+
+def pool_constructions() -> int:
+    """Total worker pools constructed by :class:`SweepRunner` in this process."""
+    return _POOL_CONSTRUCTIONS
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One named entry of a sweep batch.
+
+    Attributes:
+        key: Identifier the job's reports are routed back under.  Any
+            hashable works; drivers typically use the cell coordinates of
+            their artifact (``("offload", True)``, an obstacle count, ...).
+        config: The configuration to run.
+        episodes: Number of episodes (indices ``0 .. episodes-1``).
+    """
+
+    key: Hashable
+    config: SEOConfig
+    episodes: int
+
+    def __post_init__(self) -> None:
+        if self.episodes <= 0:
+            raise ValueError("episodes must be positive")
+
+
+def sweep_jobs(
+    configs: Mapping[Hashable, SEOConfig], episodes: int
+) -> List[SweepJob]:
+    """Build a job batch running every named config for ``episodes`` episodes."""
+    return [
+        SweepJob(key=key, config=config, episodes=episodes)
+        for key, config in configs.items()
+    ]
+
+
+class SweepRunner:
+    """Run batches of ``(config, episodes)`` jobs over one shared worker pool.
+
+    The runner owns at most one live pool: the first parallel :meth:`run`
+    creates it, later calls reuse it, and :meth:`close` (or exiting the
+    context manager) shuts it down — after which the runner refuses further
+    batches instead of silently leaking a fresh pool.  With ``jobs == 1`` no
+    pool is ever created and every job runs through
+    :class:`~repro.runtime.executor.SerialExecutor` in submission order —
+    either way the reports are bit-identical.
+
+    Args:
+        jobs: Worker count; ``jobs <= 0`` selects ``os.cpu_count()`` and
+            ``jobs == 1`` keeps everything serial and in-process.
+        backend: ``"process"`` (default) or ``"thread"``.
+    """
+
+    def __init__(self, jobs: int = 1, backend: str = "process") -> None:
+        if backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown sweep backend: {backend!r} (choose from {EXECUTOR_BACKENDS})"
+            )
+        self.backend = backend
+        self.workers = resolve_jobs(jobs)
+        self.pools_created = 0
+        self._pool: Optional[Executor] = None
+        self._closed = False
+        self._serial = SerialExecutor()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the shared pool (if any) and refuse further batches."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> Executor:
+        global _POOL_CONSTRUCTIONS
+        if self._pool is None:
+            if self.backend == "process":
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(default_cache().cache_dir,),
+                )
+            else:
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            self.pools_created += 1
+            _POOL_CONSTRUCTIONS += 1
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, jobs: Sequence[SweepJob]
+    ) -> Dict[Hashable, List[EpisodeReport]]:
+        """Run a batch of jobs and route reports back per key, episode-ordered.
+
+        Every episode of every job is submitted to the shared pool up front,
+        so the whole batch drains with full parallelism instead of config by
+        config.  Results are bit-identical to the serial per-config path.
+        A failing episode fails the batch fast: queued episodes are cancelled
+        rather than drained before the error surfaces.
+        """
+        if self._closed:
+            raise RuntimeError("SweepRunner is closed; create a new one")
+        keys = [job.key for job in jobs]
+        if len(set(keys)) != len(keys):
+            raise ValueError("sweep job keys must be unique within a batch")
+        if not jobs:
+            return {}
+        if self.workers <= 1:
+            return {job.key: self._serial.run(job.config, job.episodes) for job in jobs}
+
+        pool = self._ensure_pool()
+        task = (
+            _run_episode_task
+            if self.backend == "process"
+            else _run_episode_task_threaded
+        )
+        futures = {
+            job.key: [
+                pool.submit(task, job.config, episode)
+                for episode in range(job.episodes)
+            ]
+            for job in jobs
+        }
+        results: Dict[Hashable, List[EpisodeReport]] = {}
+        try:
+            for key, job_futures in futures.items():
+                results[key] = [future.result() for future in job_futures]
+        except BaseException:
+            # Fail fast: drop the queued episodes instead of letting the
+            # pool drain the rest of the sweep before the error surfaces.
+            # A later run() may lazily build a replacement pool.
+            pool.shutdown(cancel_futures=True)
+            self._pool = None
+            raise
+        return results
+
+    def run_one(self, config: SEOConfig, episodes: int) -> List[EpisodeReport]:
+        """Convenience wrapper: run a single config through the shared pool."""
+        return self.run([SweepJob(key="job", config=config, episodes=episodes)])["job"]

@@ -16,13 +16,25 @@ class TestParser:
         assert args.episodes == 10
         assert args.seed == 0
         assert args.jobs == 1
+        assert args.backend == "process"
         assert args.lookup_cache is None
 
     def test_every_subcommand_accepts_jobs(self):
         parser = build_parser()
         for name in list(EXPERIMENTS) + ["all", "suite"]:
-            args = parser.parse_args([name, "--jobs", "4"])
+            args = parser.parse_args([name, "--jobs", "4", "--backend", "thread"])
             assert args.jobs == 4
+            assert args.backend == "thread"
+
+    def test_jobs_zero_means_auto(self):
+        # Regression: ParallelExecutor documents jobs <= 0 as "use all CPU
+        # cores", so the CLI must accept --jobs 0 rather than reject it.
+        args = build_parser().parse_args(["fig5", "--jobs", "0"])
+        assert args.jobs == 0
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--jobs", "-1"])
 
     def test_suite_subcommand_options(self):
         args = build_parser().parse_args(
@@ -62,6 +74,60 @@ class TestRun:
         serial = run(["table3", "--episodes", "2", "--max-steps", "400"])
         parallel = run(["table3", "--episodes", "2", "--max-steps", "400", "--jobs", "2"])
         assert parallel == serial
+
+    def test_run_with_thread_backend_matches_serial(self):
+        serial = run(["table3", "--episodes", "2", "--max-steps", "400"])
+        threaded = run(
+            [
+                "table3",
+                "--episodes", "2",
+                "--max-steps", "400",
+                "--jobs", "2",
+                "--backend", "thread",
+            ]
+        )
+        assert threaded == serial
+
+    def test_all_constructs_at_most_one_pool(self, monkeypatch):
+        """Acceptance: one invocation shares one worker pool across drivers.
+
+        EXPERIMENTS is narrowed to two cheap drivers so the test stays fast;
+        the plumbing under test (one SweepRunner threaded through every
+        driver of the invocation) is exactly the production `all` path.
+        """
+        from repro import cli
+        from repro.runtime import sweep
+
+        monkeypatch.setattr(
+            cli,
+            "EXPERIMENTS",
+            {name: cli.EXPERIMENTS[name] for name in ("table3", "fig1")},
+        )
+        before = sweep.pool_constructions()
+        run(["all", "--episodes", "2", "--max-steps", "300", "--jobs", "2"])
+        assert sweep.pool_constructions() - before == 1
+
+    def test_lookup_cache_override_is_scoped_to_invocation(self, tmp_path):
+        from repro.runtime.cache import default_cache
+
+        before = default_cache()
+        run(
+            [
+                "table3",
+                "--episodes", "1",
+                "--max-steps", "300",
+                "--lookup-cache", str(tmp_path),
+            ]
+        )
+        assert list(tmp_path.glob("*.npz"))  # tables persisted during the run
+        assert default_cache() is before  # but the process-wide cache is restored
+
+    def test_serial_invocation_builds_no_pool(self):
+        from repro.runtime import sweep
+
+        before = sweep.pool_constructions()
+        run(["table3", "--episodes", "1", "--max-steps", "300"])
+        assert sweep.pool_constructions() == before
 
     def test_run_writes_output_file(self, tmp_path):
         target = tmp_path / "fig1.txt"

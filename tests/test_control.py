@@ -1,8 +1,5 @@
 """Tests for the controllers and the aggregated control inputs."""
 
-import math
-
-import numpy as np
 import pytest
 
 from repro.control.base import ControlInputs

@@ -11,7 +11,7 @@ from repro.core.intervals import (
     discretize_period,
 )
 from repro.core.lookup import DeadlineLookupTable, LookupGrid
-from repro.core.safety import BrakingDistanceBarrier, SafetyFunction, SafetyInputs
+from repro.core.safety import SafetyFunction, SafetyInputs
 from repro.dynamics.state import ControlAction, VehicleState
 from repro.sim.obstacles import Obstacle
 

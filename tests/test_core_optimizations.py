@@ -1,6 +1,5 @@
 """Tests for the optimization strategies (Omega)."""
 
-import numpy as np
 import pytest
 
 from repro.comm.offload import OffloadPlanner
@@ -9,6 +8,7 @@ from repro.core.optimizations import (
     ACTION_IDLE,
     ACTION_LOCAL,
     ACTION_OFFLOAD,
+    ACTION_RESPONSE,
     ACTION_SENSOR_GATED,
     GatingStrategy,
     LocalOnlyStrategy,
@@ -167,6 +167,105 @@ class TestOffloadStrategy:
         strategy.begin_interval(1, 4, rng)
         execution = strategy.execute_period(_context(1, 1, 4, natural=False, full=False), rng)
         assert not execution.fresh_output
+
+
+class _FixedPlanner:
+    """Stub planner with a pinned estimate and a pinned realized round trip."""
+
+    def __init__(self, estimate_periods, sample_periods=None):
+        self.estimate_periods = estimate_periods
+        self.sample_periods = (
+            sample_periods if sample_periods is not None else estimate_periods
+        )
+
+    def estimated_response_periods(self, tau_s):
+        return self.estimate_periods
+
+    def sample(self, tau_s, rng):
+        from repro.comm.offload import OffloadOutcome
+
+        return OffloadOutcome(
+            transmission_time_s=self.sample_periods * tau_s,
+            round_trip_s=self.sample_periods * tau_s,
+            transmission_energy_j=0.01,
+            response_periods=self.sample_periods,
+        )
+
+
+class TestOffloadDeadlineBoundary:
+    """Regression for the exact-boundary case ``arrival == fallback_slot``.
+
+    Issuance (``interval_step + delta_hat <= fallback_slot``) and the miss
+    test (``arrival > fallback_slot``) both say a response landing exactly at
+    the fallback slot meets the deadline — but the full-slot branch used to
+    run the mandatory local model without ever checking pending arrivals, so
+    such a response was silently dropped: transmission energy and a full
+    local inference were both paid and the server output discarded.  Per
+    eq. (6) the fallback local run exists to cover *late* offloads; a
+    response arriving at the fallback slot supersedes it.
+    """
+
+    def test_expected_arrival_at_fallback_slot_is_feasible(self, rng):
+        # delta_i = 1, delta_max = 4 -> fallback slot at n = 3.  From n = 0 an
+        # estimated 3-period round trip lands exactly on the fallback slot,
+        # which still meets the deadline: the offload must be issued.
+        strategy = OffloadStrategy(
+            _model(sensor=ZERO_POWER_SENSOR), planner=_FixedPlanner(3)
+        )
+        strategy.begin_interval(1, 4, rng)
+        execution = strategy.execute_period(_context(0, 1, 4), rng)
+        assert execution.action == ACTION_OFFLOAD
+        assert execution.offload_issued
+        assert not execution.offload_deadline_missed
+
+    def test_arrival_at_fallback_slot_supersedes_local_run(self, rng):
+        strategy = OffloadStrategy(
+            _model(sensor=ZERO_POWER_SENSOR), planner=_FixedPlanner(3)
+        )
+        strategy.begin_interval(1, 4, rng)
+        strategy.execute_period(_context(0, 1, 4), rng)
+        # n = 1, 2: nothing has arrived yet (and further offloads would land
+        # past the fallback slot, so the model runs locally).
+        for n in (1, 2):
+            execution = strategy.execute_period(_context(n, 1, 4), rng)
+            assert not execution.offload_issued
+            assert execution.action == ACTION_LOCAL
+        # n = 3 (the fallback slot): the response lands and replaces the
+        # mandatory local run — fresh output with zero compute energy.
+        fallback = strategy.execute_period(_context(3, 1, 4), rng)
+        assert fallback.action == ACTION_RESPONSE
+        assert fallback.fresh_output
+        assert fallback.compute_energy_j == 0.0
+
+    def test_arrival_past_fallback_slot_is_a_miss(self, rng):
+        # Feasible estimate (1 period) but the realized round trip takes 4:
+        # arrival = 0 + 4 > fallback slot 3, a deadline miss the fallback
+        # local run must cover.
+        strategy = OffloadStrategy(
+            _model(sensor=ZERO_POWER_SENSOR),
+            planner=_FixedPlanner(1, sample_periods=4),
+        )
+        strategy.begin_interval(1, 4, rng)
+        issued = strategy.execute_period(_context(0, 1, 4), rng)
+        assert issued.action == ACTION_OFFLOAD
+        assert issued.offload_issued
+        assert issued.offload_deadline_missed
+        fallback = strategy.execute_period(_context(3, 1, 4), rng)
+        assert fallback.action == ACTION_LOCAL
+        assert fallback.fresh_output
+        assert fallback.compute_energy_j > 0.0
+
+    def test_arrival_strictly_before_fallback_slot_is_not_a_miss(self, rng):
+        strategy = OffloadStrategy(
+            _model(sensor=ZERO_POWER_SENSOR),
+            planner=_FixedPlanner(1, sample_periods=2),
+        )
+        strategy.begin_interval(1, 4, rng)
+        issued = strategy.execute_period(_context(0, 1, 4), rng)
+        assert issued.offload_issued
+        assert not issued.offload_deadline_missed
+        response = strategy.execute_period(_context(2, 1, 4, natural=False, full=False), rng)
+        assert response.fresh_output
 
 
 class TestStrategyFactory:

@@ -184,3 +184,74 @@ class TestSteeringShield:
             SteeringShield(intervention_margin_m=-1.0)
         with pytest.raises(ValueError):
             SteeringShield(blend_band_m=0.0)
+
+
+class _ConstantBarrier:
+    """Stub safety function pinning ``h`` to an exact value."""
+
+    def __init__(self, h_value):
+        self.h_value = h_value
+
+    def evaluate(self, inputs, control=None):
+        return self.h_value
+
+
+class TestShieldBlendContinuity:
+    """Regression: the correction must grow from 0 at the intervention margin.
+
+    Severity used to be ``1 - h / blend_band_m`` (band 3 m) while the
+    intervention starts at ``intervention_margin_m`` (2 m), so the correction
+    jumped from 0 to ~1/3 the instant ``h`` crossed the margin.
+    """
+
+    RAW = ControlAction(steering=0.2, throttle=0.6)
+    INPUTS = _inputs(distance=5.0, bearing=0.3, speed=8.0)
+
+    def _filtered_at(self, h_value):
+        shield = SteeringShield(safety_function=_ConstantBarrier(h_value))
+        filtered, _ = shield.filter_action(self.INPUTS, self.RAW)
+        return filtered
+
+    def test_no_jump_at_margin(self):
+        epsilon = 1e-6
+        margin = SteeringShield().intervention_margin_m
+        above = self._filtered_at(margin + epsilon)
+        below = self._filtered_at(margin - epsilon)
+        assert above == self.RAW
+        assert below.steering == pytest.approx(self.RAW.steering, abs=1e-4)
+        assert below.throttle == pytest.approx(self.RAW.throttle, abs=1e-4)
+
+    def test_full_override_at_zero(self):
+        at_zero = self._filtered_at(0.0)
+        just_below = self._filtered_at(-1e-6)
+        assert at_zero.throttle < 0.0  # hard braking
+        assert at_zero.steering < 0.0  # steers away from the left obstacle
+        assert just_below.steering == pytest.approx(at_zero.steering)
+        assert just_below.throttle == pytest.approx(at_zero.throttle)
+
+    def test_severity_monotone_in_band(self):
+        margin = SteeringShield().intervention_margin_m
+        h_values = [margin * fraction for fraction in (0.9, 0.6, 0.3, 0.0)]
+        throttles = [self._filtered_at(h).throttle for h in h_values]
+        assert throttles == sorted(throttles, reverse=True)
+
+    def test_never_less_evasive_than_raw_inside_band(self):
+        margin = SteeringShield().intervention_margin_m
+        for h_value in (0.25 * margin, 0.5 * margin, 0.75 * margin):
+            filtered = self._filtered_at(h_value)
+            # Obstacle on the left: evasive direction is negative steering.
+            assert filtered.steering <= self.RAW.steering + 1e-9
+            assert filtered.throttle <= self.RAW.throttle + 1e-9
+
+    def test_creep_throttle_stays_positive_inside_band(self):
+        # Anti-stall takes precedence over blend continuity: a braking
+        # controller at creep speed must not pin the blended throttle
+        # negative and freeze the vehicle inside the intervention band.
+        margin = SteeringShield().intervention_margin_m
+        raw = ControlAction(steering=0.0, throttle=-1.0)
+        for h_value in (0.75 * margin, 0.25 * margin, 0.0):
+            shield = SteeringShield(safety_function=_ConstantBarrier(h_value))
+            filtered, _ = shield.filter_action(
+                _inputs(distance=3.0, bearing=0.2, speed=1.0), raw
+            )
+            assert filtered.throttle > 0.0

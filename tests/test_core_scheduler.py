@@ -78,6 +78,51 @@ class TestIntervalManagement:
         new_flags = [scheduler.step(SAFE_INPUTS, CONTROL).new_interval for _ in range(3)]
         assert new_flags == [True, True, True]
 
+
+class TestZeroDeadlinePath:
+    """delta_max == 0: every optimizable model is done at interval start.
+
+    The deadline provider reporting 0 means no optimization window exists at
+    all — intervals must be one step long, no model may be scheduled through
+    a (negative) fallback slot, and execution plus accounting must collapse
+    onto the local-always baseline.
+    """
+
+    @pytest.mark.parametrize(
+        "optimization", ["model_gating", "sensor_gating", "offload", "none"]
+    )
+    def test_one_step_intervals_and_natural_full_slots(self, optimization):
+        scheduler = _scheduler(deadline_s=0.0, optimization=optimization)
+        steps = [scheduler.step(SAFE_INPUTS, CONTROL) for _ in range(6)]
+        assert all(report.new_interval for report in steps)
+        assert all(report.interval_step == 0 for report in steps)
+        assert all(report.delta_max_periods == 0 for report in steps)
+        # No negative full-slot indices: with delta_max = 0 the fallback slot
+        # delta_max - delta_i is negative, so full slots may only be the
+        # models' natural slots (det-fast every step, det-slow every other).
+        for index, report in enumerate(steps):
+            assert report.directive_for("det-fast").full_slot
+            assert report.directive_for("det-slow").full_slot == (index % 2 == 0)
+
+    @pytest.mark.parametrize(
+        "optimization", ["model_gating", "sensor_gating", "offload"]
+    )
+    def test_accounting_collapses_onto_baseline(self, optimization):
+        scheduler = _scheduler(deadline_s=0.0, optimization=optimization)
+        for _ in range(8):
+            scheduler.step(SAFE_INPUTS, CONTROL)
+        actual = scheduler.ledger.total_by_model()
+        baseline = scheduler.baseline_ledger.total_by_model()
+        for name in ("det-fast", "det-slow"):
+            assert actual[name] == pytest.approx(baseline[name])
+        assert scheduler.energy_gain_by_model() == {
+            "det-fast": pytest.approx(0.0),
+            "det-slow": pytest.approx(0.0),
+        }
+        assert scheduler.overall_energy_gain() == pytest.approx(0.0)
+        assert scheduler.stats.offloads_issued == 0
+        assert scheduler.stats.delta_max_samples == [0] * 8
+
     def test_reset_clears_state(self):
         scheduler = _scheduler()
         for _ in range(5):

@@ -159,6 +159,19 @@ class TestScenarioSuite:
         with pytest.raises(KeyError):
             result.row("missing")
 
+    def test_suite_gating_uses_camera_accounting(self):
+        # Regression: sensor gating saves sensor power only, so the suite
+        # must attach the camera front-end (eq. 8) like standard_config does
+        # — with the zero-power default its gains would be meaningless ~0.
+        from repro.experiments.suite import run_suite
+
+        result = run_suite(
+            ExperimentSettings(episodes=1, max_steps=400),
+            families=("obstacle-course",),
+            optimization="sensor_gating",
+        )
+        assert result.row("obstacle-course").average_gain > 0.0
+
 
 class TestAblations:
     def test_safety_awareness_ablation(self):

@@ -1,6 +1,5 @@
 """Tests for the perception models (detector and VAE encoder)."""
 
-import math
 
 import numpy as np
 import pytest

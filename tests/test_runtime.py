@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.framework import SEOFramework
 from repro.core.intervals import SafeIntervalEstimator
-from repro.core.lookup import LookupGrid
 from repro.runtime.cache import LookupTableCache, cache_key, set_default_cache
 from repro.runtime.executor import (
     ParallelExecutor,

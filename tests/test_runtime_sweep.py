@@ -1,0 +1,166 @@
+"""Tests for the shared-pool sweep engine (`repro.runtime.sweep`)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.common import ExperimentSettings, run_batch
+from repro.runtime.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+    resolve_jobs,
+)
+from repro.runtime.sweep import SweepJob, SweepRunner, sweep_jobs
+
+
+def _variants(fast_seo_config):
+    """A small multi-config batch mixing optimization methods and controls."""
+    return {
+        "offload": fast_seo_config,
+        "gating": dataclasses.replace(fast_seo_config, optimization="model_gating"),
+        "unfiltered": dataclasses.replace(fast_seo_config, filtered=False),
+    }
+
+
+class TestSweepJob:
+    def test_rejects_nonpositive_episodes(self, fast_seo_config):
+        with pytest.raises(ValueError):
+            SweepJob(key="x", config=fast_seo_config, episodes=0)
+
+    def test_sweep_jobs_helper_preserves_keys(self, fast_seo_config):
+        jobs = sweep_jobs(_variants(fast_seo_config), episodes=2)
+        assert [job.key for job in jobs] == ["offload", "gating", "unfiltered"]
+        assert all(job.episodes == 2 for job in jobs)
+
+
+class TestSweepRunnerSerial:
+    def test_matches_serial_per_config_path(self, fast_seo_config):
+        configs = _variants(fast_seo_config)
+        with SweepRunner(jobs=1) as runner:
+            batch = runner.run(sweep_jobs(configs, episodes=2))
+        for key, config in configs.items():
+            assert batch[key] == SerialExecutor().run(config, 2)
+
+    def test_serial_runner_never_builds_a_pool(self, fast_seo_config):
+        runner = SweepRunner(jobs=1)
+        runner.run(sweep_jobs(_variants(fast_seo_config), episodes=1))
+        assert runner.pools_created == 0
+        runner.close()
+
+    def test_empty_batch(self):
+        with SweepRunner(jobs=1) as runner:
+            assert runner.run([]) == {}
+
+    def test_duplicate_keys_rejected(self, fast_seo_config):
+        jobs = [
+            SweepJob(key="same", config=fast_seo_config, episodes=1),
+            SweepJob(key="same", config=fast_seo_config, episodes=1),
+        ]
+        with SweepRunner(jobs=1) as runner:
+            with pytest.raises(ValueError):
+                runner.run(jobs)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=2, backend="rayon")
+
+
+class TestSweepRunnerParallel:
+    def test_bit_identical_to_serial_per_config(self, fast_seo_config):
+        """Acceptance: a multi-config parallel sweep == the serial path."""
+        configs = _variants(fast_seo_config)
+        with SweepRunner(jobs=2) as runner:
+            batch = runner.run(sweep_jobs(configs, episodes=3))
+        for key, config in configs.items():
+            expected = SerialExecutor().run(config, 3)
+            assert [report.episode for report in batch[key]] == [0, 1, 2]
+            assert batch[key] == expected
+
+    def test_single_pool_across_batches(self, fast_seo_config):
+        """The shared pool is created once and reused by later batches."""
+        with SweepRunner(jobs=2) as runner:
+            runner.run(sweep_jobs({"a": fast_seo_config}, episodes=2))
+            runner.run(
+                sweep_jobs(
+                    {"b": dataclasses.replace(fast_seo_config, seed=9)}, episodes=2
+                )
+            )
+            assert runner.pools_created == 1
+
+    def test_thread_backend_bit_identical(self, fast_seo_config):
+        configs = _variants(fast_seo_config)
+        with SweepRunner(jobs=2, backend="thread") as runner:
+            batch = runner.run(sweep_jobs(configs, episodes=2))
+        for key, config in configs.items():
+            assert batch[key] == SerialExecutor().run(config, 2)
+
+    def test_run_one_convenience(self, fast_seo_config):
+        with SweepRunner(jobs=2) as runner:
+            reports = runner.run_one(fast_seo_config, 2)
+        assert reports == SerialExecutor().run(fast_seo_config, 2)
+
+    def test_auto_jobs_resolves_to_cpu_count(self):
+        assert SweepRunner(jobs=0).workers == resolve_jobs(0)
+        assert SweepRunner(jobs=0).workers >= 1
+
+    def test_run_after_close_raises(self, fast_seo_config):
+        runner = SweepRunner(jobs=2)
+        runner.close()
+        with pytest.raises(RuntimeError):
+            runner.run(sweep_jobs({"a": fast_seo_config}, episodes=1))
+
+    def test_failing_episode_fails_fast(self, fast_seo_config, monkeypatch):
+        """A raising worker task surfaces immediately and tears the pool down."""
+        from repro.runtime import sweep as sweep_module
+
+        def exploding_task(config, episode):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(
+            sweep_module, "_run_episode_task_threaded", exploding_task
+        )
+        runner = SweepRunner(jobs=2, backend="thread")
+        with pytest.raises(RuntimeError, match="boom"):
+            runner.run(sweep_jobs({"a": fast_seo_config}, episodes=3))
+        assert runner._pool is None  # cancelled and shut down, not drained
+        runner.close()
+
+
+class TestExecutorBackends:
+    def test_thread_executor_bit_identical(self, fast_seo_config):
+        serial = SerialExecutor().run(fast_seo_config, 3)
+        assert ThreadExecutor(jobs=2).run(fast_seo_config, 3) == serial
+
+    def test_make_executor_backends(self):
+        assert isinstance(make_executor(1, backend="thread"), SerialExecutor)
+        assert isinstance(make_executor(4, backend="process"), ParallelExecutor)
+        assert isinstance(make_executor(4, backend="thread"), ThreadExecutor)
+        with pytest.raises(ValueError):
+            make_executor(4, backend="fibers")
+
+
+class TestExperimentPlumbing:
+    def test_run_batch_uses_shared_runner(self, fast_seo_config):
+        """Drivers funnel their batches into settings.runner when provided."""
+        seen = []
+
+        class RecordingRunner(SweepRunner):
+            def run(self, jobs):
+                seen.append([job.key for job in jobs])
+                return super().run(jobs)
+
+        runner = RecordingRunner(jobs=1)
+        settings = ExperimentSettings(episodes=1, max_steps=200, runner=runner)
+        batch = run_batch({"only": fast_seo_config}, settings)
+        assert seen == [["only"]]
+        assert set(batch) == {"only"}
+
+    def test_settings_accept_auto_jobs_and_backends(self):
+        assert ExperimentSettings(jobs=0).jobs == 0
+        assert ExperimentSettings(backend="thread").backend == "thread"
+        with pytest.raises(ValueError):
+            ExperimentSettings(jobs=-1)
+        with pytest.raises(ValueError):
+            ExperimentSettings(backend="fibers")
