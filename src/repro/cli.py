@@ -8,6 +8,7 @@ Examples::
     python -m repro.cli ablation-safety
     python -m repro.cli ablation-lookup
     python -m repro.cli suite --family dense-traffic --family narrow-road
+    python -m repro.cli suite --family curved-road --family sensor-dropout
     python -m repro.cli all --jobs 8 --lookup-cache .cache/deadline
 
 Each subcommand prints the reproduced table to stdout and optionally writes

@@ -25,14 +25,19 @@ class ControlInputs:
     Attributes:
         speed_mps: Current ego speed.
         target_speed_mps: Desired cruise speed.
-        lateral_offset_m: Signed lateral distance from the lane centre.
-        heading_rad: Ego heading relative to the road direction.
+        lateral_offset_m: Signed lateral (Frenet) distance from the lane
+            centreline.
+        heading_rad: Ego heading relative to the road direction (the
+            centreline tangent at the vehicle's arc-length position).
         obstacle_distance_m: Distance to the nearest perceived obstacle
             surface, or None when nothing is perceived.
         obstacle_bearing_rad: Bearing of that obstacle, or None.
         obstacle_stale: True when the obstacle information comes from a
             gated (reused) perception output.
         road_half_width_m: Half-width of the drivable corridor.
+        road_curvature_per_m: Signed centreline curvature at the vehicle's
+            position (positive for left turns, zero on straight roads);
+            lets controllers feed the road shape forward into steering.
         features: Optional Theta'' feature vector from the critical subset.
     """
 
@@ -44,6 +49,7 @@ class ControlInputs:
     obstacle_bearing_rad: Optional[float] = None
     obstacle_stale: bool = False
     road_half_width_m: float = 4.0
+    road_curvature_per_m: float = 0.0
     features: Optional[np.ndarray] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -66,15 +72,17 @@ class ControlInputs:
         distance, bearing = (None, None)
         if view is not None:
             distance, bearing, _ = view
+        pose = world.lane_pose()
         return cls(
             speed_mps=world.state.speed_mps,
             target_speed_mps=target_speed_mps,
-            lateral_offset_m=world.state.y_m,
-            heading_rad=world.state.heading_rad,
+            lateral_offset_m=pose.lateral_offset_m,
+            heading_rad=pose.heading_error_rad,
             obstacle_distance_m=distance,
             obstacle_bearing_rad=bearing,
             obstacle_stale=False,
             road_half_width_m=world.road.half_width_m,
+            road_curvature_per_m=pose.curvature_per_m,
             features=features,
         )
 
@@ -103,15 +111,17 @@ class ControlInputs:
                 nearest_distance = candidate.distance_m
                 nearest_bearing = candidate.bearing_rad
                 nearest_stale = detection_set.stale
+        pose = world.lane_pose()
         return cls(
             speed_mps=world.state.speed_mps,
             target_speed_mps=target_speed_mps,
-            lateral_offset_m=world.state.y_m,
-            heading_rad=world.state.heading_rad,
+            lateral_offset_m=pose.lateral_offset_m,
+            heading_rad=pose.heading_error_rad,
             obstacle_distance_m=nearest_distance,
             obstacle_bearing_rad=nearest_bearing,
             obstacle_stale=nearest_stale,
             road_half_width_m=world.road.half_width_m,
+            road_curvature_per_m=pose.curvature_per_m,
             features=features,
         )
 

@@ -41,6 +41,9 @@ class ObstacleAvoidanceController(Controller):
         speed_gain: Throttle gain on the speed error.
         stale_caution: Extra fraction of braking applied when the perceived
             obstacle information is stale (gated perception output).
+        curvature_gain: Feedforward steering per unit of centreline
+            curvature, so curved roads are followed without relying on the
+            lateral-error feedback alone (zero contribution on straights).
     """
 
     target_speed_mps: float = 8.0
@@ -51,6 +54,7 @@ class ObstacleAvoidanceController(Controller):
     brake_range_m: float = 12.0
     speed_gain: float = 0.5
     stale_caution: float = 0.2
+    curvature_gain: float = 4.0
 
     def act_from_inputs(self, inputs: ControlInputs) -> ControlAction:
         steering = self._lane_keeping_steer(inputs)
@@ -62,8 +66,13 @@ class ObstacleAvoidanceController(Controller):
     # Behaviour components
     # ------------------------------------------------------------------
     def _lane_keeping_steer(self, inputs: ControlInputs) -> float:
-        """PD steering toward the lane centre and road direction."""
-        return -self.lane_gain * inputs.lateral_offset_m - self.heading_gain * inputs.heading_rad
+        """PD steering toward the lane centre and road direction, plus a
+        curvature feedforward that tracks curved centrelines."""
+        return (
+            -self.lane_gain * inputs.lateral_offset_m
+            - self.heading_gain * inputs.heading_rad
+            + self.curvature_gain * inputs.road_curvature_per_m
+        )
 
     def _avoidance_steer(self, inputs: ControlInputs) -> float:
         """Repulsive steering away from the nearest perceived obstacle."""

@@ -4,6 +4,11 @@ This controller tracks the lane centre line with a pure-pursuit steering law
 and holds a constant cruise speed.  It ignores obstacles entirely, which makes
 it useful for exercising the safety filter: with the shield disabled it will
 collide on obstacle-laden routes, with the shield enabled it should not.
+
+The tracking runs in the road's Frenet frame (lateral offset and heading
+error relative to the centreline), so the same law follows straight and
+curved roads; the centreline curvature enters as a feedforward term on top
+of the pursuit curvature.
 """
 
 from __future__ import annotations
@@ -36,11 +41,13 @@ class PurePursuitController(Controller):
     speed_gain: float = 0.5
 
     def act_from_inputs(self, inputs: ControlInputs) -> ControlAction:
-        # Lookahead point on the centre line, expressed in the vehicle frame.
+        # Lookahead point on the centre line, expressed in the road-aligned
+        # vehicle frame (Frenet offsets); the centreline curvature is fed
+        # forward so curved roads are tracked without a steady-state error.
         dx = self.lookahead_m
         dy = -inputs.lateral_offset_m
         alpha = math.atan2(dy, dx) - inputs.heading_rad
-        curvature = 2.0 * math.sin(alpha) / self.lookahead_m
+        curvature = 2.0 * math.sin(alpha) / self.lookahead_m + inputs.road_curvature_per_m
         steer_rad = math.atan(curvature * self.wheelbase_m)
         steering = steer_rad / self.max_steer_rad
         throttle = self.speed_gain * (inputs.target_speed_mps - inputs.speed_mps)

@@ -38,7 +38,7 @@ from repro.control.pure_pursuit import PurePursuitController
 from repro.core.intervals import SafeIntervalEstimator
 from repro.core.lookup import DeadlineLookupTable, LookupGrid
 from repro.core.models import ModelSet, SensoryModel
-from repro.core.optimizations import make_strategy_factory
+from repro.core.optimizations import ACTION_LOCAL, make_strategy_factory
 from repro.core.safety import BrakingDistanceBarrier, SafetyInputs
 from repro.core.scheduler import SafeRuntimeScheduler
 from repro.core.shield import SteeringShield
@@ -152,6 +152,7 @@ class EpisodeReport:
     offload_deadline_misses: int = 0
     min_obstacle_distance_m: float = float("inf")
     unsafe_steps: int = 0
+    sensor_dropouts: int = 0
 
     @property
     def success(self) -> bool:
@@ -315,6 +316,23 @@ class SEOFramework:
         for detector in self.detectors.values():
             detector.reset()
 
+        # Scenario-level sensor degradation: with probability p the frame
+        # behind a fresh *local* inference is corrupt, so the pipeline holds
+        # its previous, stale output — exercising the same fallback path as
+        # model gating.  The inference itself still runs (and is charged):
+        # the model cannot tell a bad frame from a good one before consuming
+        # it.  Offload responses are never dropped — their frame was
+        # captured and paid for when the offload was issued, and discarding
+        # a delivered response would reintroduce the pay-but-drop accounting
+        # bug fixed in the eq. (6) fallback-slot handling.  p = 0 draws
+        # nothing, so degradation-free scenarios are untouched.
+        dropout_probability = config.scenario.sensor_dropout_probability
+        dropout_rng = (
+            np.random.default_rng((config.seed + 3) * 1000 + episode)
+            if dropout_probability > 0.0
+            else None
+        )
+
         report = EpisodeReport(episode=episode)
         latest_detections: Dict[str, DetectionSet] = {}
 
@@ -342,8 +360,20 @@ class SEOFramework:
                 if directive.critical:
                     continue
                 if directive.fresh_output:
-                    detector = self.detectors[directive.model_name]
-                    latest_detections[directive.model_name] = detector.infer(world)
+                    dropped = (
+                        dropout_rng is not None
+                        and directive.action == ACTION_LOCAL
+                        and directive.model_name in latest_detections
+                        and dropout_rng.random() < dropout_probability
+                    )
+                    if dropped:
+                        report.sensor_dropouts += 1
+                        latest_detections[directive.model_name] = latest_detections[
+                            directive.model_name
+                        ].aged()
+                    else:
+                        detector = self.detectors[directive.model_name]
+                        latest_detections[directive.model_name] = detector.infer(world)
                 elif directive.model_name in latest_detections:
                     latest_detections[directive.model_name] = latest_detections[
                         directive.model_name

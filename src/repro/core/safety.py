@@ -66,14 +66,20 @@ class SafetyInputs:
     @classmethod
     def from_world(cls, world: World) -> "SafetyInputs":
         """Extract the safety inputs from ground truth (the paper reads them
-        directly from the simulator, Section VI-A)."""
+        directly from the simulator, Section VI-A).
+
+        The lateral offset is the Frenet offset from the road centreline, so
+        the shield's evasive-direction choice stays road-aware on curved
+        centrelines too.
+        """
         view = world.nearest_obstacle_view()
+        lateral_offset_m = world.lane_pose().lateral_offset_m
         if view is None:
             return cls(
                 distance_m=NO_OBSTACLE_DISTANCE_M,
                 bearing_rad=0.0,
                 speed_mps=world.state.speed_mps,
-                lateral_offset_m=world.state.y_m,
+                lateral_offset_m=lateral_offset_m,
                 road_half_width_m=world.road.half_width_m,
             )
         distance, bearing, _ = view
@@ -81,7 +87,7 @@ class SafetyInputs:
             distance_m=distance,
             bearing_rad=bearing,
             speed_mps=world.state.speed_mps,
-            lateral_offset_m=world.state.y_m,
+            lateral_offset_m=lateral_offset_m,
             road_half_width_m=world.road.half_width_m,
         )
 

@@ -3,8 +3,12 @@
 Not a paper artifact — this driver widens the workload beyond the paper's
 single obstacle course by sweeping the families registered in
 :data:`repro.sim.scenario.DEFAULT_SUITE` (dense traffic, high-speed highway,
-narrow road, ...) under one optimization method, and reporting energy gains
-and safety outcomes side by side.
+narrow road, curved roads, moving traffic, sensor dropouts, ...) under one
+optimization method, and reporting energy gains and safety outcomes side by
+side.  Scenario-specific knobs — road segments, obstacle motion policies and
+sensor dropout — travel inside each family's :class:`ScenarioConfig`, so the
+driver and the shared-pool sweep engine need no per-family code (see
+``docs/scenarios.md``).
 """
 
 from __future__ import annotations

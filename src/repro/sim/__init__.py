@@ -3,23 +3,43 @@
 The paper's experimental scenario (Section VI-A) is a 100 m road populated
 with obstacles in its final third, driven by an autonomous agent whose
 steering output is optionally filtered by a controller shield.  This package
-re-implements that scenario on top of the kinematic vehicle model:
+re-implements that scenario on top of the kinematic vehicle model and
+generalizes it into a scenario-diversity subsystem (see ``docs/scenarios.md``):
 
-* :mod:`repro.sim.road` / :mod:`repro.sim.obstacles` — static world geometry.
-* :mod:`repro.sim.world` — mutable world holding the ego vehicle, stepping the
-  dynamics and answering the relative-geometry queries SEO needs.
-* :mod:`repro.sim.scenario` — scenario configuration and construction
-  (obstacle count is the paper's "risk level" knob).
+* :mod:`repro.sim.road` — segment-based road geometry (straights and arcs)
+  with a Frenet frame; the paper's straight road is the trivial
+  single-segment case.
+* :mod:`repro.sim.obstacles` — obstacle discs, optional motion policies and
+  the risk-level placement.
+* :mod:`repro.sim.world` — mutable world holding the ego vehicle, stepping
+  the dynamics (and moving obstacles) and answering the relative-geometry
+  queries SEO needs.
+* :mod:`repro.sim.scenario` — scenario configuration, construction and the
+  named scenario-family registry (obstacle count is the paper's "risk
+  level" knob).
 * :mod:`repro.sim.observation` — range-scan observations used as inputs for
   the perception models (detectors and VAE).
 * :mod:`repro.sim.sensors` — simulated multi-sensor front-ends with their own
-  sampling periods.
+  sampling periods and an optional dropout/holdover degradation model.
 * :mod:`repro.sim.episode` — closed-loop episode runner used by controller
   training and the safety-filter evaluation.
 """
 
-from repro.sim.road import Road
-from repro.sim.obstacles import Obstacle, place_obstacles
+from repro.sim.road import (
+    ArcSegment,
+    Centerline,
+    LanePose,
+    Road,
+    RoadSegment,
+    StraightSegment,
+)
+from repro.sim.obstacles import (
+    ConstantVelocity,
+    Obstacle,
+    WaypointLoop,
+    attach_motion,
+    place_obstacles,
+)
 from repro.sim.collision import circle_hit, first_collision
 from repro.sim.world import World
 from repro.sim.scenario import (
@@ -34,18 +54,26 @@ from repro.sim.sensors import SimulatedSensor, SensorSuite
 from repro.sim.episode import EpisodeResult, EpisodeRunner
 
 __all__ = [
+    "ArcSegment",
+    "Centerline",
+    "ConstantVelocity",
     "DEFAULT_SUITE",
     "EpisodeResult",
     "EpisodeRunner",
+    "LanePose",
     "Obstacle",
     "RangeScanner",
     "Road",
+    "RoadSegment",
     "ScenarioConfig",
     "ScenarioFamily",
     "ScenarioSuite",
     "SensorSuite",
     "SimulatedSensor",
+    "StraightSegment",
+    "WaypointLoop",
     "World",
+    "attach_motion",
     "build_world",
     "circle_hit",
     "first_collision",

@@ -1,4 +1,10 @@
-"""Collision predicates between the ego vehicle and obstacles."""
+"""Collision predicates between the ego vehicle and obstacles.
+
+The predicates are pure functions of the obstacle discs they are given:
+for moving obstacles the caller (``World.status``) passes the discs as
+moved to the current simulation time, so collision checks always see the
+positions the rest of the stack observes.
+"""
 
 from __future__ import annotations
 

@@ -47,8 +47,15 @@ class RangeScanner:
             raise ValueError("max_range_m must be positive")
 
     def beam_angles(self) -> np.ndarray:
-        """Relative beam angles (radians) from rightmost to leftmost."""
+        """Relative beam angles (radians) from rightmost to leftmost.
+
+        A full-circle field of view is endpoint-exclusive: ``-pi`` and
+        ``+pi`` are the same direction, so including both would duplicate
+        one beam and shrink the effective angular resolution.
+        """
         half = 0.5 * self.fov_rad
+        if self.fov_rad >= 2.0 * math.pi - 1e-12:
+            return np.linspace(-half, half, self.num_beams, endpoint=False)
         return np.linspace(-half, half, self.num_beams)
 
     def scan(self, world: World) -> np.ndarray:
@@ -75,8 +82,8 @@ class RangeScanner:
                 if hit is not None and hit < best:
                     best = hit
             if self.include_road_edges:
-                edge = _ray_road_edge_distance(
-                    (state.x_m, state.y_m), direction, world.road.half_width_m
+                edge = world.road.ray_edge_distance(
+                    (state.x_m, state.y_m), direction, self.max_range_m
                 )
                 if edge is not None and edge < best:
                     best = edge
@@ -107,17 +114,3 @@ def _ray_circle_distance(origin, direction, centre, radius):
     if t2 >= 0.0:
         return 0.0
     return None
-
-
-def _ray_road_edge_distance(origin, direction, half_width):
-    """Distance along a ray to the nearest road edge (y = +/- half_width)."""
-    _, oy = origin
-    _, dy = direction
-    if abs(dy) < 1e-9:
-        return None
-    candidates = []
-    for edge in (half_width, -half_width):
-        t = (edge - oy) / dy
-        if t >= 0.0:
-            candidates.append(t)
-    return min(candidates) if candidates else None

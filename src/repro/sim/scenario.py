@@ -8,15 +8,16 @@ without hand-writing configs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.dynamics.params import VehicleParams
 from repro.dynamics.state import VehicleState
-from repro.sim.obstacles import place_obstacles
-from repro.sim.road import Road
+from repro.sim.obstacles import MOTION_MODES, attach_motion, place_obstacles
+from repro.sim.road import ArcSegment, Road, RoadSegment, StraightSegment
 from repro.sim.world import World
 
 
@@ -25,11 +26,26 @@ class ScenarioConfig:
     """Configuration of the evaluation scenario (paper Section VI-A).
 
     Attributes:
-        road_length_m: Route length; the paper drives a 100 m road.
+        road_length_m: Route length; the paper drives a 100 m road.  Ignored
+            when ``road_segments`` is given (the arc length of the segments
+            defines the route).
         road_width_m: Drivable width.
-        num_obstacles: Number of obstacles in the final third of the route;
-            this is the risk-level knob swept in Fig. 6 / Table II.
+        road_segments: Optional centreline segments (straights and arcs).
+            ``None`` keeps the paper's straight road.
+        num_obstacles: Number of obstacles in the obstacle zone; this is the
+            risk-level knob swept in Fig. 6 / Table II.
         obstacle_radius_m: Radius of each obstacle's safety disc.
+        obstacle_zone_start_fraction: Fraction of the route after which
+            obstacles may appear; the paper populates the final third.
+        obstacle_motion: Motion mode of the placed obstacles: ``"static"``
+            (the paper's case), ``"lateral-loop"`` (crossing traffic
+            oscillating over the corridor) or ``"oncoming"`` (constant
+            velocity against the route direction).
+        obstacle_speed_mps: Speed of moving obstacles (required positive for
+            non-static motion).
+        sensor_dropout_probability: Probability that a due perception sample
+            is dropped, forcing the pipeline onto its stale-holdover
+            fallback.
         initial_speed_mps: Ego speed at episode start.
         target_speed_mps: Cruise speed the controller aims for.
         initial_lateral_offset_m: Lateral offset of the start pose.
@@ -39,8 +55,13 @@ class ScenarioConfig:
 
     road_length_m: float = 100.0
     road_width_m: float = 12.0
+    road_segments: Optional[Tuple[RoadSegment, ...]] = None
     num_obstacles: int = 3
     obstacle_radius_m: float = 1.0
+    obstacle_zone_start_fraction: float = 2.0 / 3.0
+    obstacle_motion: str = "static"
+    obstacle_speed_mps: float = 0.0
+    sensor_dropout_probability: float = 0.0
     initial_speed_mps: float = 8.0
     target_speed_mps: float = 8.0
     initial_lateral_offset_m: float = 0.0
@@ -53,6 +74,15 @@ class ScenarioConfig:
             raise ValueError("initial_speed_mps must be non-negative")
         if self.target_speed_mps <= 0:
             raise ValueError("target_speed_mps must be positive")
+        if self.obstacle_motion not in MOTION_MODES:
+            raise ValueError(
+                f"unknown obstacle_motion: {self.obstacle_motion!r} "
+                f"(choose from {MOTION_MODES})"
+            )
+        if self.obstacle_motion != "static" and self.obstacle_speed_mps <= 0:
+            raise ValueError("obstacle_speed_mps must be positive for moving obstacles")
+        if not 0.0 <= self.sensor_dropout_probability < 1.0:
+            raise ValueError("sensor_dropout_probability must be in [0, 1)")
 
 
 def build_world(
@@ -70,25 +100,35 @@ def build_world(
 
     Returns:
         A world with the ego vehicle at the route start and obstacles placed
-        in the final third of the road.
+        in the obstacle zone (optionally carrying motion policies).
     """
     if rng is None:
         if config.seed is None:
             raise ValueError("either rng or config.seed must be provided")
         rng = np.random.default_rng(config.seed)
 
-    road = Road(length_m=config.road_length_m, width_m=config.road_width_m)
+    road = Road(
+        length_m=config.road_length_m,
+        width_m=config.road_width_m,
+        obstacle_zone_start_fraction=config.obstacle_zone_start_fraction,
+        segments=config.road_segments,
+    )
     obstacles = place_obstacles(
         road,
         config.num_obstacles,
         rng,
         radius_m=config.obstacle_radius_m,
     )
+    if config.obstacle_motion != "static":
+        obstacles = attach_motion(
+            obstacles, road, config.obstacle_motion, config.obstacle_speed_mps
+        )
     params = vehicle_params if vehicle_params is not None else VehicleParams()
+    start_x, start_y = road.from_frenet(0.0, config.initial_lateral_offset_m)
     start = VehicleState(
-        x_m=0.0,
-        y_m=config.initial_lateral_offset_m,
-        heading_rad=0.0,
+        x_m=start_x,
+        y_m=start_y,
+        heading_rad=road.heading_at(0.0),
         speed_mps=config.initial_speed_mps,
     )
     return World(road=road, obstacles=obstacles, vehicle_params=params, state=start)
@@ -118,8 +158,10 @@ class ScenarioSuite:
     """Registry of named scenario families.
 
     The default suite (:data:`DEFAULT_SUITE`) ships the paper's obstacle
-    course plus three stress families; experiments and the CLI resolve
-    scenario names against it, and downstream code can register more::
+    course plus stress families covering wider roads, curved centrelines,
+    moving obstacles and lossy sensing (see ``docs/scenarios.md``);
+    experiments and the CLI resolve scenario names against it, and
+    downstream code can register more::
 
         DEFAULT_SUITE.register(ScenarioFamily("rush-hour", "...", config))
     """
@@ -205,6 +247,73 @@ DEFAULT_SUITE.register(
             num_obstacles=3,
             initial_speed_mps=6.0,
             target_speed_mps=6.0,
+        ),
+    )
+)
+DEFAULT_SUITE.register(
+    ScenarioFamily(
+        name="curved-road",
+        description="Left-right curves with obstacles beyond the first bend.",
+        base=ScenarioConfig(
+            road_width_m=12.0,
+            road_segments=(
+                StraightSegment(20.0),
+                ArcSegment(radius_m=50.0, sweep_rad=math.radians(35.0)),
+                StraightSegment(20.0),
+                ArcSegment(radius_m=50.0, sweep_rad=math.radians(-35.0)),
+                StraightSegment(15.0),
+            ),
+            num_obstacles=3,
+            obstacle_zone_start_fraction=0.55,
+            initial_speed_mps=7.0,
+            target_speed_mps=7.0,
+        ),
+    )
+)
+DEFAULT_SUITE.register(
+    ScenarioFamily(
+        name="s-curve-narrow",
+        description="A narrow S-curve: curvature and obstacles compete for the corridor.",
+        base=ScenarioConfig(
+            road_width_m=10.0,
+            road_segments=(
+                StraightSegment(15.0),
+                ArcSegment(radius_m=35.0, sweep_rad=math.radians(45.0)),
+                ArcSegment(radius_m=35.0, sweep_rad=math.radians(-45.0)),
+                StraightSegment(15.0),
+            ),
+            num_obstacles=2,
+            obstacle_zone_start_fraction=0.5,
+            initial_speed_mps=5.0,
+            target_speed_mps=5.0,
+        ),
+    )
+)
+DEFAULT_SUITE.register(
+    ScenarioFamily(
+        name="moving-traffic",
+        description="Crossing traffic: obstacles oscillate laterally through the ego's corridor.",
+        base=ScenarioConfig(
+            road_length_m=110.0,
+            road_width_m=14.0,
+            num_obstacles=4,
+            obstacle_zone_start_fraction=0.45,
+            obstacle_motion="lateral-loop",
+            obstacle_speed_mps=1.0,
+            initial_speed_mps=6.0,
+            target_speed_mps=6.0,
+        ),
+    )
+)
+DEFAULT_SUITE.register(
+    ScenarioFamily(
+        name="sensor-dropout",
+        description="The paper's course under lossy sensing: due samples drop and go stale.",
+        base=ScenarioConfig(
+            num_obstacles=3,
+            sensor_dropout_probability=0.35,
+            initial_speed_mps=7.0,
+            target_speed_mps=7.0,
         ),
     )
 )

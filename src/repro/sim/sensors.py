@@ -11,6 +11,7 @@ observation they produce — while their power draw lives in
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -29,13 +30,18 @@ class SimulatedSensor:
         sampling_period_s: Native sampling period ``p_i`` of the sensor.
         scanner: Range scanner producing the raw observation.
         noise_std_m: Standard deviation of additive range noise.
-        seed: Seed of the per-sensor noise generator.
+        dropout_probability: Probability that a due sample is *dropped* —
+            the sensor fails to deliver a fresh frame and holds its previous
+            reading instead (stale holdover).  The very first sample of an
+            episode always succeeds, so a reading is always available.
+        seed: Seed of the per-sensor noise/dropout generator.
     """
 
     name: str
     sampling_period_s: float
     scanner: RangeScanner = field(default_factory=RangeScanner)
     noise_std_m: float = 0.0
+    dropout_probability: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -43,14 +49,28 @@ class SimulatedSensor:
             raise ValueError("sampling_period_s must be positive")
         if self.noise_std_m < 0:
             raise ValueError("noise_std_m must be non-negative")
+        if not 0.0 <= self.dropout_probability < 1.0:
+            raise ValueError("dropout_probability must be in [0, 1)")
         self._rng = np.random.default_rng(self.seed)
         self._last_sample_time: Optional[float] = None
         self._last_observation: Optional[np.ndarray] = None
+        self._last_sample_stale = False
+        self._dropped_samples = 0
 
     @property
     def sampling_rate_hz(self) -> float:
         """Native sampling rate of the sensor in Hz."""
         return 1.0 / self.sampling_period_s
+
+    @property
+    def last_sample_stale(self) -> bool:
+        """True when the most recent sample was a dropout holdover."""
+        return self._last_sample_stale
+
+    @property
+    def dropped_samples(self) -> int:
+        """Number of samples dropped since the last reset."""
+        return self._dropped_samples
 
     def due(self, time_s: float) -> bool:
         """Return True if a new sample is due at ``time_s``."""
@@ -58,15 +78,46 @@ class SimulatedSensor:
             return True
         return time_s - self._last_sample_time >= self.sampling_period_s - 1e-9
 
+    def _advance_slot(self, time_s: float) -> None:
+        """Advance the sample anchor by whole multiples of the period.
+
+        Anchoring to the *scheduled* slot instead of the actual sample time
+        keeps the effective rate at the native one even when the polling
+        period does not divide ``sampling_period_s`` (a 20 Hz sensor polled
+        at 50 Hz samples at t = 0.00, 0.06, 0.10, ... but its slots stay on
+        the 50 ms grid, so it still averages 20 Hz rather than ~16.7 Hz).
+        """
+        if self._last_sample_time is None:
+            self._last_sample_time = time_s
+            return
+        elapsed = time_s - self._last_sample_time
+        periods = max(1, int(math.floor(elapsed / self.sampling_period_s + 1e-9)))
+        self._last_sample_time += periods * self.sampling_period_s
+
     def sample(self, world: World, time_s: float) -> np.ndarray:
-        """Take a (noisy) measurement of the world at ``time_s``."""
+        """Take a (noisy) measurement of the world at ``time_s``.
+
+        With ``dropout_probability`` set, the sample may be dropped: the
+        slot is consumed but the previous observation is returned unchanged
+        (and flagged stale via :attr:`last_sample_stale`).
+        """
+        if (
+            self.dropout_probability > 0.0
+            and self._last_observation is not None
+            and self._rng.random() < self.dropout_probability
+        ):
+            self._advance_slot(time_s)
+            self._last_sample_stale = True
+            self._dropped_samples += 1
+            return self._last_observation
         observation = self.scanner.scan(world)
         if self.noise_std_m > 0.0:
             noise = self._rng.normal(0.0, self.noise_std_m, size=observation.shape)
             observation = np.clip(
                 observation + noise, 0.0, self.scanner.max_range_m
             )
-        self._last_sample_time = time_s
+        self._advance_slot(time_s)
+        self._last_sample_stale = False
         self._last_observation = observation
         return observation
 
@@ -78,6 +129,8 @@ class SimulatedSensor:
         """Forget sampling history (e.g. between episodes)."""
         self._last_sample_time = None
         self._last_observation = None
+        self._last_sample_stale = False
+        self._dropped_samples = 0
         self._rng = np.random.default_rng(self.seed)
 
 

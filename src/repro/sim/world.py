@@ -16,8 +16,8 @@ from repro.dynamics.bicycle import KinematicBicycleModel
 from repro.dynamics.params import VehicleParams
 from repro.dynamics.state import ControlAction, VehicleState, relative_view
 from repro.sim.collision import first_collision
-from repro.sim.obstacles import Obstacle, nearest_obstacle
-from repro.sim.road import Road
+from repro.sim.obstacles import Obstacle
+from repro.sim.road import LanePose, Road
 
 
 @dataclass
@@ -40,7 +40,8 @@ class World:
 
     Attributes:
         road: Road geometry.
-        obstacles: Static obstacles along the route.
+        obstacles: Obstacles along the route, as seen at the current time
+            (obstacles with a motion policy are moved by :meth:`step`).
         vehicle_params: Physical parameters of the ego vehicle.
         state: Current ego vehicle state.
         time_s: Simulation time elapsed since reset.
@@ -55,6 +56,10 @@ class World:
     def __post_init__(self) -> None:
         self._model = KinematicBicycleModel(self.vehicle_params)
         self._initial_state = self.state
+        self._initial_obstacles = list(self.obstacles)
+        self._has_moving_obstacles = any(
+            obstacle.motion is not None for obstacle in self.obstacles
+        )
 
     @property
     def dynamics(self) -> KinematicBicycleModel:
@@ -62,23 +67,44 @@ class World:
         return self._model
 
     def reset(self, state: Optional[VehicleState] = None) -> VehicleState:
-        """Reset time and the ego vehicle to ``state`` (or the initial state)."""
+        """Reset time, the ego vehicle and the obstacles to their initial state."""
         self.state = state if state is not None else self._initial_state
         self.time_s = 0.0
+        if self._has_moving_obstacles:
+            self.obstacles = list(self._initial_obstacles)
         return self.state
 
     def step(self, control: ControlAction, dt: float) -> VehicleState:
-        """Advance the world by ``dt`` seconds under ``control``."""
+        """Advance the world by ``dt`` seconds under ``control``.
+
+        Moving obstacles are re-evaluated at the new simulation time, so
+        every subsequent query (status, nearest threat, scans) sees their
+        moved positions.
+        """
         self.state = self._model.step(self.state, control, dt)
         self.time_s += dt
+        if self._has_moving_obstacles:
+            self.obstacles = [
+                obstacle.at_time(self.time_s) for obstacle in self._initial_obstacles
+            ]
         return self.state
 
     # ------------------------------------------------------------------
     # Queries used by perception, control and the safety machinery.
     # ------------------------------------------------------------------
     def nearest_obstacle(self) -> Optional[Obstacle]:
-        """The obstacle closest to the current vehicle position, if any."""
-        return nearest_obstacle(self.obstacles, self.state.x_m, self.state.y_m)
+        """The safety-relevant nearest obstacle, if any.
+
+        Uses the same ranking as :meth:`nearest_obstacle_view` — surface
+        distance with a forward-half-plane preference — so the two queries
+        always name the same threat for the same state.
+        """
+        view = self.nearest_obstacle_view()
+        return None if view is None else view[2]
+
+    def lane_pose(self) -> LanePose:
+        """Road-relative (Frenet) pose of the ego vehicle."""
+        return self.road.lane_pose(self.state)
 
     def nearest_obstacle_view(self) -> Optional[Tuple[float, float, Obstacle]]:
         """Return ``(surface_distance, bearing, obstacle)`` for the nearest threat.

@@ -7,7 +7,7 @@ import pytest
 
 from repro.dynamics.state import ControlAction, VehicleState
 from repro.sim.collision import circle_hit, first_collision
-from repro.sim.obstacles import Obstacle, nearest_obstacle, place_obstacles
+from repro.sim.obstacles import Obstacle, place_obstacles
 from repro.sim.road import Road
 from repro.sim.scenario import ScenarioConfig, build_world
 from repro.sim.world import World
@@ -86,10 +86,15 @@ class TestObstacles:
         second = place_obstacles(road, 3, np.random.default_rng(7))
         assert first == second
 
-    def test_nearest_obstacle_helper(self):
-        obstacles = [Obstacle(10.0, 0.0), Obstacle(20.0, 0.0)]
-        assert nearest_obstacle(obstacles, 12.0, 0.0) is obstacles[0]
-        assert nearest_obstacle([], 0.0, 0.0) is None
+    def test_world_nearest_obstacle_matches_view(self):
+        # The world-level query is the single nearest-threat rule: it must
+        # name the same obstacle as nearest_obstacle_view.
+        world = World(
+            road=Road(),
+            obstacles=[Obstacle(10.0, 0.0), Obstacle(20.0, 0.0)],
+            state=VehicleState(x_m=12.0, y_m=0.0),
+        )
+        assert world.nearest_obstacle() is world.nearest_obstacle_view()[2]
 
 
 class TestCollision:
