@@ -25,7 +25,17 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 def bench_settings() -> ExperimentSettings:
     """Experiment settings used by every benchmark (env-var adjustable)."""
-    episodes = int(os.environ.get("SEO_BENCH_EPISODES", "5"))
+    raw = os.environ.get("SEO_BENCH_EPISODES", "5")
+    try:
+        episodes = int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"SEO_BENCH_EPISODES must be an integer number of episodes, got {raw!r}"
+        ) from None
+    if episodes < 1:
+        raise pytest.UsageError(
+            f"SEO_BENCH_EPISODES must be at least 1, got {episodes}"
+        )
     return ExperimentSettings(episodes=episodes, max_steps=1200, seed=0)
 
 

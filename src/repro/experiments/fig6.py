@@ -76,7 +76,7 @@ def run_fig6(
         for count in obstacle_counts
     }
     result = Fig6Result(filtered=filtered)
-    for cell, summary in run_summaries(cells, settings).items():
+    for cell, summary in run_summaries(cells, settings, experiment="fig6").items():
         result.summaries[cell] = summary
         result.histograms[cell] = delta_histogram(summary.delta_max_samples)
         result.average_gains[cell] = summary.average_model_gain

@@ -99,7 +99,7 @@ def run_table3(
         )
         for sensor in sensors
     }
-    summaries = run_summaries(configs, settings)
+    summaries = run_summaries(configs, settings, experiment="table3")
     result = Table3Result(tau_s=tau_s)
     for sensor in sensors:
         config = configs[sensor.name]

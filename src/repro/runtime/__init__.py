@@ -1,24 +1,38 @@
-"""Runtime subsystem: parallel episode execution and lookup-table caching.
+"""Runtime subsystem: distributed sweep execution and lookup-table caching.
 
 This package is the scaling layer between the SEO framework facade and the
 experiment drivers:
 
 * :mod:`repro.runtime.executor` — :class:`EpisodeExecutor` strategies.
   :class:`SerialExecutor` preserves the original in-process loop;
-  :class:`ParallelExecutor` (process pool) and :class:`ThreadExecutor`
-  (thread pool) fan episodes out and return bit-identical reports in
-  episode order.
+  :class:`ParallelExecutor` (process pool), :class:`ThreadExecutor`
+  (thread pool) and :class:`repro.runtime.remote.AsyncExecutor` (persistent
+  remote-worker subprocesses) fan episodes out and return bit-identical
+  reports in episode order.
+* :mod:`repro.runtime.workunit` — :class:`WorkUnit`, the serializable,
+  content-addressed ``(config, episode-range)`` description of sweep work
+  that the distributed layer is keyed on.
 * :mod:`repro.runtime.sweep` — :class:`SweepRunner`, the batched
-  multi-config sweep engine: all episodes of all configs of a batch share
-  one worker pool, and one runner (hence at most one pool) can serve every
-  batch of a CLI invocation.
+  multi-config sweep engine: all episodes of all units of a batch share one
+  worker pool, and one runner (hence at most one pool) can serve every
+  batch of a CLI invocation.  With a ledger/shard attached it resumes and
+  partitions sweeps.
+* :mod:`repro.runtime.ledger` — :class:`RunLedger`, the append-only on-disk
+  record of completed units (JSONL index + ``.npz`` report blobs) behind
+  ``--resume`` and ``repro.cli merge``.
+* :mod:`repro.runtime.shard` — :class:`ShardSpec`/:class:`ShardManifest`,
+  the deterministic hash partition behind ``--shard i/N`` and the merge
+  validation.
+* :mod:`repro.runtime.remote` — the ``"async"`` backend: an asyncio
+  dispatcher feeding persistent worker subprocesses over length-prefixed
+  JSON/stdio.
 * :mod:`repro.runtime.cache` — :class:`LookupTableCache`, memoizing
   :meth:`repro.core.lookup.DeadlineLookupTable.build` per process and
   optionally persisting tables to ``.npz`` files, so parameter sweeps
   sharing one grid build the table exactly once.
 
 See ``docs/runtime.md`` for the design notes and CLI usage
-(``--jobs``/``--backend``).
+(``--jobs``/``--backend``/``--shard``/``--resume``/``--ledger-dir``).
 """
 
 from repro.runtime.cache import (
@@ -36,21 +50,37 @@ from repro.runtime.executor import (
     make_executor,
     resolve_jobs,
 )
-from repro.runtime.sweep import SweepJob, SweepRunner, pool_constructions, sweep_jobs
+from repro.runtime.ledger import RunLedger
+from repro.runtime.shard import ShardManifest, ShardSpec
+from repro.runtime.sweep import (
+    SweepIncomplete,
+    SweepJob,
+    SweepRunner,
+    pool_constructions,
+    reset_pool_constructions,
+    sweep_jobs,
+)
+from repro.runtime.workunit import WorkUnit
 
 __all__ = [
     "EXECUTOR_BACKENDS",
     "EpisodeExecutor",
     "LookupTableCache",
     "ParallelExecutor",
+    "RunLedger",
     "SerialExecutor",
+    "ShardManifest",
+    "ShardSpec",
+    "SweepIncomplete",
     "SweepJob",
     "SweepRunner",
     "ThreadExecutor",
+    "WorkUnit",
     "cache_key",
     "default_cache",
     "make_executor",
     "pool_constructions",
+    "reset_pool_constructions",
     "resolve_jobs",
     "set_default_cache",
     "sweep_jobs",

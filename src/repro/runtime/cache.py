@@ -153,7 +153,12 @@ class LookupTableCache:
             return None
         try:
             return DeadlineLookupTable.load(path)
-        except (OSError, KeyError, ValueError):
+        except Exception:
+            # A corrupt or truncated .npz (interrupted write, disk fault,
+            # foreign file) is a cache *miss*, never an error: np.load can
+            # raise anything from zipfile.BadZipFile to pickle errors
+            # depending on how the bytes are mangled, so catch broadly.  The
+            # caller rebuilds the table and overwrites the bad file.
             return None
 
     def _save_to_disk(self, key: CacheKey, table: DeadlineLookupTable) -> None:

@@ -1,0 +1,326 @@
+"""Async executor backend: persistent worker subprocesses over JSON/stdio.
+
+The ``"async"`` backend runs episodes on a pool of persistent worker
+subprocesses (``python -m repro.runtime.remote``) driven by an asyncio
+dispatcher.  Parent and worker speak a tiny length-prefixed JSON protocol
+over the worker's stdin/stdout — every frame is a 4-byte big-endian length
+followed by a UTF-8 JSON object:
+
+* ``{"op": "init", "cache_dir": ...}`` → ``{"ok": true}`` — propagate the
+  parent's lookup-cache directory (same contract as the process backend's
+  pool initializer).
+* ``{"op": "run", "config": <canonical SEOConfig>, "episode": k}`` →
+  ``{"ok": true, "report": <EpisodeReport>}`` — run one episode; the worker
+  memoizes one framework per config, exactly like a process-pool worker.
+* ``{"op": "shutdown"}`` — drain and exit.
+
+Configs travel in the canonical serialized form of
+:mod:`repro.runtime.workunit` and reports in the JSON form of
+:mod:`repro.runtime.ledger`, so nothing on the wire depends on pickling —
+which is what makes this dispatcher the template for true multi-machine
+workers: replace the subprocess pipes with sockets and the protocol is
+unchanged.  Episodes are bit-deterministic functions of
+``(config, episode)``, so reports are identical to the serial/process/thread
+backends regardless of how the dispatcher interleaves work.
+
+The dispatcher owns a private event loop on a daemon thread and exposes a
+``concurrent.futures``-compatible surface (``submit`` returning a future,
+``shutdown``), so :class:`repro.runtime.sweep.SweepRunner` can treat it like
+any other pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import struct
+import sys
+import threading
+import traceback
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Any, BinaryIO, Dict, List, Optional, Tuple
+
+from repro.core.framework import EpisodeReport, SEOConfig, SEOFramework
+from repro.runtime.cache import LookupTableCache, default_cache, set_default_cache
+from repro.runtime.executor import EpisodeExecutor, SerialExecutor, resolve_jobs
+from repro.runtime.ledger import report_from_jsonable, report_to_jsonable
+from repro.runtime.workunit import (
+    canonical_json,
+    config_from_jsonable,
+    config_to_jsonable,
+)
+
+__all__ = [
+    "AsyncExecutor",
+    "AsyncWorkerPool",
+    "RemoteWorkerError",
+    "worker_main",
+]
+
+#: Frame header: payload length as an unsigned 32-bit big-endian integer.
+_HEADER = struct.Struct(">I")
+
+
+class RemoteWorkerError(RuntimeError):
+    """An episode failed inside a remote worker (carries its traceback)."""
+
+
+# ----------------------------------------------------------------------
+# Framing (sync side: used by the worker process)
+# ----------------------------------------------------------------------
+
+def write_frame(stream: BinaryIO, payload: Dict[str, Any]) -> None:
+    """Write one length-prefixed JSON frame and flush."""
+    data = json.dumps(payload).encode("utf-8")
+    stream.write(_HEADER.pack(len(data)) + data)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = stream.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise EOFError("truncated frame header")
+    (length,) = _HEADER.unpack(header)
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise EOFError("truncated frame payload")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return json.loads(b"".join(chunks).decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+def worker_main(
+    stdin: Optional[BinaryIO] = None, stdout: Optional[BinaryIO] = None
+) -> None:
+    """Serve episode requests over stdio until shutdown/EOF.
+
+    One framework is memoized per config (keyed by canonical form), matching
+    the process-pool worker's behaviour.
+    """
+    if stdin is None:
+        stdin = sys.stdin.buffer
+    if stdout is None:
+        stdout = sys.stdout.buffer
+        # Frames own the real stdout; reroute accidental prints (user
+        # configs, warnings rendered by print) to stderr so they cannot
+        # corrupt a frame.  Only done in real subprocess mode — tests drive
+        # worker_main in-process with explicit streams.
+        sys.stdout = sys.stderr
+    memo: Optional[Tuple[str, SEOFramework]] = None
+    while True:
+        request = read_frame(stdin)
+        if request is None or request.get("op") == "shutdown":
+            return
+        try:
+            if request["op"] == "init":
+                cache_dir = request.get("cache_dir")
+                path = Path(cache_dir) if cache_dir else None
+                if default_cache().cache_dir != path:
+                    set_default_cache(LookupTableCache(cache_dir=path))
+                write_frame(stdout, {"ok": True})
+            elif request["op"] == "run":
+                payload = request["config"]
+                key = canonical_json(payload)
+                if memo is None or memo[0] != key:
+                    memo = (key, SEOFramework(config_from_jsonable(payload)))
+                report = memo[1].run_episode(int(request["episode"]))
+                write_frame(
+                    stdout, {"ok": True, "report": report_to_jsonable(report)}
+                )
+            else:
+                raise ValueError(f"unknown op: {request.get('op')!r}")
+        except Exception:
+            write_frame(stdout, {"ok": False, "error": traceback.format_exc()})
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+
+def _worker_env() -> Dict[str, str]:
+    """Subprocess environment with the repro package importable."""
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    return env
+
+
+class AsyncWorkerPool:
+    """Asyncio dispatcher feeding persistent remote-worker subprocesses.
+
+    Workers are spawned lazily on the first submission and reused for every
+    subsequent episode; a free-worker queue balances load.  ``submit``
+    returns a :class:`concurrent.futures.Future`, so callers collect results
+    exactly as they would from a stdlib executor.
+
+    Args:
+        workers: Number of worker subprocesses.
+        cache_dir: Lookup-cache directory propagated to every worker.
+    """
+
+    def __init__(self, workers: int, cache_dir: Optional[Path] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="seo-async-dispatch", daemon=True
+        )
+        self._thread.start()
+        self._procs: List[asyncio.subprocess.Process] = []
+        self._idle: Optional[asyncio.Queue] = None
+        self._start_lock: Optional[asyncio.Lock] = None
+        self._closed = False
+
+    # -- pool lifecycle -------------------------------------------------
+    async def _ensure_workers(self) -> None:
+        if self._start_lock is None:
+            self._start_lock = asyncio.Lock()
+        async with self._start_lock:
+            if self._idle is not None:
+                return
+            idle: asyncio.Queue = asyncio.Queue()
+            for _ in range(self.workers):
+                proc = await asyncio.create_subprocess_exec(
+                    sys.executable,
+                    "-m",
+                    "repro.runtime.remote",
+                    stdin=asyncio.subprocess.PIPE,
+                    stdout=asyncio.subprocess.PIPE,
+                    env=_worker_env(),
+                )
+                self._procs.append(proc)
+                await self._send(
+                    proc,
+                    {
+                        "op": "init",
+                        "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+                    },
+                )
+                reply = await self._recv(proc)
+                if not reply.get("ok"):
+                    raise RemoteWorkerError(
+                        f"worker failed to initialize: {reply.get('error')}"
+                    )
+                idle.put_nowait(proc)
+            self._idle = idle
+
+    @staticmethod
+    async def _send(proc: asyncio.subprocess.Process, payload: Dict[str, Any]) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        proc.stdin.write(_HEADER.pack(len(data)) + data)
+        await proc.stdin.drain()
+
+    @staticmethod
+    async def _recv(proc: asyncio.subprocess.Process) -> Dict[str, Any]:
+        try:
+            header = await proc.stdout.readexactly(_HEADER.size)
+            (length,) = _HEADER.unpack(header)
+            data = await proc.stdout.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise RemoteWorkerError(
+                "remote worker exited mid-frame (see its stderr above)"
+            ) from error
+        return json.loads(data.decode("utf-8"))
+
+    async def _run_episode(self, payload: Dict[str, Any], episode: int) -> EpisodeReport:
+        await self._ensure_workers()
+        assert self._idle is not None
+        proc = await self._idle.get()
+        # No `finally`-requeue: a transport failure (worker died mid-frame)
+        # must NOT return the dead process to the idle queue, where the next
+        # episode would trip over its closed pipes with an unrelated error.
+        await self._send(proc, {"op": "run", "config": payload, "episode": episode})
+        reply = await self._recv(proc)
+        # A completed exchange means the worker is healthy — requeue it even
+        # when the episode itself failed (the error travelled in the reply).
+        self._idle.put_nowait(proc)
+        if not reply.get("ok"):
+            raise RemoteWorkerError(
+                f"remote episode {episode} failed:\n{reply.get('error')}"
+            )
+        return report_from_jsonable(reply["report"])
+
+    # -- Executor-compatible surface ------------------------------------
+    def submit(self, config: SEOConfig, episode: int) -> "Future[EpisodeReport]":
+        """Dispatch one episode; returns a concurrent future for its report."""
+        if self._closed:
+            raise RuntimeError("AsyncWorkerPool is shut down")
+        payload = config_to_jsonable(config)
+        return asyncio.run_coroutine_threadsafe(
+            self._run_episode(payload, episode), self._loop
+        )
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        """Stop the workers and the dispatch loop (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+
+        async def _close() -> None:
+            for proc in self._procs:
+                try:
+                    await self._send(proc, {"op": "shutdown"})
+                    proc.stdin.close()
+                except (OSError, ConnectionError):
+                    pass
+            for proc in self._procs:
+                try:
+                    await asyncio.wait_for(proc.wait(), timeout=5.0)
+                except asyncio.TimeoutError:
+                    proc.kill()
+                    await proc.wait()
+
+        asyncio.run_coroutine_threadsafe(_close(), self._loop).result()
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+
+class AsyncExecutor(EpisodeExecutor):
+    """Single-config executor over an :class:`AsyncWorkerPool`.
+
+    Registered as the ``"async"`` entry of
+    :data:`repro.runtime.executor.EXECUTOR_BACKENDS`; multi-config sweeps
+    share one pool through :class:`repro.runtime.sweep.SweepRunner` instead.
+
+    Args:
+        jobs: Number of worker subprocesses; ``jobs <= 0`` selects
+            ``os.cpu_count()``; ``jobs == 1`` degrades to the serial path.
+    """
+
+    def __init__(self, jobs: int = 0) -> None:
+        self.jobs = resolve_jobs(jobs)
+
+    def run(self, config: SEOConfig, episodes: int) -> List[EpisodeReport]:
+        self._validate(episodes)
+        workers = min(self.jobs, episodes)
+        if workers <= 1:
+            return SerialExecutor().run(config, episodes)
+        pool = AsyncWorkerPool(workers, cache_dir=default_cache().cache_dir)
+        try:
+            futures = [pool.submit(config, episode) for episode in range(episodes)]
+            return [future.result() for future in futures]
+        finally:
+            pool.shutdown()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    worker_main()

@@ -1,0 +1,221 @@
+"""Shard manifests: deterministic partitioning of a sweep's unit list.
+
+``--shard i/N`` splits any sweep across ``N`` independent invocations (on as
+many machines) without coordination: a unit is assigned to shard ``i`` iff
+its content hash maps to ``i`` under a fixed modulus.  Because unit hashes
+are stable (see :mod:`repro.runtime.workunit`) and every shard of the same
+command declares the identical full unit list, the shards partition the
+sweep exactly — no unit is run twice, none is skipped — and the union of
+their ledgers reproduces the unsharded artifact bit-identically (episodes
+are deterministic, and merging is just an associative union over disjoint
+shards).
+
+Each shard run writes a ``manifest.json`` next to its ledger recording the
+originating command, the shard spec, the *full* declared unit list and the
+units completed locally.  ``repro.cli merge`` validates a set of manifests
+(same command, same unit list, exact disjoint cover) before combining the
+ledgers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.runtime.workunit import WORKUNIT_SCHEMA_VERSION, WorkUnit
+
+__all__ = [
+    "ShardMergeError",
+    "ShardManifest",
+    "ShardSpec",
+    "validate_merge",
+]
+
+
+class ShardMergeError(ValueError):
+    """A set of shard ledgers cannot be merged into a full artifact."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of an ``N``-way split: 1-based ``index`` out of ``count``."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("shard count must be at least 1")
+        if not 1 <= self.index <= self.count:
+            raise ValueError(
+                f"shard index must be in 1..{self.count}, got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse an ``i/N`` spec (e.g. ``2/3``)."""
+        index_text, slash, count_text = text.partition("/")
+        if not slash:
+            raise ValueError(f"shard spec must look like i/N, got {text!r}")
+        try:
+            index, count = int(index_text), int(count_text)
+        except ValueError:
+            raise ValueError(f"shard spec must look like i/N, got {text!r}") from None
+        return cls(index=index, count=count)
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+    def assigns(self, unit_key: str) -> bool:
+        """Whether this shard is responsible for the given unit hash.
+
+        Assignment is a pure function of the hash, so shards agree on the
+        partition without ever communicating, and adding unrelated units to
+        the sweep never moves an existing unit between shards.
+        """
+        return int(unit_key[:16], 16) % self.count == self.index - 1
+
+
+class ShardManifest:
+    """The declared/completed unit record of one (possibly sharded) run.
+
+    Attributes:
+        command: The CLI argv that reproduces this sweep (minus execution
+            and sharding flags), used by ``merge`` to re-render the artifact.
+        shard: Shard spec of the run, or ``None`` for an unsharded run.
+        units: Metadata per declared unit hash (full sweep, not just the
+            local shard's share).
+        completed: Hashes resolved locally (executed or loaded from ledger).
+    """
+
+    def __init__(
+        self,
+        command: Sequence[str],
+        shard: Optional[ShardSpec] = None,
+        units: Optional[Dict[str, Dict[str, Any]]] = None,
+        completed: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.command = list(command)
+        self.shard = shard
+        self.units: Dict[str, Dict[str, Any]] = dict(units or {})
+        self.completed: Set[str] = set(completed or ())
+
+    def declare(
+        self,
+        unit: WorkUnit,
+        label: Optional[str] = None,
+        experiment: Optional[str] = None,
+    ) -> None:
+        """Record one unit of the full sweep (first declaration wins)."""
+        self.units.setdefault(
+            unit.key,
+            {
+                "episodes": [unit.episode_start, unit.episode_stop],
+                "label": label,
+                "experiment": experiment,
+            },
+        )
+
+    def mark_completed(self, unit_key: str) -> None:
+        """Record that a unit's reports were resolved by this run."""
+        self.completed.add(unit_key)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_jsonable(self) -> Dict[str, Any]:
+        """JSON structure written to ``manifest.json``."""
+        return {
+            "schema": WORKUNIT_SCHEMA_VERSION,
+            "command": self.command,
+            "shard": (
+                {"index": self.shard.index, "count": self.shard.count}
+                if self.shard is not None
+                else None
+            ),
+            "units": {key: self.units[key] for key in sorted(self.units)},
+            "completed": sorted(self.completed),
+        }
+
+    def save(self, path: Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_jsonable(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: Path) -> "ShardManifest":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("schema") != WORKUNIT_SCHEMA_VERSION:
+            raise ValueError(f"unsupported manifest schema in {path}")
+        shard = payload.get("shard")
+        return cls(
+            command=payload["command"],
+            shard=ShardSpec(**shard) if shard else None,
+            units=payload["units"],
+            completed=payload.get("completed", ()),
+        )
+
+
+@dataclass
+class MergePlan:
+    """Validated outcome of :func:`validate_merge`."""
+
+    command: List[str]
+    unit_keys: Set[str] = field(default_factory=set)
+
+
+def validate_merge(
+    manifests: Sequence[ShardManifest],
+    ledger_keys: Sequence[Iterable[str]],
+) -> MergePlan:
+    """Check that shard manifests + ledgers form an exact cover of one sweep.
+
+    Args:
+        manifests: One manifest per shard directory.
+        ledger_keys: For each shard, the unit hashes present in its ledger.
+
+    Raises:
+        ShardMergeError: On command mismatch, diverging unit lists,
+            overlapping units (a unit recorded by more than one shard) or
+            missing units (declared but recorded by no shard).
+    """
+    if not manifests:
+        raise ShardMergeError("no shard manifests to merge")
+    command = manifests[0].command
+    full = set(manifests[0].units)
+    for position, manifest in enumerate(manifests[1:], start=2):
+        if manifest.command != command:
+            raise ShardMergeError(
+                "shard manifests come from different commands: "
+                f"{command!r} vs {manifest.command!r} (shard dir #{position})"
+            )
+        if set(manifest.units) != full:
+            extra = sorted(set(manifest.units) - full)
+            lacking = sorted(full - set(manifest.units))
+            raise ShardMergeError(
+                "shard manifests declare different unit lists "
+                f"(shard dir #{position}: {len(extra)} extra, {len(lacking)} absent)"
+            )
+
+    seen: Dict[str, int] = {}
+    for position, keys in enumerate(ledger_keys, start=1):
+        for key in keys:
+            if key not in full:
+                continue  # cross-run reuse may leave unrelated units behind
+            if key in seen:
+                raise ShardMergeError(
+                    f"unit {key[:12]} recorded by shard dirs "
+                    f"#{seen[key]} and #{position}; refusing to merge overlapping shards"
+                )
+            seen[key] = position
+    missing = sorted(full - set(seen))
+    if missing:
+        shorts = ", ".join(key[:12] for key in missing[:5])
+        raise ShardMergeError(
+            f"{len(missing)} declared unit(s) missing from every shard ledger "
+            f"({shorts}{', ...' if len(missing) > 5 else ''}); "
+            "re-run the owning shard with --resume before merging"
+        )
+    return MergePlan(command=list(command), unit_keys=full)

@@ -1,36 +1,44 @@
-"""Batched multi-config sweeps sharing one worker pool.
+"""Batched multi-config sweeps over one shared pool of content-addressed units.
 
 Every paper artifact (Fig. 1/5/6, Tables I-III, the ablations, the scenario
 suite) is a *sweep*: the same episode loop evaluated over a batch of named
-:class:`~repro.core.framework.SEOConfig` variants.  Before this module each
-experiment driver built its own executor per config, so ``cli all --jobs 8``
-span up and tore down a process pool per table cell.  :class:`SweepRunner`
-makes the sweep a first-class object instead: it accepts a batch of
-:class:`SweepJob` entries, fans **all episodes of all configs** into one
-shared worker pool, and routes the reports back per job in episode order.
+:class:`~repro.core.framework.SEOConfig` variants.  :class:`SweepRunner`
+makes the sweep a first-class object: it accepts a batch of
+:class:`SweepJob` entries, lowers each to a content-addressed
+:class:`~repro.runtime.workunit.WorkUnit`, fans **all episodes of all
+units** into one shared worker pool, and routes the reports back per job in
+episode order.
 
 Because episodes are fully determined by ``(config, episode index)`` (see
 :mod:`repro.runtime.executor`), interleaving configs in one pool cannot
-change any report: the results are bit-identical to running each config
-through the serial path.
+change any report, and a unit's reports are valid wherever and whenever the
+unit runs.  The runner exploits that in three ways:
+
+* **Ledger** — with a :class:`~repro.runtime.ledger.RunLedger` attached,
+  every freshly executed unit is recorded on disk; with ``resume=True``,
+  units already in the ledger are loaded back bit-identically instead of
+  re-executed.
+* **Sharding** — with a :class:`~repro.runtime.shard.ShardSpec` attached,
+  only the units whose content hash maps to this shard are executed; the
+  rest raise :class:`SweepIncomplete` after the local share is done, and
+  ``repro.cli merge`` later reassembles the full artifact from the shard
+  ledgers.
+* **Remote dispatch** — the ``"async"`` backend feeds the same units to
+  persistent worker subprocesses over JSON/stdio
+  (:mod:`repro.runtime.remote`).
 
 The pool is created lazily on the first parallel batch and reused by every
-subsequent :meth:`SweepRunner.run` call, so a CLI invocation that regenerates
-every artifact constructs at most one pool.  Two backends are supported:
-
-* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`; each
-  worker memoizes one framework per config and inherits the parent's
-  lookup-cache directory.
-* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; workers
-  share the parent's in-process lookup cache (one table build per sweep) and
-  avoid spawn/pickling cost.  Full parallelism needs a free-threaded build.
+subsequent :meth:`SweepRunner.run` call, so a CLI invocation that
+regenerates every artifact constructs at most one pool.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.core.framework import EpisodeReport, SEOConfig
 from repro.runtime.cache import default_cache
@@ -42,23 +50,74 @@ from repro.runtime.executor import (
     _run_episode_task_threaded,
     resolve_jobs,
 )
+from repro.runtime.ledger import RunLedger
+from repro.runtime.shard import ShardManifest, ShardSpec
+from repro.runtime.workunit import WorkUnit
 
 __all__ = [
+    "SweepIncomplete",
     "SweepJob",
     "SweepRunner",
     "sweep_jobs",
     "pool_constructions",
+    "reset_pool_constructions",
 ]
 
 #: Process-wide count of worker pools constructed by sweep runners.  Tests
 #: (and the CLI acceptance criterion "one pool per invocation") assert on
-#: deltas of this counter.
+#: deltas of this counter; guarded by a lock so concurrent runners can't
+#: race the increment.
 _POOL_CONSTRUCTIONS = 0
+_POOL_CONSTRUCTIONS_LOCK = threading.Lock()
 
 
 def pool_constructions() -> int:
     """Total worker pools constructed by :class:`SweepRunner` in this process."""
-    return _POOL_CONSTRUCTIONS
+    with _POOL_CONSTRUCTIONS_LOCK:
+        return _POOL_CONSTRUCTIONS
+
+
+def reset_pool_constructions() -> int:
+    """Reset the pool-construction counter to zero; returns the old value."""
+    global _POOL_CONSTRUCTIONS
+    with _POOL_CONSTRUCTIONS_LOCK:
+        previous = _POOL_CONSTRUCTIONS
+        _POOL_CONSTRUCTIONS = 0
+        return previous
+
+
+def _count_pool_construction() -> None:
+    global _POOL_CONSTRUCTIONS
+    with _POOL_CONSTRUCTIONS_LOCK:
+        _POOL_CONSTRUCTIONS += 1
+
+
+class SweepIncomplete(RuntimeError):
+    """A sharded sweep executed its share; other shards own the rest.
+
+    Raised by :meth:`SweepRunner.run` *after* the locally assigned units are
+    executed and recorded, so a driver's aggregation (which would need the
+    full batch) is skipped while the shard's work is durably in its ledger.
+    """
+
+    def __init__(
+        self,
+        shard: ShardSpec,
+        executed: int,
+        cached: int,
+        skipped: int,
+        experiment: Optional[str] = None,
+    ) -> None:
+        self.shard = shard
+        self.executed = executed
+        self.cached = cached
+        self.skipped = skipped
+        self.experiment = experiment
+        total = executed + cached + skipped
+        super().__init__(
+            f"shard {shard}: executed {executed} unit(s), {cached} from ledger, "
+            f"{skipped} owned by other shards ({total} total)"
+        )
 
 
 @dataclass(frozen=True)
@@ -66,14 +125,16 @@ class SweepJob:
     """One named entry of a sweep batch.
 
     Attributes:
-        key: Identifier the job's reports are routed back under.  Any
+        label: Identifier the job's reports are routed back under.  Any
             hashable works; drivers typically use the cell coordinates of
             their artifact (``("offload", True)``, an obstacle count, ...).
+            Purely presentational — the job's identity is its derived
+            content-addressed :attr:`key`.
         config: The configuration to run.
         episodes: Number of episodes (indices ``0 .. episodes-1``).
     """
 
-    key: Hashable
+    label: Hashable
     config: SEOConfig
     episodes: int
 
@@ -81,14 +142,29 @@ class SweepJob:
         if self.episodes <= 0:
             raise ValueError("episodes must be positive")
 
+    @property
+    def unit(self) -> WorkUnit:
+        """The content-addressed work unit this job lowers to."""
+        return WorkUnit.for_sweep(self.config, self.episodes)
+
+    @property
+    def key(self) -> str:
+        """Stable content hash of ``(config, episode range)``.
+
+        Derived, never caller-invented: equal work has equal keys across
+        processes, machines and runs, which is what the ledger, shard and
+        remote layers key on.
+        """
+        return self.unit.key
+
 
 def sweep_jobs(
     configs: Mapping[Hashable, SEOConfig], episodes: int
 ) -> List[SweepJob]:
     """Build a job batch running every named config for ``episodes`` episodes."""
     return [
-        SweepJob(key=key, config=config, episodes=episodes)
-        for key, config in configs.items()
+        SweepJob(label=label, config=config, episodes=episodes)
+        for label, config in configs.items()
     ]
 
 
@@ -99,25 +175,54 @@ class SweepRunner:
     creates it, later calls reuse it, and :meth:`close` (or exiting the
     context manager) shuts it down — after which the runner refuses further
     batches instead of silently leaking a fresh pool.  With ``jobs == 1`` no
-    pool is ever created and every job runs through
+    pool is ever created and every unit runs through
     :class:`~repro.runtime.executor.SerialExecutor` in submission order —
     either way the reports are bit-identical.
 
     Args:
         jobs: Worker count; ``jobs <= 0`` selects ``os.cpu_count()`` and
             ``jobs == 1`` keeps everything serial and in-process.
-        backend: ``"process"`` (default) or ``"thread"``.
+        backend: ``"process"`` (default), ``"thread"`` or ``"async"``.
+        ledger: Optional on-disk run ledger.  Every freshly executed unit is
+            recorded in it (cross-run reuse); with ``resume=True`` recorded
+            units are loaded instead of executed.
+        resume: Load completed units from ``ledger`` (requires one).
+        shard: Optional shard spec; only units assigned to this shard by
+            content hash are executed, and batches containing foreign units
+            raise :class:`SweepIncomplete` after the local share completes.
+        manifest: Optional shard manifest; every declared unit and every
+            locally resolved unit is recorded into it (and saved to
+            ``manifest_path`` after each batch when that is set).
+        manifest_path: Where to persist the manifest after each batch.
     """
 
-    def __init__(self, jobs: int = 1, backend: str = "process") -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        backend: str = "process",
+        ledger: Optional[RunLedger] = None,
+        resume: bool = False,
+        shard: Optional[ShardSpec] = None,
+        manifest: Optional[ShardManifest] = None,
+        manifest_path: Optional[Path] = None,
+    ) -> None:
         if backend not in EXECUTOR_BACKENDS:
             raise ValueError(
                 f"unknown sweep backend: {backend!r} (choose from {EXECUTOR_BACKENDS})"
             )
+        if resume and ledger is None:
+            raise ValueError("resume=True requires a ledger")
         self.backend = backend
         self.workers = resolve_jobs(jobs)
+        self.ledger = ledger
+        self.resume = resume
+        self.shard = shard
+        self.manifest = manifest
+        self.manifest_path = Path(manifest_path) if manifest_path else None
         self.pools_created = 0
-        self._pool: Optional[Executor] = None
+        self.units_executed = 0
+        self.units_resumed = 0
+        self._pool = None
         self._closed = False
         self._serial = SerialExecutor()
 
@@ -137,8 +242,7 @@ class SweepRunner:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
-    def _ensure_pool(self) -> Executor:
-        global _POOL_CONSTRUCTIONS
+    def _ensure_pool(self):
         if self._pool is None:
             if self.backend == "process":
                 self._pool = ProcessPoolExecutor(
@@ -146,53 +250,140 @@ class SweepRunner:
                     initializer=_init_worker,
                     initargs=(default_cache().cache_dir,),
                 )
-            else:
+            elif self.backend == "thread":
                 self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            else:
+                # Imported lazily: repro.runtime.remote imports executor/ledger.
+                from repro.runtime.remote import AsyncWorkerPool
+
+                self._pool = AsyncWorkerPool(
+                    self.workers, cache_dir=default_cache().cache_dir
+                )
             self.pools_created += 1
-            _POOL_CONSTRUCTIONS += 1
+            _count_pool_construction()
         return self._pool
+
+    def _submitter(self, pool) -> Callable[[SEOConfig, int], "object"]:
+        """Episode submission callable for the active backend's pool."""
+        if self.backend == "process":
+            return lambda config, episode: pool.submit(
+                _run_episode_task, config, episode
+            )
+        if self.backend == "thread":
+            return lambda config, episode: pool.submit(
+                _run_episode_task_threaded, config, episode
+            )
+        return pool.submit  # AsyncWorkerPool.submit(config, episode)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(
-        self, jobs: Sequence[SweepJob]
+        self, jobs: Sequence[SweepJob], experiment: Optional[str] = None
     ) -> Dict[Hashable, List[EpisodeReport]]:
-        """Run a batch of jobs and route reports back per key, episode-ordered.
+        """Run a batch of jobs and route reports back per label, episode-ordered.
 
-        Every episode of every job is submitted to the shared pool up front,
-        so the whole batch drains with full parallelism instead of config by
-        config.  Results are bit-identical to the serial per-config path.
-        A failing episode fails the batch fast: queued episodes are cancelled
-        rather than drained before the error surfaces.
+        Jobs are lowered to content-addressed units and deduplicated: two
+        labels naming identical work share one execution.  Units already in
+        the ledger are loaded when resuming; units owned by other shards are
+        skipped (raising :class:`SweepIncomplete` once the local share is
+        executed and recorded).  Every episode of every executed unit is
+        submitted to the shared pool up front, so the whole batch drains
+        with full parallelism instead of config by config.  Results are
+        bit-identical to the serial per-config path.  A failing episode
+        fails the batch fast: queued episodes are cancelled rather than
+        drained before the error surfaces.
+
+        Args:
+            jobs: The batch to run; labels must be unique within it.
+            experiment: Optional driver name recorded in ledger/manifest
+                metadata (e.g. ``"fig5"``).
         """
         if self._closed:
             raise RuntimeError("SweepRunner is closed; create a new one")
-        keys = [job.key for job in jobs]
-        if len(set(keys)) != len(keys):
-            raise ValueError("sweep job keys must be unique within a batch")
+        labels = [job.label for job in jobs]
+        if len(set(labels)) != len(labels):
+            raise ValueError("sweep job labels must be unique within a batch")
         if not jobs:
             return {}
-        if self.workers <= 1:
-            return {job.key: self._serial.run(job.config, job.episodes) for job in jobs}
 
+        units: Dict[str, WorkUnit] = {}
+        key_by_label: Dict[Hashable, str] = {}
+        for job in jobs:
+            unit = job.unit
+            units.setdefault(unit.key, unit)
+            key_by_label[job.label] = unit.key
+            if self.manifest is not None:
+                self.manifest.declare(
+                    unit, label=str(job.label), experiment=experiment
+                )
+
+        resolved: Dict[str, List[EpisodeReport]] = {}
+        to_run: List[WorkUnit] = []
+        skipped = 0
+        for key, unit in units.items():
+            if self.resume and self.ledger is not None:
+                reports = self.ledger.get(unit)
+                if reports is not None:
+                    resolved[key] = reports
+                    self.units_resumed += 1
+                    continue
+            if self.shard is not None and not self.shard.assigns(key):
+                skipped += 1
+                continue
+            to_run.append(unit)
+
+        fresh = self._execute_units(to_run)
+        for unit in to_run:
+            reports = fresh[unit.key]
+            if self.ledger is not None:
+                label = next(
+                    str(job.label) for job in jobs if key_by_label[job.label] == unit.key
+                )
+                self.ledger.put(unit, reports, label=label, experiment=experiment)
+            resolved[unit.key] = reports
+        self.units_executed += len(to_run)
+
+        if self.manifest is not None:
+            for key in resolved:
+                self.manifest.mark_completed(key)
+            if self.manifest_path is not None:
+                self.manifest.save(self.manifest_path)
+
+        if skipped:
+            assert self.shard is not None
+            raise SweepIncomplete(
+                shard=self.shard,
+                executed=len(to_run),
+                cached=len(units) - len(to_run) - skipped,
+                skipped=skipped,
+                experiment=experiment,
+            )
+        return {label: resolved[key] for label, key in key_by_label.items()}
+
+    def _execute_units(
+        self, units: Sequence[WorkUnit]
+    ) -> Dict[str, List[EpisodeReport]]:
+        """Execute units on the configured backend, keyed by unit hash."""
+        if not units:
+            return {}
+        if self.workers <= 1:
+            return {
+                unit.key: self._serial.run_range(
+                    unit.config, unit.episode_start, unit.episode_stop
+                )
+                for unit in units
+            }
         pool = self._ensure_pool()
-        task = (
-            _run_episode_task
-            if self.backend == "process"
-            else _run_episode_task_threaded
-        )
+        submit = self._submitter(pool)
         futures = {
-            job.key: [
-                pool.submit(task, job.config, episode)
-                for episode in range(job.episodes)
-            ]
-            for job in jobs
+            unit.key: [submit(unit.config, episode) for episode in unit.episodes]
+            for unit in units
         }
-        results: Dict[Hashable, List[EpisodeReport]] = {}
+        results: Dict[str, List[EpisodeReport]] = {}
         try:
-            for key, job_futures in futures.items():
-                results[key] = [future.result() for future in job_futures]
+            for key, unit_futures in futures.items():
+                results[key] = [future.result() for future in unit_futures]
         except BaseException:
             # Fail fast: drop the queued episodes instead of letting the
             # pool drain the rest of the sweep before the error surfaces.
@@ -204,4 +395,6 @@ class SweepRunner:
 
     def run_one(self, config: SEOConfig, episodes: int) -> List[EpisodeReport]:
         """Convenience wrapper: run a single config through the shared pool."""
-        return self.run([SweepJob(key="job", config=config, episodes=episodes)])["job"]
+        return self.run([SweepJob(label="job", config=config, episodes=episodes)])[
+            "job"
+        ]

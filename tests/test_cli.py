@@ -47,6 +47,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig7"])
 
+    def test_distributed_flags_parse(self):
+        from repro.runtime.shard import ShardSpec
+
+        args = build_parser().parse_args(
+            ["fig5", "--shard", "2/3", "--ledger-dir", "ledger", "--resume"]
+        )
+        assert args.shard == ShardSpec(index=2, count=3)
+        assert str(args.ledger_dir) == "ledger"
+        assert args.resume is True
+
+    def test_parser_rejects_malformed_shard_spec(self):
+        for bad in ("3", "0/2", "4/3"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["fig5", "--shard", bad])
+
+    def test_merge_subcommand_parses(self):
+        args = build_parser().parse_args(["merge", "s1", "s2", "--into", "m"])
+        assert args.experiment == "merge"
+        assert [str(path) for path in args.shards] == ["s1", "s2"]
+        assert str(args.into) == "m"
+
 
 class TestRun:
     def test_run_single_experiment(self, capsys):
@@ -87,6 +108,22 @@ class TestRun:
             ]
         )
         assert threaded == serial
+
+    def test_suite_with_thread_backend_matches_serial(self):
+        """Execution-matrix coverage: `suite` through the thread backend."""
+        base = ["suite", "--episodes", "2", "--max-steps", "300",
+                "--family", "narrow-road"]
+        serial = run(base)
+        threaded = run(base + ["--jobs", "2", "--backend", "thread"])
+        assert threaded == serial
+
+    def test_suite_with_jobs_zero_matches_serial(self):
+        """Execution-matrix coverage: `suite` with --jobs 0 (all CPU cores)."""
+        base = ["suite", "--episodes", "2", "--max-steps", "300",
+                "--family", "narrow-road"]
+        serial = run(base)
+        auto = run(base + ["--jobs", "0"])
+        assert auto == serial
 
     def test_all_constructs_at_most_one_pool(self, monkeypatch):
         """Acceptance: one invocation shares one worker pool across drivers.

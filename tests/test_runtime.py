@@ -124,6 +124,36 @@ class TestLookupTableCache:
         reader.get_or_build(fast_estimator, grid=small_lookup_grid)
         assert reader.hits == 1
 
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"this is not an npz file at all",
+            b"PK\x03\x04truncated-zip-header",
+            b"",
+        ],
+        ids=["random-bytes", "truncated-zip", "empty"],
+    )
+    def test_corrupt_disk_cache_is_rebuilt(
+        self, fast_estimator, small_lookup_grid, tmp_path, garbage
+    ):
+        """A corrupt/truncated .npz is a miss: rebuild and overwrite, no error."""
+        writer = LookupTableCache(cache_dir=tmp_path)
+        built = writer.get_or_build(fast_estimator, grid=small_lookup_grid)
+        path = writer.path_for(cache_key(fast_estimator, small_lookup_grid, 1.0))
+        assert path.exists()
+        path.write_bytes(garbage)
+
+        reader = LookupTableCache(cache_dir=tmp_path)
+        rebuilt = reader.get_or_build(fast_estimator, grid=small_lookup_grid)
+        assert reader.misses == 1
+        assert reader.disk_hits == 0
+        assert (rebuilt.values == built.values).all()
+
+        # The garbage file was overwritten with a loadable table.
+        rereader = LookupTableCache(cache_dir=tmp_path)
+        rereader.get_or_build(fast_estimator, grid=small_lookup_grid)
+        assert rereader.disk_hits == 1
+
     def test_clear_resets_counters(self, fast_estimator, small_lookup_grid):
         cache = LookupTableCache()
         cache.get_or_build(fast_estimator, grid=small_lookup_grid)

@@ -27,11 +27,11 @@ def _variants(fast_seo_config):
 class TestSweepJob:
     def test_rejects_nonpositive_episodes(self, fast_seo_config):
         with pytest.raises(ValueError):
-            SweepJob(key="x", config=fast_seo_config, episodes=0)
+            SweepJob(label="x", config=fast_seo_config, episodes=0)
 
     def test_sweep_jobs_helper_preserves_keys(self, fast_seo_config):
         jobs = sweep_jobs(_variants(fast_seo_config), episodes=2)
-        assert [job.key for job in jobs] == ["offload", "gating", "unfiltered"]
+        assert [job.label for job in jobs] == ["offload", "gating", "unfiltered"]
         assert all(job.episodes == 2 for job in jobs)
 
 
@@ -53,10 +53,10 @@ class TestSweepRunnerSerial:
         with SweepRunner(jobs=1) as runner:
             assert runner.run([]) == {}
 
-    def test_duplicate_keys_rejected(self, fast_seo_config):
+    def test_duplicate_labels_rejected(self, fast_seo_config):
         jobs = [
-            SweepJob(key="same", config=fast_seo_config, episodes=1),
-            SweepJob(key="same", config=fast_seo_config, episodes=1),
+            SweepJob(label="same", config=fast_seo_config, episodes=1),
+            SweepJob(label="same", config=fast_seo_config, episodes=1),
         ]
         with SweepRunner(jobs=1) as runner:
             with pytest.raises(ValueError):
@@ -147,9 +147,9 @@ class TestExperimentPlumbing:
         seen = []
 
         class RecordingRunner(SweepRunner):
-            def run(self, jobs):
-                seen.append([job.key for job in jobs])
-                return super().run(jobs)
+            def run(self, jobs, experiment=None):
+                seen.append([job.label for job in jobs])
+                return super().run(jobs, experiment=experiment)
 
         runner = RecordingRunner(jobs=1)
         settings = ExperimentSettings(episodes=1, max_steps=200, runner=runner)
@@ -164,3 +164,65 @@ class TestExperimentPlumbing:
             ExperimentSettings(jobs=-1)
         with pytest.raises(ValueError):
             ExperimentSettings(backend="fibers")
+
+
+class TestDerivedKeys:
+    def test_job_key_is_derived_content_hash(self, fast_seo_config):
+        """Job identity is the content of (config, episode range), not the label."""
+        job = SweepJob(label="anything", config=fast_seo_config, episodes=2)
+        relabeled = SweepJob(label="else", config=fast_seo_config, episodes=2)
+        assert job.key == relabeled.key
+        assert len(job.key) == 64 and int(job.key, 16) >= 0
+
+    def test_key_changes_with_any_nested_field(self, fast_seo_config):
+        base = SweepJob(label="x", config=fast_seo_config, episodes=2)
+        reseeded = dataclasses.replace(
+            fast_seo_config, scenario=dataclasses.replace(fast_seo_config.scenario, seed=99)
+        )
+        assert SweepJob(label="x", config=reseeded, episodes=2).key != base.key
+        assert SweepJob(label="x", config=fast_seo_config, episodes=3).key != base.key
+
+    def test_identical_units_execute_once(self, fast_seo_config):
+        """Two labels naming the same content share one execution."""
+        jobs = [
+            SweepJob(label="left", config=fast_seo_config, episodes=1),
+            SweepJob(label="right", config=fast_seo_config, episodes=1),
+        ]
+        with SweepRunner(jobs=1) as runner:
+            batch = runner.run(jobs)
+        assert runner.units_executed == 1
+        assert batch["left"] == batch["right"]
+
+
+class TestPoolConstructionCounter:
+    def test_reset_returns_previous_value(self, fast_seo_config):
+        from repro.runtime import sweep as sweep_module
+
+        with SweepRunner(jobs=2, backend="thread") as runner:
+            runner.run(sweep_jobs({"a": fast_seo_config}, episodes=2))
+        before = sweep_module.pool_constructions()
+        assert before >= 1
+        assert sweep_module.reset_pool_constructions() == before
+        assert sweep_module.pool_constructions() == 0
+
+    def test_increments_are_thread_safe(self):
+        import threading
+
+        from repro.runtime import sweep as sweep_module
+
+        sweep_module.reset_pool_constructions()
+        increments = 200
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    sweep_module._count_pool_construction() for _ in range(increments)
+                ]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sweep_module.pool_constructions() == 8 * increments
+        sweep_module.reset_pool_constructions()
