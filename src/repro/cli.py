@@ -14,14 +14,19 @@ Examples::
     python -m repro.cli all --shard 2/2 --ledger-dir shard2 --resume
     python -m repro.cli merge shard1 shard2 --into merged
 
+    # multi-machine: start a worker per machine, sweep over them by socket
+    python -m repro.cli worker --listen 0.0.0.0:7070          # on each box
+    python -m repro.cli suite --backend socket --workers hostA:7070,hostB:7070
+
 Each subcommand prints the reproduced table to stdout and optionally writes
 it to a file with ``--output``.  Every subcommand accepts ``--jobs N`` to
 spread episodes over N workers (``0`` = all CPU cores; results are identical
-to the serial run), ``--backend {process,thread,async}`` to pick the
-worker-pool flavour, and ``--lookup-cache DIR`` to persist deadline lookup
-tables across invocations.  One :class:`repro.runtime.sweep.SweepRunner` is
-shared by every experiment of an invocation, so even ``all`` constructs at
-most one worker pool.
+to the serial run), ``--backend {process,thread,async,socket}`` to pick the
+worker-pool flavour (``socket`` also needs ``--workers HOST:PORT,...``), and
+``--lookup-cache DIR`` to persist deadline lookup tables across
+invocations.  One :class:`repro.runtime.sweep.SweepRunner` is shared by
+every experiment of an invocation, so even ``all`` constructs at most one
+worker pool.
 
 Distributed flags: ``--ledger-dir DIR`` records every completed work unit
 on disk; ``--resume`` loads previously recorded units bit-identically
@@ -161,7 +166,13 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend", choices=EXECUTOR_BACKENDS, default="process",
-        help="worker-pool backend (async = persistent JSON/stdio worker subprocesses)",
+        help="worker-pool backend (async = persistent worker subprocesses; "
+             "socket = remote workers named by --workers)",
+    )
+    parser.add_argument(
+        "--workers", type=str, default=None, metavar="HOST:PORT[,HOST:PORT...]",
+        help="socket-backend worker addresses (each started with "
+             "`repro.cli worker --listen HOST:PORT`)",
     )
     parser.add_argument(
         "--lookup-cache", type=Path, default=None, metavar="DIR",
@@ -214,6 +225,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="energy optimization applied to the detectors",
     )
 
+    worker_parser = subparsers.add_parser(
+        "worker", help="serve episodes to socket-backend dispatchers over TCP"
+    )
+    worker_parser.add_argument(
+        "--listen", type=str, required=True, metavar="HOST:PORT",
+        help="interface and port to serve on (port 0 = pick an ephemeral "
+             "port; the bound address is printed on startup)",
+    )
+
     merge_parser = subparsers.add_parser(
         "merge", help="combine shard ledgers and re-render the full artifact"
     )
@@ -252,6 +272,43 @@ def _reproduction_command(args: argparse.Namespace) -> List[str]:
     return command
 
 
+def _run_worker(args: argparse.Namespace) -> str:
+    """Serve the remote-worker protocol over TCP until interrupted."""
+    import asyncio
+
+    from repro.runtime.remote import parse_worker_address, serve_worker
+
+    try:
+        host, port = parse_worker_address(args.listen)
+    except ValueError as error:
+        raise SystemExit(f"worker: {error}") from None
+
+    def announce(address: str) -> None:
+        # Parsed by launch scripts (and the CI smoke job) to learn an
+        # ephemeral port, so the format is part of the interface.
+        print(f"worker listening on {address}", flush=True)
+
+    try:
+        asyncio.run(serve_worker(host, port, on_bound=announce))
+    except KeyboardInterrupt:
+        pass
+    return ""
+
+
+def _parse_worker_list(text: str) -> List[str]:
+    """Split and validate a ``--workers`` value — bad addresses must fail
+    here, not when the first batch lazily opens the pool mid-run."""
+    from repro.runtime.remote import parse_worker_address
+
+    addresses = [entry.strip() for entry in text.split(",") if entry.strip()]
+    for entry in addresses:
+        try:
+            parse_worker_address(entry)
+        except ValueError as error:
+            raise SystemExit(f"--workers: {error}") from None
+    return addresses
+
+
 def _run_merge(args: argparse.Namespace) -> str:
     """Validate shard manifests, combine their ledgers, re-render the artifact."""
     manifests = []
@@ -286,10 +343,19 @@ def _run_merge(args: argparse.Namespace) -> str:
 def run(argv: Optional[Sequence[str]] = None) -> str:
     """Run the CLI and return the rendered output (also printed to stdout)."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "worker":
+        return _run_worker(args)
     if args.experiment == "merge":
         return _run_merge(args)
     if (args.shard is not None or args.resume) and args.ledger_dir is None:
         raise SystemExit("--shard and --resume require --ledger-dir")
+    workers = _parse_worker_list(args.workers) if args.workers else None
+    if args.backend == "socket" and not workers:
+        raise SystemExit(
+            "--backend socket requires --workers HOST:PORT[,HOST:PORT...]"
+        )
+    if workers is not None and args.backend != "socket":
+        raise SystemExit("--workers requires --backend socket")
 
     previous_cache = None
     if args.lookup_cache is not None:
@@ -318,6 +384,7 @@ def run(argv: Optional[Sequence[str]] = None) -> str:
             shard=args.shard,
             manifest=manifest,
             manifest_path=manifest_path,
+            workers=workers,
         ) as runner:
             settings = ExperimentSettings(
                 episodes=args.episodes,
@@ -325,6 +392,7 @@ def run(argv: Optional[Sequence[str]] = None) -> str:
                 max_steps=args.max_steps,
                 jobs=args.jobs,
                 backend=args.backend,
+                workers=tuple(workers) if workers else None,
                 runner=runner,
             )
 

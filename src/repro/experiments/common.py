@@ -12,7 +12,7 @@ reports are bit-identical to the serial per-config path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, List, Mapping, Optional
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.analysis.metrics import RunSummary, aggregate_reports
 from repro.core.framework import EpisodeReport, SEOConfig
@@ -42,11 +42,14 @@ class ExperimentSettings:
         target_speed_mps: Controller cruise speed.
         jobs: Workers episodes are spread over (1 = in-process serial
             execution, 0 = all CPU cores; results are identical either way).
-        backend: Worker-pool backend, ``"process"`` or ``"thread"``.
+        backend: Worker-pool backend: ``"process"``, ``"thread"``,
+            ``"async"`` or ``"socket"``.
+        workers: Remote worker addresses (``"host:port"`` strings), required
+            by — and only valid with — the ``"socket"`` backend.
         runner: Optional shared :class:`~repro.runtime.sweep.SweepRunner`.
             When set, every driver batch funnels into it (one pool per
             invocation); when ``None``, each batch owns a transient runner
-            built from ``jobs``/``backend``.
+            built from ``jobs``/``backend``/``workers``.
     """
 
     episodes: int = 10
@@ -55,6 +58,7 @@ class ExperimentSettings:
     target_speed_mps: float = 8.0
     jobs: int = 1
     backend: str = "process"
+    workers: Optional[Tuple[str, ...]] = None
     runner: Optional[SweepRunner] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -67,6 +71,15 @@ class ExperimentSettings:
         if self.backend not in EXECUTOR_BACKENDS:
             raise ValueError(
                 f"unknown backend: {self.backend!r} (choose from {EXECUTOR_BACKENDS})"
+            )
+        if self.backend == "socket" and not self.workers:
+            raise ValueError(
+                "the socket backend requires worker addresses "
+                '(workers=("host:port", ...))'
+            )
+        if self.workers and self.backend != "socket":
+            raise ValueError(
+                "worker addresses are only valid with the socket backend"
             )
 
 
@@ -140,7 +153,9 @@ def run_batch(
     jobs = sweep_jobs(configs, settings.episodes)
     if settings.runner is not None:
         return settings.runner.run(jobs, experiment=experiment)
-    with SweepRunner(jobs=settings.jobs, backend=settings.backend) as runner:
+    with SweepRunner(
+        jobs=settings.jobs, backend=settings.backend, workers=settings.workers
+    ) as runner:
         return runner.run(jobs, experiment=experiment)
 
 

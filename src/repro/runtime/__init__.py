@@ -23,9 +23,10 @@ experiment drivers:
 * :mod:`repro.runtime.shard` — :class:`ShardSpec`/:class:`ShardManifest`,
   the deterministic hash partition behind ``--shard i/N`` and the merge
   validation.
-* :mod:`repro.runtime.remote` — the ``"async"`` backend: an asyncio
-  dispatcher feeding persistent worker subprocesses over length-prefixed
-  JSON/stdio.
+* :mod:`repro.runtime.remote` — the ``"async"`` and ``"socket"`` backends:
+  one transport-agnostic asyncio dispatcher feeding persistent workers over
+  a length-prefixed JSON protocol, either worker subprocesses (pipes) or
+  ``repro.cli worker --listen`` processes on other machines (TCP).
 * :mod:`repro.runtime.cache` — :class:`LookupTableCache`, memoizing
   :meth:`repro.core.lookup.DeadlineLookupTable.build` per process and
   optionally persisting tables to ``.npz`` files, so parameter sweeps
@@ -50,7 +51,7 @@ from repro.runtime.executor import (
     make_executor,
     resolve_jobs,
 )
-from repro.runtime.ledger import RunLedger
+from repro.runtime.ledger import LedgerSchemaError, RunLedger
 from repro.runtime.shard import ShardManifest, ShardSpec
 from repro.runtime.sweep import (
     SweepIncomplete,
@@ -62,26 +63,60 @@ from repro.runtime.sweep import (
 )
 from repro.runtime.workunit import WorkUnit
 
+#: Names served lazily from :mod:`repro.runtime.remote`.  Importing remote
+#: here eagerly would make ``python -m repro.runtime.remote`` (the pipe
+#: worker entry point) warn about the module being imported twice.
+_REMOTE_EXPORTS = frozenset(
+    {
+        "AsyncExecutor",
+        "AsyncWorkerPool",
+        "RemoteWorkerError",
+        "SocketExecutor",
+        "SocketWorkerPool",
+        "WorkerServer",
+        "parse_worker_address",
+        "serve_worker",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _REMOTE_EXPORTS:
+        from repro.runtime import remote
+
+        return getattr(remote, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "EXECUTOR_BACKENDS",
+    "AsyncExecutor",
+    "AsyncWorkerPool",
     "EpisodeExecutor",
+    "LedgerSchemaError",
     "LookupTableCache",
     "ParallelExecutor",
+    "RemoteWorkerError",
     "RunLedger",
     "SerialExecutor",
     "ShardManifest",
     "ShardSpec",
+    "SocketExecutor",
+    "SocketWorkerPool",
     "SweepIncomplete",
     "SweepJob",
     "SweepRunner",
     "ThreadExecutor",
     "WorkUnit",
+    "WorkerServer",
     "cache_key",
     "default_cache",
     "make_executor",
+    "parse_worker_address",
     "pool_constructions",
     "reset_pool_constructions",
     "resolve_jobs",
+    "serve_worker",
     "set_default_cache",
     "sweep_jobs",
 ]

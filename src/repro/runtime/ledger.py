@@ -36,10 +36,27 @@ from repro.core.framework import EpisodeReport
 from repro.runtime.workunit import WORKUNIT_SCHEMA_VERSION, WorkUnit
 
 __all__ = [
+    "LedgerSchemaError",
     "RunLedger",
     "report_from_jsonable",
     "report_to_jsonable",
 ]
+
+
+class LedgerSchemaError(ValueError):
+    """A serialized report does not match this code's report schema.
+
+    Raised instead of letting ``EpisodeReport(**payload)`` die with an
+    opaque ``TypeError`` when a ledger blob (or a remote worker's reply)
+    was written by code with a different ``EpisodeReport`` shape.
+    """
+
+
+#: The exact field set a serialized report must carry: ``report_to_jsonable``
+#: always emits every dataclass field, so anything else is another schema.
+_REPORT_FIELDS = frozenset(
+    field.name for field in dataclasses.fields(EpisodeReport)
+)
 
 
 def _plain(value: Any) -> Any:
@@ -61,7 +78,33 @@ def report_to_jsonable(report: EpisodeReport) -> Dict[str, Any]:
 
 
 def report_from_jsonable(payload: Dict[str, Any]) -> EpisodeReport:
-    """Rebuild an :class:`EpisodeReport` from :func:`report_to_jsonable`."""
+    """Rebuild an :class:`EpisodeReport` from :func:`report_to_jsonable`.
+
+    Raises:
+        LedgerSchemaError: If the payload's field set does not match this
+            code's ``EpisodeReport`` — i.e. the blob/frame was produced by
+            a different schema version.
+    """
+    if not isinstance(payload, dict):
+        raise LedgerSchemaError(
+            "ledger schema mismatch: report payload is "
+            f"{type(payload).__name__}, not an object (this code is "
+            f"work-unit schema v{WORKUNIT_SCHEMA_VERSION})"
+        )
+    unknown = sorted(set(payload) - _REPORT_FIELDS)
+    missing = sorted(_REPORT_FIELDS - set(payload))
+    if unknown or missing:
+        details = []
+        if unknown:
+            details.append(f"unknown field(s) {unknown}")
+        if missing:
+            details.append(f"missing field(s) {missing}")
+        raise LedgerSchemaError(
+            "ledger schema mismatch: report has "
+            + " and ".join(details)
+            + f" (this code is work-unit schema v{WORKUNIT_SCHEMA_VERSION}; "
+            "the blob was likely written by a different version)"
+        )
     return EpisodeReport(**payload)
 
 

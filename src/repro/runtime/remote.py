@@ -1,37 +1,49 @@
-"""Async executor backend: persistent worker subprocesses over JSON/stdio.
+"""Remote worker protocol: one dispatcher, two transports (pipe and socket).
 
-The ``"async"`` backend runs episodes on a pool of persistent worker
-subprocesses (``python -m repro.runtime.remote``) driven by an asyncio
-dispatcher.  Parent and worker speak a tiny length-prefixed JSON protocol
-over the worker's stdin/stdout — every frame is a 4-byte big-endian length
-followed by a UTF-8 JSON object:
+Episodes are bit-deterministic functions of ``(config, episode)``, so any
+worker anywhere can run any episode and return the exact reports the serial
+path would produce.  This module ships episodes to *persistent workers* over
+a tiny length-prefixed JSON protocol — every frame is a 4-byte big-endian
+length followed by a UTF-8 JSON object:
 
+* ``{"op": "hello", "protocol": ..., "schema": ...}`` →
+  ``{"ok": true, "protocol": ..., "schema": ...}`` — handshake; the
+  dispatcher refuses a worker whose protocol or work-unit schema version
+  does not match its own.
 * ``{"op": "init", "cache_dir": ...}`` → ``{"ok": true}`` — propagate the
-  parent's lookup-cache directory (same contract as the process backend's
-  pool initializer).
+  dispatcher's lookup-cache directory (same contract as the process
+  backend's pool initializer).
 * ``{"op": "run", "config": <canonical SEOConfig>, "episode": k}`` →
   ``{"ok": true, "report": <EpisodeReport>}`` — run one episode; the worker
   memoizes one framework per config, exactly like a process-pool worker.
-* ``{"op": "shutdown"}`` — drain and exit.
+* ``{"op": "shutdown"}`` — drain and exit (close the connection).
 
 Configs travel in the canonical serialized form of
 :mod:`repro.runtime.workunit` and reports in the JSON form of
-:mod:`repro.runtime.ledger`, so nothing on the wire depends on pickling —
-which is what makes this dispatcher the template for true multi-machine
-workers: replace the subprocess pipes with sockets and the protocol is
-unchanged.  Episodes are bit-deterministic functions of
-``(config, episode)``, so reports are identical to the serial/process/thread
-backends regardless of how the dispatcher interleaves work.
+:mod:`repro.runtime.ledger`, so nothing on the wire depends on pickling.
+The protocol is transport-agnostic, and both transports speak it verbatim:
 
-The dispatcher owns a private event loop on a daemon thread and exposes a
+* **pipe** — the ``"async"`` backend: worker subprocesses
+  (``python -m repro.runtime.remote``) driven over stdin/stdout
+  (:class:`AsyncWorkerPool`).
+* **socket** — the ``"socket"`` backend: workers started on any machine
+  with ``python -m repro.cli worker --listen HOST:PORT``
+  (:func:`serve_worker`), driven over TCP (:class:`SocketWorkerPool`).
+
+Both pools share one dispatcher (:class:`_WorkerDispatcher`): a private
+asyncio loop on a daemon thread, a free-worker queue balancing load, and a
 ``concurrent.futures``-compatible surface (``submit`` returning a future,
-``shutdown``), so :class:`repro.runtime.sweep.SweepRunner` can treat it like
-any other pool.
+``shutdown``), so :class:`repro.runtime.sweep.SweepRunner` can treat either
+like any other pool.  A worker that dies mid-exchange is retired and
+replaced (bounded respawn/reconnect budget per slot); its in-flight episode
+is re-dispatched to a healthy worker.  When every worker is gone the pool
+fails fast with a :class:`RemoteWorkerError` — submitted futures never hang.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import os
 import struct
@@ -40,13 +52,14 @@ import threading
 import traceback
 from concurrent.futures import Future
 from pathlib import Path
-from typing import Any, BinaryIO, Dict, List, Optional, Tuple
+from typing import Any, BinaryIO, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.framework import EpisodeReport, SEOConfig, SEOFramework
 from repro.runtime.cache import LookupTableCache, default_cache, set_default_cache
 from repro.runtime.executor import EpisodeExecutor, SerialExecutor, resolve_jobs
 from repro.runtime.ledger import report_from_jsonable, report_to_jsonable
 from repro.runtime.workunit import (
+    WORKUNIT_SCHEMA_VERSION,
     canonical_json,
     config_from_jsonable,
     config_to_jsonable,
@@ -55,20 +68,61 @@ from repro.runtime.workunit import (
 __all__ = [
     "AsyncExecutor",
     "AsyncWorkerPool",
+    "HANDSHAKE_TIMEOUT_S",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "RemoteWorkerError",
+    "SocketExecutor",
+    "SocketWorkerPool",
+    "WorkerServer",
+    "WorkerSession",
+    "parse_worker_address",
+    "read_frame",
+    "read_frame_async",
+    "serve_worker",
     "worker_main",
+    "write_frame",
+    "write_frame_async",
 ]
 
 #: Frame header: payload length as an unsigned 32-bit big-endian integer.
 _HEADER = struct.Struct(">I")
 
+#: Version of the frame protocol (ops and their fields).  Exchanged in the
+#: ``hello`` handshake; a dispatcher refuses a worker speaking another
+#: version instead of failing mid-sweep on a malformed frame.
+PROTOCOL_VERSION = 1
+
+#: Seconds a new worker gets to complete the connect-time hello/init
+#: exchange.  Those frames are answered immediately by a healthy worker, so
+#: a stall here means the peer accepted the connection but is not serving
+#: (black-holed host, stopped process) — fail the slot instead of hanging
+#: the sweep on it.  Run frames carry no timeout: episode duration is
+#: unbounded by design.
+HANDSHAKE_TIMEOUT_S = 30.0
+
+#: Upper bound on a single frame's payload.  Real frames are a few KB (a
+#: config or an episode report); the cap exists so a corrupt or hostile
+#: length header — 4 raw bytes read straight off a network socket — cannot
+#: trigger a multi-GB allocation before JSON parsing even starts.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
 
 class RemoteWorkerError(RuntimeError):
-    """An episode failed inside a remote worker (carries its traceback)."""
+    """A remote worker failed: an episode error, a dead transport, a corrupt
+    frame, or a handshake/version mismatch (the message says which)."""
+
+
+def _check_frame_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise RemoteWorkerError(
+            f"frame header announces {length} bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte cap — corrupt header or incompatible peer"
+        )
 
 
 # ----------------------------------------------------------------------
-# Framing (sync side: used by the worker process)
+# Framing (sync side: used by the stdio worker)
 # ----------------------------------------------------------------------
 
 def write_frame(stream: BinaryIO, payload: Dict[str, Any]) -> None:
@@ -86,6 +140,7 @@ def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
     if len(header) < _HEADER.size:
         raise EOFError("truncated frame header")
     (length,) = _HEADER.unpack(header)
+    _check_frame_length(length)
     chunks = []
     remaining = length
     while remaining:
@@ -98,17 +153,97 @@ def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
-# Worker process
+# Framing (async side: dispatcher transports and the socket server)
 # ----------------------------------------------------------------------
+
+async def write_frame_async(writer: asyncio.StreamWriter, payload: Dict[str, Any]) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    data = json.dumps(payload).encode("utf-8")
+    writer.write(_HEADER.pack(len(data)) + data)
+    await writer.drain()
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise RemoteWorkerError("truncated frame header") from error
+    (length,) = _HEADER.unpack(header)
+    _check_frame_length(length)
+    try:
+        data = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise RemoteWorkerError("truncated frame payload") from error
+    return json.loads(data.decode("utf-8"))
+
+
+def parse_worker_address(text: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` worker address (IPv6 hosts may be bracketed)."""
+    host, sep, port_text = text.strip().rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"worker address must be HOST:PORT, got {text!r}")
+    host = host.strip("[]")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"worker address has a non-numeric port: {text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"worker port out of range: {text!r}")
+    return host, port
+
+
+# ----------------------------------------------------------------------
+# Worker side: one protocol handler, two front-ends (stdio and socket)
+# ----------------------------------------------------------------------
+
+class WorkerSession:
+    """Protocol state of one worker connection.
+
+    One framework is memoized per config (keyed by canonical form), matching
+    the process-pool worker's behaviour.  The session is transport-blind:
+    the stdio loop and the socket server both feed it decoded frames.
+    """
+
+    def __init__(self) -> None:
+        self._memo: Optional[Tuple[str, SEOFramework]] = None
+
+    def handle(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """Reply to one request frame; ``None`` means shutdown (close)."""
+        op = request.get("op")
+        if op == "shutdown":
+            return None
+        try:
+            if op == "hello":
+                return {
+                    "ok": True,
+                    "protocol": PROTOCOL_VERSION,
+                    "schema": WORKUNIT_SCHEMA_VERSION,
+                }
+            if op == "init":
+                cache_dir = request.get("cache_dir")
+                path = Path(cache_dir) if cache_dir else None
+                if default_cache().cache_dir != path:
+                    set_default_cache(LookupTableCache(cache_dir=path))
+                return {"ok": True}
+            if op == "run":
+                payload = request["config"]
+                key = canonical_json(payload)
+                if self._memo is None or self._memo[0] != key:
+                    self._memo = (key, SEOFramework(config_from_jsonable(payload)))
+                report = self._memo[1].run_episode(int(request["episode"]))
+                return {"ok": True, "report": report_to_jsonable(report)}
+            raise ValueError(f"unknown op: {op!r}")
+        except Exception:
+            return {"ok": False, "error": traceback.format_exc()}
+
 
 def worker_main(
     stdin: Optional[BinaryIO] = None, stdout: Optional[BinaryIO] = None
 ) -> None:
-    """Serve episode requests over stdio until shutdown/EOF.
-
-    One framework is memoized per config (keyed by canonical form), matching
-    the process-pool worker's behaviour.
-    """
+    """Serve episode requests over stdio until shutdown/EOF."""
     if stdin is None:
         stdin = sys.stdin.buffer
     if stdout is None:
@@ -118,36 +253,237 @@ def worker_main(
         # corrupt a frame.  Only done in real subprocess mode — tests drive
         # worker_main in-process with explicit streams.
         sys.stdout = sys.stderr
-    memo: Optional[Tuple[str, SEOFramework]] = None
+    session = WorkerSession()
     while True:
         request = read_frame(stdin)
-        if request is None or request.get("op") == "shutdown":
+        if request is None:
             return
+        reply = session.handle(request)
+        if reply is None:
+            return
+        write_frame(stdout, reply)
+
+
+async def _serve_connection(
+    reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """Serve one dispatcher connection; a framing error drops only it."""
+    session = WorkerSession()
+    try:
+        while True:
+            request = await read_frame_async(reader)
+            if request is None:
+                break
+            reply = session.handle(request)
+            if reply is None:
+                break
+            await write_frame_async(writer, reply)
+    except (RemoteWorkerError, ConnectionError, OSError, ValueError):
+        # ValueError covers undecodable frames (JSONDecodeError /
+        # UnicodeDecodeError): unrecoverable framing or a dead peer — close
+        # this connection, keep serving others.
+        pass
+    except asyncio.CancelledError:
+        pass  # server shutting down: close this connection quietly
+    finally:
+        with contextlib.suppress(Exception):
+            writer.close()
+            await writer.wait_closed()
+
+
+async def serve_worker(
+    host: str, port: int, on_bound: Optional[Callable[[str], None]] = None
+) -> None:
+    """Serve the worker protocol over TCP until cancelled.
+
+    Args:
+        host: Interface to bind.
+        port: Port to bind (``0`` = pick an ephemeral port).
+        on_bound: Called once with the bound ``host:port`` string — this is
+            how callers (and the CLI, which prints it) learn an ephemeral
+            port.
+    """
+    server = await asyncio.start_server(
+        _serve_connection, host, port, limit=MAX_FRAME_BYTES
+    )
+    bound = server.sockets[0].getsockname()
+    if on_bound is not None:
+        on_bound(f"{bound[0]}:{bound[1]}")
+    async with server:
+        await server.serve_forever()
+
+
+class WorkerServer:
+    """A socket worker served from a daemon thread of this process.
+
+    The in-process counterpart of ``repro.cli worker --listen`` — used by
+    tests and notebooks to stand up localhost workers without spawning
+    subprocesses.  ``stop()`` kills the server (abandoning any connection,
+    like a crashed worker machine would).
+
+    Attributes:
+        address: The bound ``host:port`` string.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.address: Optional[str] = None
+        self._error: Optional[BaseException] = None
+        self._ready = threading.Event()
+        self._loop = asyncio.new_event_loop()
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run, args=(host, port), name="seo-worker-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("worker server did not start in time")
+        if self._error is not None:
+            raise RuntimeError(f"worker server failed to bind: {self._error}")
+
+    def _run(self, host: str, port: int) -> None:
+        asyncio.set_event_loop(self._loop)
+
+        def _on_bound(address: str) -> None:
+            self.address = address
+            self._ready.set()
+
         try:
-            if request["op"] == "init":
-                cache_dir = request.get("cache_dir")
-                path = Path(cache_dir) if cache_dir else None
-                if default_cache().cache_dir != path:
-                    set_default_cache(LookupTableCache(cache_dir=path))
-                write_frame(stdout, {"ok": True})
-            elif request["op"] == "run":
-                payload = request["config"]
-                key = canonical_json(payload)
-                if memo is None or memo[0] != key:
-                    memo = (key, SEOFramework(config_from_jsonable(payload)))
-                report = memo[1].run_episode(int(request["episode"]))
-                write_frame(
-                    stdout, {"ok": True, "report": report_to_jsonable(report)}
+            self._loop.run_until_complete(serve_worker(host, port, on_bound=_on_bound))
+        except asyncio.CancelledError:
+            # stop() cancelled everything; let in-flight connection handlers
+            # observe the cancellation before the loop closes.
+            pending = asyncio.all_tasks(self._loop)
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
                 )
-            else:
-                raise ValueError(f"unknown op: {request.get('op')!r}")
-        except Exception:
-            write_frame(stdout, {"ok": False, "error": traceback.format_exc()})
+        except BaseException as error:  # bind failure before ready
+            self._error = error
+            self._ready.set()
+        finally:
+            with contextlib.suppress(Exception):
+                self._loop.close()
+
+    def stop(self) -> None:
+        """Tear the server down (idempotent), as abruptly as a crash."""
+        if self._stopped:
+            return
+        self._stopped = True
+
+        def _cancel_everything() -> None:
+            for task in asyncio.all_tasks(self._loop):
+                task.cancel()
+
+        if not self._loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(_cancel_everything)
+        self._thread.join(timeout=30)
 
 
 # ----------------------------------------------------------------------
-# Dispatcher
+# Dispatcher side: transports
 # ----------------------------------------------------------------------
+
+class _StreamTransport:
+    """Frame I/O over one asyncio reader/writer pair.
+
+    Normalizes every transport failure (dead pipe, reset connection,
+    truncated frame, oversized header) into :class:`RemoteWorkerError`, so
+    the dispatcher has exactly one "this worker is gone" signal.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        description: str,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.description = description
+
+    async def send(self, payload: Dict[str, Any]) -> None:
+        try:
+            await write_frame_async(self.writer, payload)
+        except (ConnectionError, OSError) as error:
+            raise RemoteWorkerError(
+                f"{self.description} is gone (send failed: {error})"
+            ) from error
+
+    async def recv(self) -> Dict[str, Any]:
+        try:
+            frame = await read_frame_async(self.reader)
+        except (ConnectionError, OSError) as error:
+            raise RemoteWorkerError(
+                f"{self.description} is gone (recv failed: {error})"
+            ) from error
+        except ValueError as error:
+            # json.JSONDecodeError / UnicodeDecodeError: the peer is not
+            # speaking our protocol (corruption, or a wrong service on the
+            # port).  Framing is unrecoverable — same signal as a dead pipe,
+            # so the dispatcher retires the worker instead of leaking its
+            # slot.
+            raise RemoteWorkerError(
+                f"{self.description} sent an undecodable frame: {error}"
+            ) from error
+        if frame is None:
+            raise RemoteWorkerError(
+                f"{self.description} closed the connection mid-exchange"
+            )
+        return frame
+
+    async def close(self, kill: bool = False, timeout: float = 5.0) -> None:
+        raise NotImplementedError
+
+
+class _PipeTransport(_StreamTransport):
+    """A worker subprocess driven over its stdin/stdout pipes."""
+
+    def __init__(self, proc: asyncio.subprocess.Process) -> None:
+        super().__init__(
+            proc.stdout, proc.stdin, f"worker subprocess (pid {proc.pid})"
+        )
+        self.proc = proc
+
+    async def close(self, kill: bool = False, timeout: float = 5.0) -> None:
+        with contextlib.suppress(Exception):
+            self.writer.close()
+        if kill:
+            with contextlib.suppress(ProcessLookupError):
+                self.proc.kill()
+        try:
+            await asyncio.wait_for(self.proc.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            with contextlib.suppress(ProcessLookupError):
+                self.proc.kill()
+            await self.proc.wait()
+
+
+class _SocketTransport(_StreamTransport):
+    """A remote worker driven over a TCP connection."""
+
+    async def close(self, kill: bool = False, timeout: float = 5.0) -> None:
+        with contextlib.suppress(Exception):
+            self.writer.close()
+            await asyncio.wait_for(self.writer.wait_closed(), timeout=timeout)
+
+
+def _validate_handshake(reply: Dict[str, Any], description: str) -> None:
+    """Refuse a worker whose protocol or work-unit schema version differs."""
+    if not reply.get("ok"):
+        raise RemoteWorkerError(
+            f"{description} rejected the handshake: {reply.get('error')}"
+        )
+    protocol = reply.get("protocol")
+    schema = reply.get("schema")
+    if protocol != PROTOCOL_VERSION or schema != WORKUNIT_SCHEMA_VERSION:
+        raise RemoteWorkerError(
+            f"{description} speaks protocol v{protocol} / work-unit schema "
+            f"v{schema}; this dispatcher requires protocol "
+            f"v{PROTOCOL_VERSION} / schema v{WORKUNIT_SCHEMA_VERSION} — "
+            "run matching versions on both ends"
+        )
+
 
 def _worker_env() -> Dict[str, str]:
     """Subprocess environment with the repro package importable."""
@@ -161,33 +497,107 @@ def _worker_env() -> Dict[str, str]:
     return env
 
 
-class AsyncWorkerPool:
-    """Asyncio dispatcher feeding persistent remote-worker subprocesses.
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
 
-    Workers are spawned lazily on the first submission and reused for every
-    subsequent episode; a free-worker queue balances load.  ``submit``
-    returns a :class:`concurrent.futures.Future`, so callers collect results
-    exactly as they would from a stdlib executor.
+#: Idle-queue sentinel: the pool is dead; wake every parked waiter.
+_POOL_FAILED = object()
+
+
+class _WorkerDispatcher:
+    """Transport-agnostic asyncio dispatcher feeding persistent workers.
+
+    Workers occupy numbered *slots*.  Slots are connected lazily on the
+    first submission; a free-slot queue balances load; ``submit`` returns a
+    :class:`concurrent.futures.Future`, so callers collect results exactly
+    as they would from a stdlib executor.  Subclasses define how a slot's
+    transport is (re)established (:meth:`_connect`).
+
+    Fault tolerance: a worker that fails mid-exchange is retired and its
+    slot re-established at most ``max_respawns`` times; the interrupted
+    episode is re-dispatched to whichever worker frees up next (episodes
+    are deterministic and side-effect free, so re-running one is always
+    safe).  When the last worker dies the pool fails fast: every parked and
+    future submission raises :class:`RemoteWorkerError` instead of hanging
+    on an idle queue nobody will ever refill.
 
     Args:
-        workers: Number of worker subprocesses.
+        slots: Number of worker slots.
         cache_dir: Lookup-cache directory propagated to every worker.
+        max_respawns: Re-establish attempts per slot before it is retired
+            for good.
     """
 
-    def __init__(self, workers: int, cache_dir: Optional[Path] = None) -> None:
-        if workers < 1:
+    def __init__(
+        self, slots: int, cache_dir: Optional[Path] = None, max_respawns: int = 1
+    ) -> None:
+        if slots < 1:
             raise ValueError("workers must be at least 1")
-        self.workers = workers
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
+        self.slots = slots
         self.cache_dir = cache_dir
+        self.max_respawns = max_respawns
+        self.respawns = 0
+        self.lost_slots = 0
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="seo-async-dispatch", daemon=True
         )
         self._thread.start()
-        self._procs: List[asyncio.subprocess.Process] = []
+        self._transports: Dict[int, _StreamTransport] = {}
+        self._respawns_left: Dict[int, int] = {}
+        self._pending: set = set()
         self._idle: Optional[asyncio.Queue] = None
         self._start_lock: Optional[asyncio.Lock] = None
+        self._fatal: Optional[RemoteWorkerError] = None
         self._closed = False
+
+    # -- transport establishment (subclass responsibility) --------------
+    async def _connect(self, slot: int) -> _StreamTransport:
+        raise NotImplementedError
+
+    async def _handshake(self, transport: _StreamTransport) -> None:
+        await transport.send(
+            {
+                "op": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "schema": WORKUNIT_SCHEMA_VERSION,
+            }
+        )
+        _validate_handshake(await transport.recv(), transport.description)
+        await transport.send(
+            {
+                "op": "init",
+                "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            }
+        )
+        reply = await transport.recv()
+        if not reply.get("ok"):
+            raise RemoteWorkerError(
+                f"{transport.description} failed to initialize: "
+                f"{reply.get('error')}"
+            )
+
+    async def _start_worker(self, slot: int) -> _StreamTransport:
+        """Connect a slot and run the handshake + init sequence."""
+        transport = await self._connect(slot)
+        try:
+            await asyncio.wait_for(
+                self._handshake(transport), timeout=HANDSHAKE_TIMEOUT_S
+            )
+        except asyncio.TimeoutError:
+            await transport.close(kill=True, timeout=1.0)
+            raise RemoteWorkerError(
+                f"{transport.description} accepted the connection but did "
+                f"not complete the handshake within {HANDSHAKE_TIMEOUT_S}s"
+            ) from None
+        except BaseException:
+            await transport.close(kill=True, timeout=1.0)
+            raise
+        self._transports[slot] = transport
+        return transport
 
     # -- pool lifecycle -------------------------------------------------
     async def _ensure_workers(self) -> None:
@@ -197,102 +607,220 @@ class AsyncWorkerPool:
             if self._idle is not None:
                 return
             idle: asyncio.Queue = asyncio.Queue()
-            for _ in range(self.workers):
-                proc = await asyncio.create_subprocess_exec(
-                    sys.executable,
-                    "-m",
-                    "repro.runtime.remote",
-                    stdin=asyncio.subprocess.PIPE,
-                    stdout=asyncio.subprocess.PIPE,
-                    env=_worker_env(),
-                )
-                self._procs.append(proc)
-                await self._send(
-                    proc,
-                    {
-                        "op": "init",
-                        "cache_dir": str(self.cache_dir) if self.cache_dir else None,
-                    },
-                )
-                reply = await self._recv(proc)
-                if not reply.get("ok"):
-                    raise RemoteWorkerError(
-                        f"worker failed to initialize: {reply.get('error')}"
-                    )
-                idle.put_nowait(proc)
+            for slot in range(self.slots):
+                self._respawns_left.setdefault(slot, self.max_respawns)
+                # A retried startup (first attempt failed partway) reuses
+                # slots that already connected instead of leaking them.
+                if slot not in self._transports:
+                    await self._start_worker(slot)
+                idle.put_nowait(slot)
             self._idle = idle
 
-    @staticmethod
-    async def _send(proc: asyncio.subprocess.Process, payload: Dict[str, Any]) -> None:
-        data = json.dumps(payload).encode("utf-8")
-        proc.stdin.write(_HEADER.pack(len(data)) + data)
-        await proc.stdin.drain()
-
-    @staticmethod
-    async def _recv(proc: asyncio.subprocess.Process) -> Dict[str, Any]:
-        try:
-            header = await proc.stdout.readexactly(_HEADER.size)
-            (length,) = _HEADER.unpack(header)
-            data = await proc.stdout.readexactly(length)
-        except asyncio.IncompleteReadError as error:
-            raise RemoteWorkerError(
-                "remote worker exited mid-frame (see its stderr above)"
-            ) from error
-        return json.loads(data.decode("utf-8"))
-
-    async def _run_episode(self, payload: Dict[str, Any], episode: int) -> EpisodeReport:
-        await self._ensure_workers()
+    async def _acquire(self) -> int:
+        """Take an idle slot, or raise promptly once the pool is dead."""
         assert self._idle is not None
-        proc = await self._idle.get()
-        # No `finally`-requeue: a transport failure (worker died mid-frame)
-        # must NOT return the dead process to the idle queue, where the next
-        # episode would trip over its closed pipes with an unrelated error.
-        await self._send(proc, {"op": "run", "config": payload, "episode": episode})
-        reply = await self._recv(proc)
-        # A completed exchange means the worker is healthy — requeue it even
-        # when the episode itself failed (the error travelled in the reply).
-        self._idle.put_nowait(proc)
-        if not reply.get("ok"):
-            raise RemoteWorkerError(
-                f"remote episode {episode} failed:\n{reply.get('error')}"
+        while True:
+            if self._fatal is not None:
+                raise RemoteWorkerError(str(self._fatal))
+            slot = await self._idle.get()
+            if slot is _POOL_FAILED:
+                self._idle.put_nowait(slot)  # wake the next parked waiter
+                raise RemoteWorkerError(str(self._fatal))
+            return slot
+
+    async def _retire(
+        self, slot: int, transport: _StreamTransport, error: Exception
+    ) -> None:
+        """Drop a dead worker; respawn its slot or declare the pool dead."""
+        self._transports.pop(slot, None)
+        await transport.close(kill=True, timeout=1.0)
+        while self._respawns_left.get(slot, 0) > 0:
+            self._respawns_left[slot] -= 1
+            try:
+                await self._start_worker(slot)
+            except RemoteWorkerError:
+                continue
+            self.respawns += 1
+            assert self._idle is not None
+            self._idle.put_nowait(slot)
+            return
+        self.lost_slots += 1
+        if not self._transports:
+            # _transports holds every live worker, idle or busy — empty
+            # means capacity is zero forever.  Fail every parked waiter now
+            # rather than letting the sweep hang on the idle queue.
+            self._fatal = RemoteWorkerError(
+                f"all {self.slots} remote worker slot(s) are dead "
+                f"(respawn budget {self.max_respawns}/slot exhausted); "
+                f"last failure on {transport.description}: {error}"
             )
-        return report_from_jsonable(reply["report"])
+            assert self._idle is not None
+            self._idle.put_nowait(_POOL_FAILED)
+
+    async def _run_episode(
+        self, payload: Dict[str, Any], episode: int
+    ) -> EpisodeReport:
+        task = asyncio.current_task()
+        self._pending.add(task)
+        try:
+            await self._ensure_workers()
+            while True:
+                slot = await self._acquire()
+                transport = self._transports[slot]
+                try:
+                    await transport.send(
+                        {"op": "run", "config": payload, "episode": episode}
+                    )
+                    reply = await transport.recv()
+                except RemoteWorkerError as error:
+                    # Transport death, not an episode error (those travel in
+                    # the reply): retire the worker and re-dispatch this
+                    # episode.  Each pass through here shrinks the pool or
+                    # spends respawn budget, so the loop terminates — in the
+                    # worst case via _acquire raising the pool-dead error.
+                    await self._retire(slot, transport, error)
+                    continue
+                # A completed exchange means the worker is healthy — requeue
+                # it even when the episode itself failed.
+                self._idle.put_nowait(slot)
+                if not reply.get("ok"):
+                    raise RemoteWorkerError(
+                        f"remote episode {episode} failed:\n{reply.get('error')}"
+                    )
+                return report_from_jsonable(reply["report"])
+        finally:
+            self._pending.discard(task)
 
     # -- Executor-compatible surface ------------------------------------
     def submit(self, config: SEOConfig, episode: int) -> "Future[EpisodeReport]":
         """Dispatch one episode; returns a concurrent future for its report."""
         if self._closed:
-            raise RuntimeError("AsyncWorkerPool is shut down")
+            raise RuntimeError(f"{type(self).__name__} is shut down")
         payload = config_to_jsonable(config)
         return asyncio.run_coroutine_threadsafe(
             self._run_episode(payload, episode), self._loop
         )
 
     def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
-        """Stop the workers and the dispatch loop (idempotent)."""
+        """Stop the workers and the dispatch loop (idempotent).
+
+        With ``cancel_futures=True`` every pending ``_run_episode``
+        coroutine is cancelled first — including the ones still parked on
+        the idle queue, whose futures would otherwise never resolve — and
+        workers get a short grace period instead of the full one.
+        """
         if self._closed:
             return
         self._closed = True
 
         async def _close() -> None:
-            for proc in self._procs:
-                try:
-                    await self._send(proc, {"op": "shutdown"})
-                    proc.stdin.close()
-                except (OSError, ConnectionError):
-                    pass
-            for proc in self._procs:
-                try:
-                    await asyncio.wait_for(proc.wait(), timeout=5.0)
-                except asyncio.TimeoutError:
-                    proc.kill()
-                    await proc.wait()
+            if cancel_futures:
+                for task in list(self._pending):
+                    task.cancel()
+            if self._pending:
+                await asyncio.gather(*self._pending, return_exceptions=True)
+            grace = 1.0 if cancel_futures else 5.0
+            for transport in list(self._transports.values()):
+                with contextlib.suppress(RemoteWorkerError):
+                    await transport.send({"op": "shutdown"})
+                await transport.close(timeout=grace)
+            self._transports.clear()
 
         asyncio.run_coroutine_threadsafe(_close(), self._loop).result()
         self._loop.call_soon_threadsafe(self._loop.stop)
         self._thread.join()
         self._loop.close()
 
+
+class AsyncWorkerPool(_WorkerDispatcher):
+    """Dispatcher over persistent worker *subprocesses* (pipe transport).
+
+    Backs the ``"async"`` executor/sweep backend.  A slot's worker is
+    respawned as a fresh subprocess when it dies.
+
+    Args:
+        workers: Number of worker subprocesses.
+        cache_dir: Lookup-cache directory propagated to every worker.
+        max_respawns: Respawn attempts per slot before giving up on it.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        cache_dir: Optional[Path] = None,
+        max_respawns: int = 1,
+    ) -> None:
+        super().__init__(
+            slots=workers, cache_dir=cache_dir, max_respawns=max_respawns
+        )
+        self.workers = workers
+
+    async def _connect(self, slot: int) -> _StreamTransport:
+        try:
+            proc = await asyncio.create_subprocess_exec(
+                sys.executable,
+                "-m",
+                "repro.runtime.remote",
+                stdin=asyncio.subprocess.PIPE,
+                stdout=asyncio.subprocess.PIPE,
+                limit=MAX_FRAME_BYTES,
+                env=_worker_env(),
+            )
+        except OSError as error:
+            raise RemoteWorkerError(
+                f"cannot spawn worker subprocess: {error}"
+            ) from error
+        return _PipeTransport(proc)
+
+
+class SocketWorkerPool(_WorkerDispatcher):
+    """Dispatcher over remote workers reached by TCP (socket transport).
+
+    Backs the ``"socket"`` executor/sweep backend: one slot per
+    ``HOST:PORT`` address, served by ``python -m repro.cli worker --listen``
+    on that machine.  A slot whose connection dies is re-established by
+    reconnecting to the *same* address (the worker process may have merely
+    restarted); when the reconnect budget is exhausted the slot is retired
+    and the sweep continues on the remaining workers.
+
+    Args:
+        workers: Worker addresses (``"host:port"`` strings).
+        cache_dir: Lookup-cache directory propagated to every worker (only
+            meaningful when workers share the dispatcher's filesystem).
+        max_respawns: Reconnect attempts per address before retiring it.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        cache_dir: Optional[Path] = None,
+        max_respawns: int = 1,
+    ) -> None:
+        addresses = tuple(workers)
+        if not addresses:
+            raise ValueError("socket pool needs at least one worker address")
+        self.addresses = tuple(parse_worker_address(entry) for entry in addresses)
+        super().__init__(
+            slots=len(addresses), cache_dir=cache_dir, max_respawns=max_respawns
+        )
+        self.workers = len(addresses)
+
+    async def _connect(self, slot: int) -> _StreamTransport:
+        host, port = self.addresses[slot]
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_FRAME_BYTES
+            )
+        except OSError as error:
+            raise RemoteWorkerError(
+                f"cannot connect to worker {host}:{port}: {error}"
+            ) from error
+        return _SocketTransport(reader, writer, f"socket worker {host}:{port}")
+
+
+# ----------------------------------------------------------------------
+# Single-config executors over the dispatchers
+# ----------------------------------------------------------------------
 
 class AsyncExecutor(EpisodeExecutor):
     """Single-config executor over an :class:`AsyncWorkerPool`.
@@ -315,6 +843,33 @@ class AsyncExecutor(EpisodeExecutor):
         if workers <= 1:
             return SerialExecutor().run(config, episodes)
         pool = AsyncWorkerPool(workers, cache_dir=default_cache().cache_dir)
+        try:
+            futures = [pool.submit(config, episode) for episode in range(episodes)]
+            return [future.result() for future in futures]
+        finally:
+            pool.shutdown()
+
+
+class SocketExecutor(EpisodeExecutor):
+    """Single-config executor over a :class:`SocketWorkerPool`.
+
+    Registered as the ``"socket"`` entry of
+    :data:`repro.runtime.executor.EXECUTOR_BACKENDS`.  Unlike the local
+    backends there is no serial degradation: even a single address means
+    "run it over there".
+
+    Args:
+        workers: Worker addresses (``"host:port"`` strings).
+    """
+
+    def __init__(self, workers: Sequence[str]) -> None:
+        self.addresses = tuple(workers)
+        if not self.addresses:
+            raise ValueError("socket backend requires at least one worker address")
+
+    def run(self, config: SEOConfig, episodes: int) -> List[EpisodeReport]:
+        self._validate(episodes)
+        pool = SocketWorkerPool(self.addresses, cache_dir=default_cache().cache_dir)
         try:
             futures = [pool.submit(config, episode) for episode in range(episodes)]
             return [future.result() for future in futures]

@@ -194,6 +194,10 @@ class SweepRunner:
             locally resolved unit is recorded into it (and saved to
             ``manifest_path`` after each batch when that is set).
         manifest_path: Where to persist the manifest after each batch.
+        workers: Remote worker addresses (``"host:port"`` strings), required
+            by — and only valid with — the ``"socket"`` backend.  The pool
+            size is the number of addresses (``jobs`` is ignored), and the
+            sweep always dispatches remotely, even with a single address.
     """
 
     def __init__(
@@ -205,6 +209,7 @@ class SweepRunner:
         shard: Optional[ShardSpec] = None,
         manifest: Optional[ShardManifest] = None,
         manifest_path: Optional[Path] = None,
+        workers: Optional[Sequence[str]] = None,
     ) -> None:
         if backend not in EXECUTOR_BACKENDS:
             raise ValueError(
@@ -212,8 +217,22 @@ class SweepRunner:
             )
         if resume and ledger is None:
             raise ValueError("resume=True requires a ledger")
+        if backend == "socket" and not workers:
+            raise ValueError(
+                "the socket backend requires worker addresses "
+                '(workers=["host:port", ...])'
+            )
+        if workers and backend != "socket":
+            raise ValueError(
+                "worker addresses are only valid with the socket backend"
+            )
         self.backend = backend
-        self.workers = resolve_jobs(jobs)
+        self.worker_addresses = tuple(workers) if workers else None
+        self.workers = (
+            len(self.worker_addresses)
+            if self.worker_addresses is not None
+            else resolve_jobs(jobs)
+        )
         self.ledger = ledger
         self.resume = resume
         self.shard = shard
@@ -252,8 +271,15 @@ class SweepRunner:
                 )
             elif self.backend == "thread":
                 self._pool = ThreadPoolExecutor(max_workers=self.workers)
-            else:
+            elif self.backend == "socket":
                 # Imported lazily: repro.runtime.remote imports executor/ledger.
+                from repro.runtime.remote import SocketWorkerPool
+
+                assert self.worker_addresses is not None
+                self._pool = SocketWorkerPool(
+                    self.worker_addresses, cache_dir=default_cache().cache_dir
+                )
+            else:
                 from repro.runtime.remote import AsyncWorkerPool
 
                 self._pool = AsyncWorkerPool(
@@ -273,7 +299,7 @@ class SweepRunner:
             return lambda config, episode: pool.submit(
                 _run_episode_task_threaded, config, episode
             )
-        return pool.submit  # AsyncWorkerPool.submit(config, episode)
+        return pool.submit  # dispatcher pools: submit(config, episode)
 
     # ------------------------------------------------------------------
     # Execution
@@ -367,7 +393,9 @@ class SweepRunner:
         """Execute units on the configured backend, keyed by unit hash."""
         if not units:
             return {}
-        if self.workers <= 1:
+        # The socket backend never degrades to local-serial: one address
+        # still means "run it on that machine".
+        if self.backend != "socket" and self.workers <= 1:
             return {
                 unit.key: self._serial.run_range(
                     unit.config, unit.episode_start, unit.episode_stop

@@ -1,15 +1,20 @@
 """Tests for the distributed sweep layer: work units, ledger, shards, remote.
 
-The acceptance bar (see ISSUE 4): a suite run as 3 shards + merge is
+The acceptance bar (see ISSUE 4/5): a suite run as 3 shards + merge is
 bit-identical to the unsharded serial run; a resumed ledger reproduces the
-same reports without executing a single episode; and the async
-remote-worker backend has report parity with the serial/process path on
-real experiment drivers.
+same reports without executing a single episode; the async and socket
+remote-worker backends have report parity with the serial/process path on
+real experiment drivers; and killing a worker mid-sweep either completes
+via respawn or fails with a clear ``RemoteWorkerError`` — never a hang.
 """
 
+import asyncio
 import dataclasses
 import io
 import json
+import subprocess
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -17,8 +22,29 @@ import pytest
 from repro.cli import run
 from repro.core.framework import SEOFramework
 from repro.runtime.executor import SerialExecutor
-from repro.runtime.ledger import RunLedger, report_from_jsonable, report_to_jsonable
-from repro.runtime.remote import read_frame, worker_main, write_frame
+from repro.runtime.ledger import (
+    LedgerSchemaError,
+    RunLedger,
+    report_from_jsonable,
+    report_to_jsonable,
+)
+from repro.runtime.remote import (
+    _HEADER,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    AsyncWorkerPool,
+    RemoteWorkerError,
+    SocketWorkerPool,
+    WorkerServer,
+    WorkerSession,
+    _validate_handshake,
+    _worker_env,
+    parse_worker_address,
+    read_frame,
+    read_frame_async,
+    worker_main,
+    write_frame,
+)
 from repro.runtime.shard import (
     ShardManifest,
     ShardMergeError,
@@ -27,6 +53,7 @@ from repro.runtime.shard import (
 )
 from repro.runtime.sweep import SweepIncomplete, SweepRunner, sweep_jobs
 from repro.runtime.workunit import (
+    WORKUNIT_SCHEMA_VERSION,
     WorkUnit,
     config_from_jsonable,
     config_to_jsonable,
@@ -484,3 +511,352 @@ class TestDistributedCli:
         serial_suite = run(SUITE_ARGS + cache)
         async_suite = run(SUITE_ARGS + cache + ["--jobs", "2", "--backend", "async"])
         assert async_suite == serial_suite
+
+
+# ----------------------------------------------------------------------
+# Frame hygiene: length cap on both framing stacks
+# ----------------------------------------------------------------------
+class TestFrameCap:
+    def test_sync_reader_rejects_oversized_header(self):
+        stream = io.BytesIO(_HEADER.pack(MAX_FRAME_BYTES + 1) + b"x")
+        with pytest.raises(RemoteWorkerError, match="cap"):
+            read_frame(stream)
+
+    def test_async_reader_rejects_oversized_header(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(_HEADER.pack(2**31))
+            reader.feed_eof()
+            await read_frame_async(reader)
+
+        with pytest.raises(RemoteWorkerError, match="cap"):
+            asyncio.run(scenario())
+
+    def test_frame_at_the_cap_boundary_is_fine(self):
+        stream = io.BytesIO()
+        write_frame(stream, {"op": "run"})
+        stream.seek(0)
+        assert read_frame(stream) == {"op": "run"}
+
+    def test_transport_normalizes_undecodable_frames(self):
+        """A non-JSON reply must surface as RemoteWorkerError, the one
+        signal the dispatcher retires workers on — a raw JSONDecodeError
+        would leak the slot and hang the sweep."""
+        from repro.runtime.remote import _StreamTransport
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(_HEADER.pack(9) + b"\xfe\xfd not js")
+            reader.feed_eof()
+            transport = _StreamTransport(reader, writer=None, description="peer")
+            await transport.recv()
+
+        with pytest.raises(RemoteWorkerError, match="undecodable"):
+            asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Handshake / protocol versioning
+# ----------------------------------------------------------------------
+class TestHandshake:
+    def test_worker_session_advertises_versions(self):
+        reply = WorkerSession().handle(
+            {"op": "hello", "protocol": PROTOCOL_VERSION,
+             "schema": WORKUNIT_SCHEMA_VERSION}
+        )
+        assert reply == {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "schema": WORKUNIT_SCHEMA_VERSION,
+        }
+
+    def test_matching_versions_accepted(self):
+        _validate_handshake(
+            {"ok": True, "protocol": PROTOCOL_VERSION,
+             "schema": WORKUNIT_SCHEMA_VERSION},
+            "worker",
+        )
+
+    @pytest.mark.parametrize(
+        "reply",
+        [
+            {"ok": True, "protocol": 999, "schema": WORKUNIT_SCHEMA_VERSION},
+            {"ok": True, "protocol": PROTOCOL_VERSION, "schema": 999},
+            {"ok": True},  # a peer that predates the handshake
+            {"ok": False, "error": "nope"},
+        ],
+    )
+    def test_version_mismatch_is_refused(self, reply):
+        with pytest.raises(RemoteWorkerError):
+            _validate_handshake(reply, "worker")
+
+    def test_parse_worker_address(self):
+        assert parse_worker_address("127.0.0.1:7070") == ("127.0.0.1", 7070)
+        assert parse_worker_address("[::1]:7070") == ("::1", 7070)
+        for bad in ("nohost", "host:", "host:abc", ":1", "host:70000"):
+            with pytest.raises(ValueError):
+                parse_worker_address(bad)
+
+
+# ----------------------------------------------------------------------
+# Ledger report schema validation
+# ----------------------------------------------------------------------
+class TestReportSchema:
+    def test_unknown_field_raises_clear_error(self, fast_seo_config):
+        payload = report_to_jsonable(SerialExecutor().run(fast_seo_config, 1)[0])
+        payload["field_from_the_future"] = 1
+        with pytest.raises(LedgerSchemaError, match="ledger schema mismatch"):
+            report_from_jsonable(payload)
+
+    def test_missing_field_raises_clear_error(self, fast_seo_config):
+        payload = report_to_jsonable(SerialExecutor().run(fast_seo_config, 1)[0])
+        payload.pop("overall_gain")
+        with pytest.raises(LedgerSchemaError, match="missing"):
+            report_from_jsonable(payload)
+
+    def test_non_object_payload_raises_clear_error(self):
+        with pytest.raises(LedgerSchemaError, match="ledger schema mismatch"):
+            report_from_jsonable(["not", "a", "report"])
+
+    def test_mismatched_blob_is_a_resumable_miss(self, fast_seo_config, tmp_path):
+        """A ledger blob from another report schema re-executes, not crashes."""
+        reports = SerialExecutor().run(fast_seo_config, 1)
+        unit = WorkUnit.for_sweep(fast_seo_config, 1)
+        ledger = RunLedger(tmp_path)
+        ledger.put(unit, reports)
+        path = ledger.blob_path(unit.key)
+        payloads = [report_to_jsonable(report) for report in reports]
+        payloads[0]["field_from_the_future"] = 1
+        np.savez_compressed(
+            path, reports=np.array([json.dumps(entry) for entry in payloads])
+        )
+        assert RunLedger(tmp_path).get(unit) is None
+
+
+# ----------------------------------------------------------------------
+# Crash paths: killed workers respawn or fail fast — never hang
+# ----------------------------------------------------------------------
+class TestWorkerCrash:
+    def test_killed_pipe_worker_is_respawned(self, fast_seo_config):
+        expected = SerialExecutor().run(fast_seo_config, 2)
+        pool = AsyncWorkerPool(1, max_respawns=1)
+        try:
+            first = pool.submit(fast_seo_config, 0).result(timeout=300)
+            pool._transports[0].proc.kill()
+            # The run frame for episode 1 lands on the corpse; the dispatcher
+            # must retire it, respawn the slot and re-dispatch the episode.
+            second = pool.submit(fast_seo_config, 1).result(timeout=300)
+        finally:
+            pool.shutdown()
+        assert [first, second] == expected
+        assert pool.respawns == 1
+
+    def test_exhausted_respawn_budget_fails_fast(self, fast_seo_config):
+        pool = AsyncWorkerPool(1, max_respawns=0)
+        try:
+            pool.submit(fast_seo_config, 0).result(timeout=300)
+            pool._transports[0].proc.kill()
+            # Several episodes queue onto the one (dead) worker: the first
+            # retires it, and the parked ones must be woken with the same
+            # error instead of waiting forever on the idle queue.
+            futures = [pool.submit(fast_seo_config, episode) for episode in (1, 2, 3)]
+            for future in futures:
+                with pytest.raises(RemoteWorkerError, match="dead"):
+                    future.result(timeout=120)
+            assert pool.lost_slots == 1
+        finally:
+            pool.shutdown()
+
+    def test_killed_socket_worker_shifts_load_to_survivor(self, fast_seo_config):
+        expected = SerialExecutor().run(fast_seo_config, 4)
+        servers = [WorkerServer(), WorkerServer()]
+        pool = SocketWorkerPool([server.address for server in servers])
+        try:
+            reports = [
+                pool.submit(fast_seo_config, episode).result(timeout=300)
+                for episode in (0, 1)
+            ]
+            servers[1].stop()  # as abrupt as a machine dying mid-sweep
+            reports += [
+                pool.submit(fast_seo_config, episode).result(timeout=300)
+                for episode in (2, 3)
+            ]
+        finally:
+            pool.shutdown()
+            for server in servers:
+                server.stop()
+        assert reports == expected
+
+    def test_all_socket_workers_dead_fails_fast(self, fast_seo_config):
+        server = WorkerServer()
+        pool = SocketWorkerPool([server.address], max_respawns=1)
+        try:
+            pool.submit(fast_seo_config, 0).result(timeout=300)
+            server.stop()
+            future = pool.submit(fast_seo_config, 1)
+            with pytest.raises(RemoteWorkerError, match="dead"):
+                future.result(timeout=120)
+        finally:
+            pool.shutdown()
+            server.stop()
+
+    def test_unreachable_socket_worker_fails_fast(self, fast_seo_config):
+        # Port 1 is never served on localhost: the very first connect fails.
+        pool = SocketWorkerPool(["127.0.0.1:1"], max_respawns=0)
+        try:
+            with pytest.raises(RemoteWorkerError, match="cannot connect"):
+                pool.submit(fast_seo_config, 0).result(timeout=120)
+        finally:
+            pool.shutdown()
+
+    def test_unresponsive_socket_worker_fails_the_handshake(
+        self, fast_seo_config, monkeypatch
+    ):
+        """A peer that accepts TCP but never replies must not stall the
+        sweep: the connect-time handshake is bounded by a timeout."""
+        import socket as socket_module
+
+        from repro.runtime import remote as remote_module
+
+        listener = socket_module.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)  # accepts connections, never speaks
+        host, port = listener.getsockname()
+        monkeypatch.setattr(remote_module, "HANDSHAKE_TIMEOUT_S", 0.5)
+        pool = SocketWorkerPool([f"{host}:{port}"], max_respawns=0)
+        try:
+            with pytest.raises(RemoteWorkerError, match="handshake"):
+                pool.submit(fast_seo_config, 0).result(timeout=120)
+        finally:
+            pool.shutdown()
+            listener.close()
+
+    def test_shutdown_cancels_parked_futures(self, fast_seo_config):
+        """Teardown with in-flight episodes resolves every future promptly.
+
+        Regression: futures whose coroutines were still parked on the idle
+        queue used to outlive the dispatch loop, so waiting on them after
+        shutdown hung forever.
+        """
+        pool = AsyncWorkerPool(1)
+        futures = [pool.submit(fast_seo_config, episode) for episode in range(4)]
+        time.sleep(0.2)  # let the pool spin up and start episode 0
+        started = time.monotonic()
+        pool.shutdown(cancel_futures=True)
+        assert time.monotonic() - started < 60.0
+        assert all(future.done() for future in futures)
+
+
+# ----------------------------------------------------------------------
+# Socket backend: parity with serial at every level
+# ----------------------------------------------------------------------
+class TestSocketBackend:
+    def test_sweep_runner_parity_with_serial(self, fast_seo_config):
+        """Acceptance: socket sweeps over two workers == the serial reports."""
+        configs = {
+            "offload": fast_seo_config,
+            "gating": dataclasses.replace(fast_seo_config, optimization="model_gating"),
+        }
+        with SweepRunner(jobs=1) as runner:
+            serial = runner.run(sweep_jobs(configs, episodes=2))
+        servers = [WorkerServer(), WorkerServer()]
+        try:
+            with SweepRunner(
+                backend="socket", workers=[server.address for server in servers]
+            ) as runner:
+                remote = runner.run(sweep_jobs(configs, episodes=2))
+                assert runner.pools_created == 1
+                assert runner.workers == 2
+        finally:
+            for server in servers:
+                server.stop()
+        assert remote == serial
+
+    def test_single_address_still_dispatches_remotely(self, fast_seo_config):
+        server = WorkerServer()
+        try:
+            with SweepRunner(backend="socket", workers=[server.address]) as runner:
+                reports = runner.run_one(fast_seo_config, 2)
+                assert runner.pools_created == 1  # no serial degradation
+        finally:
+            server.stop()
+        assert reports == SerialExecutor().run(fast_seo_config, 2)
+
+    def test_socket_runner_requires_addresses(self):
+        with pytest.raises(ValueError, match="worker addresses"):
+            SweepRunner(backend="socket")
+        with pytest.raises(ValueError, match="only valid"):
+            SweepRunner(jobs=2, workers=["127.0.0.1:7070"])
+
+    def test_make_executor_registers_socket(self):
+        from repro.runtime.executor import EXECUTOR_BACKENDS, make_executor
+        from repro.runtime.remote import SocketExecutor
+
+        assert "socket" in EXECUTOR_BACKENDS
+        executor = make_executor(backend="socket", workers=["127.0.0.1:7070"])
+        assert isinstance(executor, SocketExecutor)
+        with pytest.raises(ValueError):
+            make_executor(backend="socket")
+        with pytest.raises(ValueError):
+            make_executor(jobs=2, workers=["127.0.0.1:7070"])
+
+    def test_settings_validate_socket_workers(self):
+        from repro.experiments.common import ExperimentSettings
+
+        with pytest.raises(ValueError, match="worker addresses"):
+            ExperimentSettings(backend="socket")
+        with pytest.raises(ValueError, match="only valid"):
+            ExperimentSettings(workers=("127.0.0.1:7070",))
+        settings = ExperimentSettings(backend="socket", workers=("127.0.0.1:7070",))
+        assert settings.workers == ("127.0.0.1:7070",)
+
+
+class TestSocketCli:
+    def test_socket_parity_on_two_drivers(self):
+        """Acceptance: suite + table3 over two localhost socket workers are
+        bit-identical to the serial run."""
+        servers = [WorkerServer(), WorkerServer()]
+        addresses = ",".join(server.address for server in servers)
+        socket_flags = ["--backend", "socket", "--workers", addresses]
+        try:
+            table3_args = ["table3", "--episodes", "1", "--max-steps", "300"]
+            assert run(table3_args + socket_flags) == run(table3_args)
+            assert run(SUITE_ARGS + socket_flags) == run(SUITE_ARGS)
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_worker_subcommand_end_to_end(self):
+        """`repro.cli worker --listen` subprocesses serve a real sweep."""
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "worker", "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            env=_worker_env(),
+            text=True,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert line.startswith("worker listening on ")
+            address = line.split()[-1]
+            remote = run(SUITE_ARGS + ["--backend", "socket", "--workers", address])
+            assert remote == run(SUITE_ARGS)
+        finally:
+            proc.kill()
+            proc.wait()
+
+    def test_socket_backend_requires_workers_flag(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            run(SUITE_ARGS + ["--backend", "socket"])
+        with pytest.raises(SystemExit, match="--backend socket"):
+            run(SUITE_ARGS + ["--workers", "127.0.0.1:7070"])
+
+    def test_malformed_worker_address_rejected_upfront(self):
+        """A typo'd address must die before the sweep starts, not as a raw
+        traceback when the first batch lazily opens the pool."""
+        for bad in ("hostA", "hostA:nan", "hostA:7070,hostB"):
+            with pytest.raises(SystemExit, match="worker address"):
+                run(SUITE_ARGS + ["--backend", "socket", "--workers", bad])
+
+    def test_worker_subcommand_rejects_bad_listen_address(self):
+        with pytest.raises(SystemExit, match="HOST:PORT"):
+            run(["worker", "--listen", "nohost"])
