@@ -1,0 +1,166 @@
+"""Perf harness: episodes/sec per executor backend, machine-readable output.
+
+Times the serial oracle and the structure-of-arrays batch engine on the
+paper's standard experiment configuration and writes a ``BENCH_*.json``
+snapshot (schema below) so every PR extends a recorded perf trajectory
+instead of leaving throughput numbers in terminal scrollback.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/perf_backends.py            # 64 episodes
+    SEO_BENCH_EPISODES=2 PYTHONPATH=src python benchmarks/perf_backends.py
+
+The harness is its own smoke test: it asserts the batch backend's reports
+are bit-identical to the serial ones on the timed workload, validates the
+emitted payload against the schema, and exits non-zero if the batch backend
+is slower than serial.
+
+Schema (``seo-bench/1``)::
+
+    {
+      "schema": "seo-bench/1",
+      "pr": <int>,
+      "workload": {"experiment": str, "episodes": int, "max_steps": int,
+                   "tau_s": float, "seed": int},
+      "backends": {<name>: {"episodes": int, "wall_s": float,
+                            "episodes_per_s": float}},
+      "speedup_batch_vs_serial": <float>
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr6.json"
+SCHEMA = "seo-bench/1"
+PR = 6
+
+#: Baseline batch size for the committed trajectory: large enough that the
+#: lockstep engine's fixed per-frame numpy overhead is amortized, matching
+#: how sweeps actually use it.
+DEFAULT_EPISODES = 64
+
+
+def bench_episodes() -> int:
+    """Episode count, adjustable via ``SEO_BENCH_EPISODES`` (CI smoke uses 2)."""
+    raw = os.environ.get("SEO_BENCH_EPISODES", str(DEFAULT_EPISODES))
+    try:
+        episodes = int(raw)
+    except ValueError:
+        raise SystemExit(
+            f"SEO_BENCH_EPISODES must be an integer number of episodes, got {raw!r}"
+        ) from None
+    if episodes < 1:
+        raise SystemExit(f"SEO_BENCH_EPISODES must be at least 1, got {episodes}")
+    return episodes
+
+
+def validate_payload(payload: dict) -> None:
+    """Validate a ``seo-bench/1`` payload; raises ValueError on mismatch."""
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("pr"), int):
+        raise ValueError("pr must be an integer")
+    workload = payload.get("workload")
+    if not isinstance(workload, dict):
+        raise ValueError("workload must be an object")
+    for key, kind in (
+        ("experiment", str),
+        ("episodes", int),
+        ("max_steps", int),
+        ("tau_s", float),
+        ("seed", int),
+    ):
+        if not isinstance(workload.get(key), kind):
+            raise ValueError(f"workload.{key} must be {kind.__name__}")
+    backends = payload.get("backends")
+    if not isinstance(backends, dict) or not backends:
+        raise ValueError("backends must be a non-empty object")
+    if "serial" not in backends or "batch" not in backends:
+        raise ValueError("backends must include 'serial' and 'batch'")
+    for name, entry in backends.items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"backends.{name} must be an object")
+        if not isinstance(entry.get("episodes"), int) or entry["episodes"] < 1:
+            raise ValueError(f"backends.{name}.episodes must be a positive integer")
+        for key in ("wall_s", "episodes_per_s"):
+            value = entry.get(key)
+            if not isinstance(value, float) or value <= 0.0:
+                raise ValueError(f"backends.{name}.{key} must be a positive float")
+    speedup = payload.get("speedup_batch_vs_serial")
+    if not isinstance(speedup, float) or speedup <= 0.0:
+        raise ValueError("speedup_batch_vs_serial must be a positive float")
+
+
+def main(argv) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    episodes = bench_episodes()
+
+    from repro.core.framework import SEOFramework
+    from repro.experiments.common import ExperimentSettings, standard_config
+    from repro.runtime.batch import BatchExecutor
+    from repro.runtime.executor import SerialExecutor
+
+    settings = ExperimentSettings(episodes=episodes, max_steps=1200, seed=0)
+    experiment = "standard-offload-filtered"
+    config = standard_config(settings, optimization="offload", filtered=True)
+
+    # Build the lookup table into the process-wide cache up front so both
+    # backends time the episode loop, not the one-off table construction.
+    SEOFramework(config)
+
+    timings = {}
+    reports = {}
+    for name, executor in (
+        ("serial", SerialExecutor()),
+        ("batch", BatchExecutor()),
+    ):
+        start = time.perf_counter()
+        reports[name] = executor.run(config, episodes)
+        wall = time.perf_counter() - start
+        timings[name] = {
+            "episodes": episodes,
+            "wall_s": round(wall, 6),
+            "episodes_per_s": round(episodes / wall, 4),
+        }
+        print(
+            f"{name:7s} {episodes:4d} episodes in {wall:8.3f}s  "
+            f"({timings[name]['episodes_per_s']:.2f} eps/s)"
+        )
+
+    if reports["batch"] != reports["serial"]:
+        print("FAIL: batch reports differ from the serial oracle", file=sys.stderr)
+        return 1
+
+    speedup = timings["batch"]["episodes_per_s"] / timings["serial"]["episodes_per_s"]
+    payload = {
+        "schema": SCHEMA,
+        "pr": PR,
+        "workload": {
+            "experiment": experiment,
+            "episodes": episodes,
+            "max_steps": config.max_steps,
+            "tau_s": config.tau_s,
+            "seed": config.seed,
+        },
+        "backends": timings,
+        "speedup_batch_vs_serial": round(speedup, 4),
+    }
+    validate_payload(payload)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"speedup batch vs serial: {speedup:.2f}x  -> {output}")
+
+    if speedup < 1.0:
+        print("FAIL: batch backend is slower than serial", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -424,10 +424,12 @@ class SEOFramework:
         if episodes <= 0:
             raise ValueError("episodes must be positive")
         if executor is None:
+            # Imported here: repro.runtime imports this module at load time.
             if jobs == 1:
-                reports = [self.run_episode(episode) for episode in range(episodes)]
+                from repro.runtime.executor import SerialExecutor
+
+                reports = SerialExecutor(framework=self).run(self.config, episodes)
             else:
-                # Imported here: repro.runtime imports this module at load time.
                 from repro.runtime.executor import ParallelExecutor
 
                 reports = ParallelExecutor(jobs=jobs).run(self.config, episodes)

@@ -146,13 +146,12 @@ class SafeIntervalEstimator:
         throttle: float,
         obstacle_radius_m: float = 1.0,
     ) -> float:
-        """Scalar ``Delta_max`` for one canonical scene, without array overhead.
+        """Scalar ``Delta_max`` for one canonical scene.
 
-        Equivalent to :meth:`estimate_batch` on 1-element arrays (the ego
+        Routes through :meth:`estimate_batch` on 1-element arrays (the ego
         vehicle at the origin with heading 0, the obstacle surface
-        ``distance_m`` away along ``bearing_rad``), but runs on plain floats
-        so hot paths evaluating one scene per base period avoid allocating
-        five 1-element numpy arrays per call.
+        ``distance_m`` away along ``bearing_rad``) so the scalar and batch
+        evaluations share one rollout implementation and cannot drift.
         """
         if not isinstance(self.safety_function, BrakingDistanceBarrier):
             centre_range = distance_m + obstacle_radius_m
@@ -168,49 +167,16 @@ class SafeIntervalEstimator:
                 state, obstacle, ControlAction(steering=steering, throttle=throttle)
             )
 
-        params = self.dynamics.params
-        barrier = self.safety_function
-
-        centre_range = distance_m + obstacle_radius_m
-        obs_x = centre_range * math.cos(bearing_rad)
-        obs_y = centre_range * math.sin(bearing_rad)
-
-        x = 0.0
-        y = 0.0
-        heading = 0.0
-        speed = float(speed_mps)
-
-        steering = min(1.0, max(-1.0, steering))
-        throttle = min(1.0, max(-1.0, throttle))
-        steer_rad = steering * params.max_steer_rad
-        accel = throttle * (
-            params.max_accel_mps2 if throttle >= 0.0 else params.max_brake_mps2
+        return float(
+            self.estimate_batch(
+                np.array([distance_m], dtype=float),
+                np.array([bearing_rad], dtype=float),
+                np.array([speed_mps], dtype=float),
+                np.array([steering], dtype=float),
+                np.array([throttle], dtype=float),
+                obstacle_radius_m=obstacle_radius_m,
+            )[0]
         )
-        tan_steer_over_wheelbase = math.tan(steer_rad) / params.wheelbase_m
-
-        steps = int(round(self.horizon_s / self.step_s))
-        for step_index in range(steps + 1):
-            dx = obs_x - x
-            dy = obs_y - y
-            distance = max(0.0, math.hypot(dx, dy) - obstacle_radius_m)
-            bearing = math.atan2(dy, dx) - heading
-            bearing = math.atan2(math.sin(bearing), math.cos(bearing))
-            heading_weight = max(0.0, math.cos(bearing))
-            required = barrier.clearance_m + heading_weight * (
-                speed * barrier.reaction_time_s
-                + speed**2 / (2.0 * barrier.max_brake_mps2)
-            )
-            if distance - required < 0.0:
-                return step_index * self.step_s
-            if step_index == steps:
-                break
-            # Euler step of the kinematic bicycle model.
-            x = x + self.step_s * speed * math.cos(heading)
-            y = y + self.step_s * speed * math.sin(heading)
-            heading = heading + self.step_s * speed * tan_steer_over_wheelbase
-            speed = min(params.max_speed_mps, max(0.0, speed + self.step_s * accel))
-
-        return self.horizon_s
 
     # ------------------------------------------------------------------
     # Vectorized batch evaluation (used to build the lookup table)

@@ -22,7 +22,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.intervals import SafeIntervalEstimator
-from repro.core.safety import SafetyInputs
+from repro.core.safety import NO_OBSTACLE_DISTANCE_M, SafetyInputs
 from repro.dynamics.state import ControlAction
 
 
@@ -212,6 +212,96 @@ class DeadlineLookupTable:
             distance_index, bearing_indices, speed_index, steer_slice, throttle_slice
         ]
         return float(np.min(cell))
+
+    def query_batch(
+        self,
+        distances_m: np.ndarray,
+        bearings_rad: np.ndarray,
+        speeds_mps: np.ndarray,
+        steerings: np.ndarray,
+        throttles: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`query` over arrays of states and controls.
+
+        Element ``i`` of the result equals
+        ``query(SafetyInputs(distances_m[i], bearings_rad[i], speeds_mps[i]),
+        ControlAction(steerings[i], throttles[i]))`` bit-for-bit, and the
+        query counter advances by the batch size.  Distances at or beyond
+        ``NO_OBSTACLE_DISTANCE_M`` (no obstacle) or the grid's maximum
+        distance saturate to the estimator horizon, as in the scalar path.
+        """
+        distances_m = np.asarray(distances_m, dtype=float)
+        bearings_rad = np.asarray(bearings_rad, dtype=float)
+        speeds_mps = np.asarray(speeds_mps, dtype=float)
+        steerings = np.asarray(steerings, dtype=float)
+        throttles = np.asarray(throttles, dtype=float)
+        shapes = {
+            distances_m.shape,
+            bearings_rad.shape,
+            speeds_mps.shape,
+            steerings.shape,
+            throttles.shape,
+        }
+        if len(shapes) != 1 or distances_m.ndim != 1:
+            raise ValueError("query_batch expects 1-D arrays of equal length")
+
+        count = distances_m.size
+        self.queries += int(count)
+        out = np.full(count, self.horizon_s, dtype=float)
+        mask = (distances_m < NO_OBSTACLE_DISTANCE_M) & (
+            distances_m < self.grid.max_distance_m
+        )
+        if not np.any(mask):
+            return out
+
+        distance_grid = self.grid.distance_values()
+        speed_grid = self.grid.speed_values()
+        bearing_grid = self.grid.bearing_values()
+        steering_grid = self.grid.steering_values()
+        throttle_grid = self.grid.throttle_values()
+
+        d = distances_m[mask]
+        b = bearings_rad[mask]
+        v = speeds_mps[mask]
+        s = np.clip(steerings[mask], -1.0, 1.0)
+        u = np.clip(throttles[mask], -1.0, 1.0)
+
+        # Conservative quantization: distance rounds down, speed rounds up.
+        distance_index = np.clip(
+            np.searchsorted(distance_grid, d, side="right") - 1,
+            0,
+            distance_grid.size - 1,
+        )
+        speed_index = np.clip(
+            np.searchsorted(speed_grid, v, side="left"), 0, speed_grid.size - 1
+        )
+        bearing_error = _wrap_angle(bearing_grid[None, :] - b[:, None])
+        bearing_index = np.argmin(np.abs(bearing_error), axis=1)
+        steer_index = np.argmin(np.abs(steering_grid[None, :] - s[:, None]), axis=1)
+        throttle_index = np.argmin(
+            np.abs(throttle_grid[None, :] - u[:, None]), axis=1
+        )
+
+        # Neighbourhood minimum, as in the scalar path.  Edge bins clip the
+        # neighbour index instead of shrinking the slice; the duplicated
+        # entries cannot change the minimum.
+        neighbours = np.arange(-1, 2)
+        bearing_nb = (bearing_index[:, None] + neighbours[None, :]) % bearing_grid.size
+        steer_nb = np.clip(
+            steer_index[:, None] + neighbours[None, :], 0, steering_grid.size - 1
+        )
+        throttle_nb = np.clip(
+            throttle_index[:, None] + neighbours[None, :], 0, throttle_grid.size - 1
+        )
+        cell = self.values[
+            distance_index[:, None, None, None],
+            bearing_nb[:, :, None, None],
+            speed_index[:, None, None, None],
+            steer_nb[:, None, :, None],
+            throttle_nb[:, None, None, :],
+        ]
+        out[mask] = cell.min(axis=(1, 2, 3))
+        return out
 
     def __call__(self, inputs: SafetyInputs, control: ControlAction) -> float:
         return self.query(inputs, control)

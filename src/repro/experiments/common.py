@@ -43,7 +43,8 @@ class ExperimentSettings:
         jobs: Workers episodes are spread over (1 = in-process serial
             execution, 0 = all CPU cores; results are identical either way).
         backend: Worker-pool backend: ``"process"``, ``"thread"``,
-            ``"async"`` or ``"socket"``.
+            ``"async"``, ``"socket"`` or ``"batch"`` (in-process numpy
+            lockstep over each unit's episodes; ``jobs`` is ignored).
         workers: Remote worker addresses (``"host:port"`` strings), required
             by — and only valid with — the ``"socket"`` backend.
         runner: Optional shared :class:`~repro.runtime.sweep.SweepRunner`.

@@ -9,6 +9,10 @@ experiment drivers:
   (thread pool) and :class:`repro.runtime.remote.AsyncExecutor` (persistent
   remote-worker subprocesses) fan episodes out and return bit-identical
   reports in episode order.
+* :mod:`repro.runtime.batch` — :class:`BatchExecutor`, the structure-of-
+  arrays engine: all episodes of a unit step in numpy lockstep in one
+  process, early-terminated episodes masked out, reports bit-identical to
+  the serial oracle.
 * :mod:`repro.runtime.workunit` — :class:`WorkUnit`, the serializable,
   content-addressed ``(config, episode-range)`` description of sweep work
   that the distributed layer is keyed on.
@@ -36,6 +40,7 @@ See ``docs/runtime.md`` for the design notes and CLI usage
 (``--jobs``/``--backend``/``--shard``/``--resume``/``--ledger-dir``).
 """
 
+from repro.runtime.batch import BatchExecutor, run_batch
 from repro.runtime.cache import (
     LookupTableCache,
     cache_key,
@@ -92,6 +97,7 @@ __all__ = [
     "EXECUTOR_BACKENDS",
     "AsyncExecutor",
     "AsyncWorkerPool",
+    "BatchExecutor",
     "EpisodeExecutor",
     "LedgerSchemaError",
     "LookupTableCache",
@@ -116,6 +122,7 @@ __all__ = [
     "pool_constructions",
     "reset_pool_constructions",
     "resolve_jobs",
+    "run_batch",
     "serve_worker",
     "set_default_cache",
     "sweep_jobs",

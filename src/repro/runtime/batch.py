@@ -1,0 +1,821 @@
+"""Structure-of-arrays batch episode engine.
+
+:class:`BatchExecutor` steps ``N`` episodes of one
+:class:`~repro.core.framework.SEOConfig` in numpy lockstep: one frame of the
+runtime loop advances *every* live episode at once, so the per-frame numpy
+work (range scans, RK4 dynamics, deadline queries, road membership) is
+amortized over the whole batch instead of being paid per episode.
+
+The serial path (:meth:`SEOFramework.run_episode`) is the bit-exactness
+oracle: for every registered scenario family the reports produced here are
+field-for-field identical to the serial ones.  Three disciplines make that
+possible:
+
+* **Same float ops.** Vectorized sections replicate the serial arithmetic
+  expression by expression (operand order, association, clips and ``-0.0``
+  normalization included).  Where numpy's elementwise kernels differ from the
+  ``math`` module by a unit in the last place (``tan``, ``atan2``), the batch
+  engine calls the scalar function per episode exactly like the serial code.
+* **Same RNG streams.** Every stochastic consumer keeps its per-episode
+  generator from the serial path (world placement, scheduler/wireless,
+  sensor dropout, per-detector noise), and draws from each generator happen
+  in the serial order.  Cross-episode interleaving is free because no
+  generator is shared between episodes.
+* **Masking, not branching.** Episodes that terminate (collision, road exit,
+  route completion) are removed from the ``active`` index list; the frame
+  loop keeps stepping the survivors.  A finished episode's state is frozen at
+  its terminal frame — exactly what the serial ``break`` does.
+
+Per-episode *control-flow* state (scheduler interval bookkeeping, strategy
+decisions, energy accounting) is carried as plain Python arrays/dicts: it is
+branchy and cheap, while the numeric inner loops above dominate the serial
+cost and are the ones vectorized.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.control.base import ControlInputs
+from repro.core.framework import EpisodeReport, SEOConfig, SEOFramework
+from repro.core.intervals import discretize_deadline
+from repro.core.optimizations import (
+    ACTION_GATED,
+    ACTION_IDLE,
+    ACTION_LOCAL,
+    ACTION_OFFLOAD,
+    ACTION_RESPONSE,
+    ACTION_SENSOR_GATED,
+)
+from repro.core.safety import NO_OBSTACLE_DISTANCE_M, SafetyInputs
+from repro.core.shield import SteeringShield
+from repro.dynamics.state import wrap_angle
+from repro.runtime.executor import EpisodeExecutor
+from repro.sim.scenario import build_world
+
+__all__ = ["BatchExecutor", "run_batch"]
+
+
+def _wrap_angle_array(angles: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.dynamics.state.wrap_angle` (bit-identical).
+
+    The scalar version returns angles already inside ``(-pi, pi]``
+    unchanged (bit-preserving, including ``-0.0``); only outside values go
+    through the fmod arithmetic.  The same split is kept here.
+    """
+    inside = (angles > -np.pi) & (angles <= np.pi)
+    wrapped = np.fmod(angles + np.pi, 2.0 * np.pi)
+    wrapped = np.where(wrapped <= 0.0, wrapped + 2.0 * np.pi, wrapped)
+    return np.where(inside, angles, wrapped - np.pi)
+
+
+def run_batch(
+    framework: SEOFramework, episodes: Iterable[int]
+) -> List[EpisodeReport]:
+    """Run the given episode indices in numpy lockstep.
+
+    Returns reports in the order of ``episodes``, bit-identical to
+    ``[framework.run_episode(e) for e in episodes]``.
+    """
+    config = framework.config
+    episode_ids = [int(episode) for episode in episodes]
+    n = len(episode_ids)
+    if n == 0:
+        return []
+
+    tau = config.tau_s
+    params = framework.vehicle_params
+    barrier = framework.barrier
+    target_speed = config.target_speed_mps
+    use_filter = config.filtered
+    half_pi = 0.5 * math.pi
+
+    # ------------------------------------------------------------------
+    # World construction (placement RNG fully consumed here, per episode,
+    # exactly as in the serial path).
+    # ------------------------------------------------------------------
+    worlds = [
+        build_world(
+            config.scenario,
+            rng=np.random.default_rng((config.seed + 1) * 1000 + episode),
+            vehicle_params=params,
+        )
+        for episode in episode_ids
+    ]
+    road = worlds[0].road
+    centerline = road.centerline
+    length_m = road.length_m
+    half_width = road.half_width_m
+    straight = road.is_straight
+    seg0 = centerline._placed[0]
+    seg_tx, seg_ty = math.cos(seg0.heading0), math.sin(seg0.heading0)
+    edge_limit = road.half_width_m - 0.5 * params.width_m + 1e-9
+    vehicle_radius = params.collision_radius_m
+
+    xs = [world.state.x_m for world in worlds]
+    ys = [world.state.y_m for world in worlds]
+    hs = [world.state.heading_rad for world in worlds]
+    vs = [world.state.speed_mps for world in worlds]
+
+    obstacle_counts = {len(world.obstacles) for world in worlds}
+    if len(obstacle_counts) != 1:  # pragma: no cover - placement guarantees
+        raise AssertionError("episodes of one scenario must share the obstacle count")
+    K = obstacle_counts.pop()
+    obs_x = np.array(
+        [[obstacle.x_m for obstacle in world.obstacles] for world in worlds],
+        dtype=float,
+    ).reshape(n, K)
+    obs_y = np.array(
+        [[obstacle.y_m for obstacle in world.obstacles] for world in worlds],
+        dtype=float,
+    ).reshape(n, K)
+    obs_r = np.array(
+        [[obstacle.radius_m for obstacle in world.obstacles] for world in worlds],
+        dtype=float,
+    ).reshape(n, K)
+    pos: List[List[Tuple[float, float, float]]] = [
+        [(o.x_m, o.y_m, o.radius_m) for o in world.obstacles] for world in worlds
+    ]
+    moving = [
+        [(k, o) for k, o in enumerate(world.obstacles) if o.motion is not None]
+        for world in worlds
+    ]
+    has_moving = any(moving)
+    del worlds
+
+    # ------------------------------------------------------------------
+    # Per-episode RNG streams, shields, controller.
+    # ------------------------------------------------------------------
+    sched_rngs = [
+        np.random.default_rng((config.seed + 2) * 1000 + episode)
+        for episode in episode_ids
+    ]
+    p_drop = config.scenario.sensor_dropout_probability
+    drop_rngs: List[Optional[np.random.Generator]] = [
+        np.random.default_rng((config.seed + 3) * 1000 + episode)
+        if p_drop > 0.0
+        else None
+        for episode in episode_ids
+    ]
+    controller = framework._build_controller()
+    shields = [
+        SteeringShield(
+            safety_function=barrier,
+            intervention_margin_m=config.shield_margin_m,
+        )
+        for _ in range(n)
+    ]
+
+    # ------------------------------------------------------------------
+    # Detectors: one shared scan per episode per frame feeds every detector
+    # that needs a fresh output (the serial path scans once per infer, but
+    # the scan is a pure function of the pre-step world, so the rows are
+    # identical).  Noise stays per (episode, detector) generator.
+    # ------------------------------------------------------------------
+    det_items = list(framework.detectors.items())
+    if not det_items:  # pragma: no cover - SEOFramework always builds detectors
+        raise ValueError("batch engine requires at least one detector")
+    scanner = det_items[0][1].scanner
+    for _, detector in det_items:
+        if detector.scanner != scanner:
+            raise NotImplementedError(
+                "batch engine requires all detectors to share one scanner"
+            )
+    if scanner.include_road_edges:
+        raise NotImplementedError(
+            "batch engine supports obstacle-only scanners (include_road_edges=False)"
+        )
+    rel_angles = scanner.beam_angles()
+    num_beams = int(scanner.num_beams)
+    max_range = scanner.max_range_m
+    det_params = {
+        name: (
+            max_range - detector.detection_threshold_m,
+            detector.range_noise_std_m,
+            detector.bearing_noise_std_rad,
+            detector.miss_rate,
+        )
+        for name, detector in det_items
+    }
+    det_rngs = [
+        {name: np.random.default_rng(detector.seed) for name, detector in det_items}
+        for _ in range(n)
+    ]
+
+    # ------------------------------------------------------------------
+    # Model pipeline and deadline provider.
+    # ------------------------------------------------------------------
+    delta_is = framework.model_set.discretized_periods(tau)
+    crit_models = [
+        (
+            model.name,
+            delta_is[model.name],
+            model.compute.energy_per_inference_j,
+            model.sensor.measurement_power_w * tau,
+            model.sensor.mechanical_power_w * tau,
+        )
+        for model in framework.model_set.critical
+    ]
+    opt_models = [
+        (
+            model.name,
+            delta_is[model.name],
+            model.compute.energy_per_inference_j,
+            model.sensor.measurement_power_w * tau,
+            model.sensor.mechanical_power_w * tau,
+        )
+        for model in framework.model_set.optimizable
+    ]
+    max_deadline_periods = config.max_deadline_periods
+    mode = config.optimization
+    gate_sensor = mode == "sensor_gating"
+    planner = framework.offload_planner
+    delta_hat = planner.estimated_response_periods(tau) if mode == "offload" else 0
+
+    horizon_s = framework.estimator.horizon_s
+    lookup_table = framework.lookup_table
+    if not config.safety_aware:
+        deadline_mode = "const"
+    elif lookup_table is not None:
+        deadline_mode = "lookup"
+    else:
+        deadline_mode = "exact"
+        obstacle_radius = config.scenario.obstacle_radius_m
+
+    # ------------------------------------------------------------------
+    # Per-episode run state.
+    # ------------------------------------------------------------------
+    new_delta = [True] * n
+    interval_step = [0] * n
+    delta_max = [0] * n
+    done: List[Dict[str, bool]] = [{} for _ in range(n)]
+    pending: List[Dict[str, List[int]]] = [
+        {name: [] for name, *_ in opt_models} for _ in range(n)
+    ]
+    used_by_model: List[Dict[str, float]] = [{} for _ in range(n)]
+    base_by_model: List[Dict[str, float]] = [{} for _ in range(n)]
+    used_opt = [0.0] * n
+    base_opt = [0.0] * n
+    samples: List[List[int]] = [[] for _ in range(n)]
+    offload_counts = [0] * n
+    miss_counts = [0] * n
+    unsafe = [0] * n
+    dropouts = [0] * n
+    min_dist = [float("inf")] * n
+    steps_count = [config.max_steps] * n
+    finished_f = [False] * n
+    collided_f = [False] * n
+    offroad_f = [False] * n
+    latest: List[Dict[str, Tuple[List[Tuple[float, float]], bool]]] = [
+        {} for _ in range(n)
+    ]
+    proj = [centerline.project(xs[i], ys[i]) for i in range(n)]
+
+    si_d = [0.0] * n
+    si_b = [0.0] * n
+    ctrl_s = [0.0] * n
+    ctrl_t = [0.0] * n
+
+    time_s = 0.0
+    active = list(range(n))
+
+    for t in range(config.max_steps):
+        if not active:
+            break
+
+        # ---- Pass 1: perception aggregate -> safety state -> control ----
+        steer_list: List[float] = []
+        throttle_list: List[float] = []
+        for i in active:
+            xe = xs[i]
+            ye = ys[i]
+            he = hs[i]
+            ve = vs[i]
+
+            views = []
+            for ox, oy, orad in pos[i]:
+                centre = math.hypot(ox - xe, oy - ye)
+                brg = wrap_angle(math.atan2(oy - ye, ox - xe) - he)
+                views.append((max(0.0, centre - orad), brg))
+            if views:
+                ahead = [view for view in views if abs(view[1]) <= half_pi]
+                candidates = ahead if ahead else views
+                dist_b, bear_b = min(candidates, key=lambda view: view[0])
+            else:
+                dist_b, bear_b = NO_OBSTACLE_DISTANCE_M, 0.0
+
+            s_raw, lat = proj[i]
+            if straight:
+                heading_err = wrap_angle(he - 0.0)
+                curv = 0.0
+            else:
+                s_cl = min(max(s_raw, 0.0), length_m)
+                heading_err = wrap_angle(he - road.heading_at(s_cl))
+                curv = road.curvature_at(s_cl)
+
+            inputs = SafetyInputs(
+                distance_m=dist_b,
+                bearing_rad=bear_b,
+                speed_mps=ve,
+                lateral_offset_m=lat,
+                road_half_width_m=half_width,
+            )
+            min_dist[i] = min(min_dist[i], inputs.distance_m)
+            if barrier.evaluate(inputs) < 0.0:
+                unsafe[i] += 1
+
+            nearest_d = None
+            nearest_b = None
+            nearest_stale = False
+            for dets, stale in latest[i].values():
+                if not dets:
+                    continue
+                best = dets[0]
+                for det in dets[1:]:
+                    if det[0] < best[0]:
+                        best = det
+                if nearest_d is None or best[0] < nearest_d:
+                    nearest_d = best[0]
+                    nearest_b = best[1]
+                    nearest_stale = stale
+
+            control_inputs = ControlInputs(
+                speed_mps=ve,
+                target_speed_mps=target_speed,
+                lateral_offset_m=lat,
+                heading_rad=heading_err,
+                obstacle_distance_m=nearest_d,
+                obstacle_bearing_rad=nearest_b,
+                obstacle_stale=nearest_stale,
+                road_half_width_m=half_width,
+                road_curvature_per_m=curv,
+            )
+            raw = controller.act_from_inputs(control_inputs)
+            if use_filter:
+                control, _ = shields[i].filter_action(inputs, raw)
+            else:
+                control = raw
+
+            si_d[i] = dist_b
+            si_b[i] = bear_b
+            ctrl_s[i] = control.steering
+            ctrl_t[i] = control.throttle
+            steer_list.append(control.steering)
+            throttle_list.append(control.throttle)
+
+        # ---- Batched deadline sampling for episodes starting an interval ----
+        new_interval = [i for i in active if new_delta[i]]
+        deadline_values: Dict[int, float] = {}
+        if new_interval:
+            if deadline_mode == "const":
+                for i in new_interval:
+                    deadline_values[i] = horizon_s
+            elif deadline_mode == "lookup":
+                values = lookup_table.query_batch(
+                    np.array([si_d[i] for i in new_interval], dtype=float),
+                    np.array([si_b[i] for i in new_interval], dtype=float),
+                    np.array([vs[i] for i in new_interval], dtype=float),
+                    np.array([ctrl_s[i] for i in new_interval], dtype=float),
+                    np.array([ctrl_t[i] for i in new_interval], dtype=float),
+                )
+                for j, i in enumerate(new_interval):
+                    deadline_values[i] = float(values[j])
+            else:
+                for i in new_interval:
+                    deadline_values[i] = horizon_s
+                present = [
+                    i for i in new_interval if si_d[i] < NO_OBSTACLE_DISTANCE_M
+                ]
+                if present:
+                    values = framework.estimator.estimate_batch(
+                        np.array([si_d[i] for i in present], dtype=float),
+                        np.array([si_b[i] for i in present], dtype=float),
+                        np.array([vs[i] for i in present], dtype=float),
+                        np.array([ctrl_s[i] for i in present], dtype=float),
+                        np.array([ctrl_t[i] for i in present], dtype=float),
+                        obstacle_radius_m=obstacle_radius,
+                    )
+                    for j, i in enumerate(present):
+                        deadline_values[i] = float(values[j])
+
+        # ---- Pass 2: scheduler + optimization strategies (Algorithm 1) ----
+        needs: List[Tuple[int, str]] = []
+        for i in active:
+            rng_i = sched_rngs[i]
+            used_d = used_by_model[i]
+            base_d = base_by_model[i]
+            if new_delta[i]:
+                dmx = discretize_deadline(max(0.0, deadline_values[i]), tau)
+                dmx = min(max(dmx, 0), max_deadline_periods)
+                delta_max[i] = dmx
+                interval_step[i] = 0
+                new_delta[i] = False
+                samples[i].append(dmx)
+                interval_done = {}
+                for name, di, _ce, _me, _he in opt_models:
+                    if mode == "offload":
+                        pending[i][name] = []
+                    interval_done[name] = di >= dmx
+                done[i] = interval_done
+            dmx = delta_max[i]
+            istep = interval_step[i]
+
+            for name, di, ce, me, he in crit_models:
+                natural = t % di == 0
+                if natural and ce != 0.0:
+                    used_d[name] = used_d.get(name, 0.0) + ce
+                if me != 0.0:
+                    used_d[name] = used_d.get(name, 0.0) + me
+                if he != 0.0:
+                    used_d[name] = used_d.get(name, 0.0) + he
+                if me != 0.0:
+                    base_d[name] = base_d.get(name, 0.0) + me
+                if he != 0.0:
+                    base_d[name] = base_d.get(name, 0.0) + he
+                if natural and ce != 0.0:
+                    base_d[name] = base_d.get(name, 0.0) + ce
+
+            uo = used_opt[i]
+            bo = base_opt[i]
+            interval_done = done[i]
+            latest_i = latest[i]
+            for name, di, ce, me, he in opt_models:
+                natural = t % di == 0
+                if di >= dmx:
+                    full = natural
+                else:
+                    full = istep == dmx - di
+
+                action = ACTION_IDLE
+                fresh = False
+                compute_e = 0.0
+                tx_e = 0.0
+                meas_on = True
+                issued = False
+                missed = False
+                if mode == "none":
+                    if natural:
+                        action = ACTION_LOCAL
+                        fresh = True
+                        compute_e = ce
+                elif mode == "offload":
+                    plist = pending[i][name]
+                    arrived = istep in plist
+                    if arrived:
+                        pending[i][name] = [a for a in plist if a != istep]
+                    if full:
+                        if arrived:
+                            action = ACTION_RESPONSE
+                            fresh = True
+                        else:
+                            action = ACTION_LOCAL
+                            fresh = True
+                            compute_e = ce
+                    else:
+                        applicable = di < dmx
+                        fallback = dmx - di
+                        if applicable and natural and istep < fallback:
+                            if istep + delta_hat > fallback:
+                                action = ACTION_LOCAL
+                                fresh = True
+                                compute_e = ce
+                            else:
+                                outcome = planner.sample(tau, rng_i)
+                                arrival = istep + outcome.response_periods
+                                missed = arrival > fallback
+                                if not missed:
+                                    pending[i][name].append(arrival)
+                                action = ACTION_OFFLOAD
+                                fresh = arrived
+                                tx_e = outcome.transmission_energy_j
+                                issued = True
+                        elif natural and not applicable:
+                            action = ACTION_LOCAL
+                            fresh = True
+                            compute_e = ce
+                        else:
+                            action = ACTION_RESPONSE if arrived else ACTION_IDLE
+                            fresh = arrived
+                else:  # model gating / sensor gating
+                    if full:
+                        action = ACTION_LOCAL
+                        fresh = True
+                        compute_e = ce
+                    elif di >= dmx:
+                        action = ACTION_IDLE
+                    elif gate_sensor:
+                        meas_on = istep >= dmx - di
+                        action = ACTION_GATED if meas_on else ACTION_SENSOR_GATED
+                    else:
+                        action = ACTION_GATED
+
+                meas_e = me if meas_on else 0.0
+                # Used ledger: compute, transmission, measurement, mechanical.
+                if compute_e != 0.0:
+                    used_d[name] = used_d.get(name, 0.0) + compute_e
+                    uo += compute_e
+                if tx_e != 0.0:
+                    used_d[name] = used_d.get(name, 0.0) + tx_e
+                    uo += tx_e
+                if meas_e != 0.0:
+                    used_d[name] = used_d.get(name, 0.0) + meas_e
+                    uo += meas_e
+                if he != 0.0:
+                    used_d[name] = used_d.get(name, 0.0) + he
+                    uo += he
+                # Baseline ledger: measurement, mechanical, compute at natural.
+                if me != 0.0:
+                    base_d[name] = base_d.get(name, 0.0) + me
+                    bo += me
+                if he != 0.0:
+                    base_d[name] = base_d.get(name, 0.0) + he
+                    bo += he
+                if natural and ce != 0.0:
+                    base_d[name] = base_d.get(name, 0.0) + ce
+                    bo += ce
+
+                if issued:
+                    offload_counts[i] += 1
+                if missed:
+                    miss_counts[i] += 1
+                if di < dmx and istep == dmx - di:
+                    interval_done[name] = True
+
+                # Perception effect of the directive (serial directive loop).
+                if fresh:
+                    drop_rng = drop_rngs[i]
+                    dropped = (
+                        drop_rng is not None
+                        and action == ACTION_LOCAL
+                        and name in latest_i
+                        and drop_rng.random() < p_drop
+                    )
+                    if dropped:
+                        dropouts[i] += 1
+                        latest_i[name] = (latest_i[name][0], True)
+                    else:
+                        # Placeholder keeps the dict insertion order of the
+                        # serial path; the scan phase below fills it in.
+                        latest_i[name] = None  # type: ignore[assignment]
+                        needs.append((i, name))
+                elif name in latest_i:
+                    latest_i[name] = (latest_i[name][0], True)
+
+            used_opt[i] = uo
+            base_opt[i] = bo
+            if all(interval_done.values()):
+                new_delta[i] = True
+            interval_step[i] = istep + 1
+
+        # ---- Batched range scans for every fresh inference ----
+        if needs:
+            scan_rows: Dict[int, int] = {}
+            scan_eps: List[int] = []
+            for i, _name in needs:
+                if i not in scan_rows:
+                    scan_rows[i] = len(scan_eps)
+                    scan_eps.append(i)
+            px = np.array([xs[i] for i in scan_eps], dtype=float)
+            py = np.array([ys[i] for i in scan_eps], dtype=float)
+            ph = np.array([hs[i] for i in scan_eps], dtype=float)
+            ang = rel_angles[None, :] + ph[:, None]
+            dxs = np.cos(ang)
+            dys = np.sin(ang)
+            best = np.full((len(scan_eps), num_beams), max_range, dtype=float)
+            if K:
+                sel = np.array(scan_eps, dtype=int)
+                for k in range(K):
+                    fx = px - obs_x[sel, k]
+                    fy = py - obs_y[sel, k]
+                    rad = obs_r[sel, k]
+                    c = fx * fx + fy * fy - rad * rad
+                    b = 2.0 * (fx[:, None] * dxs + fy[:, None] * dys)
+                    disc = b * b - 4.0 * c[:, None]
+                    valid = disc >= 0.0
+                    sqrt_disc = np.sqrt(np.where(valid, disc, 0.0))
+                    t1 = (-b - sqrt_disc) / 2.0
+                    t2 = (-b + sqrt_disc) / 2.0
+                    cand = np.where(
+                        t1 >= 0.0, t1, np.where(t2 >= 0.0, 0.0, np.inf)
+                    )
+                    cand = np.where(valid, cand, np.inf)
+                    best = np.where(cand < best, cand, best)
+            for i, name in needs:
+                row = best[scan_rows[i]]
+                thr, rstd, bstd, mrate = det_params[name]
+                rng_d = det_rngs[i][name]
+                dets: List[Tuple[float, float]] = []
+                group_start = -1
+                for j in range(num_beams + 1):
+                    is_hit = j < num_beams and row[j] < thr
+                    if is_hit and group_start < 0:
+                        group_start = j
+                    elif not is_hit and group_start >= 0:
+                        segment = row[group_start:j]
+                        offset = int(np.argmin(segment))
+                        dist = float(segment[offset])
+                        brg = float(rel_angles[group_start + offset])
+                        if rstd > 0.0:
+                            dist = max(0.0, dist + rng_d.normal(0.0, rstd))
+                        if bstd > 0.0:
+                            brg = brg + rng_d.normal(0.0, bstd)
+                        dets.append((dist, brg))
+                        group_start = -1
+                if mrate > 0.0:
+                    kept = []
+                    for det in dets:
+                        if rng_d.random() < mrate:
+                            continue
+                        kept.append(det)
+                    dets = kept
+                latest[i][name] = (dets, False)
+
+        # ---- Batched RK4 plant update ----
+        st = np.clip(np.array(steer_list, dtype=float), -1.0, 1.0)
+        th = np.clip(np.array(throttle_list, dtype=float), -1.0, 1.0)
+        steer_rad = st * params.max_steer_rad
+        accel = np.where(
+            th >= 0.0, th * params.max_accel_mps2, th * params.max_brake_mps2
+        )
+        # math.tan differs from np.tan by one ulp on some inputs; stay scalar.
+        tan_arr = np.array(
+            [math.tan(value) for value in steer_rad.tolist()], dtype=float
+        )
+        wheelbase = params.wheelbase_m
+        x0 = np.array([xs[i] for i in active], dtype=float)
+        y0 = np.array([ys[i] for i in active], dtype=float)
+        h0 = np.array([hs[i] for i in active], dtype=float)
+        v0 = np.array([vs[i] for i in active], dtype=float)
+        half = 0.5 * tau
+
+        sp1 = np.where(v0 > 0.0, v0, 0.0)
+        k1x = sp1 * np.cos(h0)
+        k1y = sp1 * np.sin(h0)
+        k1h = sp1 * tan_arr / wheelbase
+
+        h2 = h0 + half * k1h
+        v2 = v0 + half * accel
+        sp2 = np.where(v2 > 0.0, v2, 0.0)
+        k2x = sp2 * np.cos(h2)
+        k2y = sp2 * np.sin(h2)
+        k2h = sp2 * tan_arr / wheelbase
+
+        h3 = h0 + half * k2h
+        v3 = v0 + half * accel
+        sp3 = np.where(v3 > 0.0, v3, 0.0)
+        k3x = sp3 * np.cos(h3)
+        k3y = sp3 * np.sin(h3)
+        k3h = sp3 * tan_arr / wheelbase
+
+        h4 = h0 + tau * k3h
+        v4 = v0 + tau * accel
+        sp4 = np.where(v4 > 0.0, v4, 0.0)
+        k4x = sp4 * np.cos(h4)
+        k4y = sp4 * np.sin(h4)
+        k4h = sp4 * tan_arr / wheelbase
+
+        sixth = tau / 6.0
+        xn = x0 + sixth * (k1x + 2.0 * k2x + 2.0 * k3x + k4x)
+        yn = y0 + sixth * (k1y + 2.0 * k2y + 2.0 * k3y + k4y)
+        hn = h0 + sixth * (k1h + 2.0 * k2h + 2.0 * k3h + k4h)
+        vn = v0 + sixth * (accel + 2.0 * accel + 2.0 * accel + accel)
+        hn = _wrap_angle_array(hn)
+        vn = np.clip(vn, 0.0, params.max_speed_mps)
+        vn = np.where(vn == 0.0, 0.0, vn)
+
+        # ---- Status: obstacle motion, collision, road membership ----
+        time_s += tau
+        if has_moving:
+            for i in active:
+                movers = moving[i]
+                if not movers:
+                    continue
+                row_pos = pos[i]
+                for k, obstacle in movers:
+                    mx, my = obstacle.motion.position_at(
+                        (obstacle.x_m, obstacle.y_m), time_s
+                    )
+                    obs_x[i, k] = mx
+                    obs_y[i, k] = my
+                    row_pos[k] = (mx, my, obstacle.radius_m)
+
+        if K:
+            sel = np.array(active, dtype=int)
+            collided = np.any(
+                np.hypot(obs_x[sel] - xn[:, None], obs_y[sel] - yn[:, None])
+                <= (obs_r[sel] + vehicle_radius),
+                axis=1,
+            )
+        else:
+            collided = np.zeros(len(active), dtype=bool)
+
+        if straight:
+            dxn = xn - seg0.x0
+            dyn = yn - seg0.y0
+            s_raw_arr = dxn * seg_tx + dyn * seg_ty
+            d_arr = -dxn * seg_ty + dyn * seg_tx
+            s_tot = seg0.s0 + s_raw_arr
+            fin = s_tot >= length_m
+            off = ~(np.abs(d_arr) <= edge_limit)
+            projections = [
+                (float(s_tot[j]), float(d_arr[j])) for j in range(len(active))
+            ]
+        else:
+            projections = []
+            fin = []
+            off = []
+            for j in range(len(active)):
+                s_raw, d = centerline.project(float(xn[j]), float(yn[j]))
+                projections.append((s_raw, d))
+                fin.append(s_raw >= length_m)
+                off.append(not abs(d) <= edge_limit)
+
+        next_active: List[int] = []
+        for j, i in enumerate(active):
+            xs[i] = float(xn[j])
+            ys[i] = float(yn[j])
+            hs[i] = float(hn[j])
+            vs[i] = float(vn[j])
+            proj[i] = projections[j]
+            hit = bool(collided[j])
+            exited = bool(off[j])
+            completed = bool(fin[j])
+            if hit or exited or completed:
+                steps_count[i] = t + 1
+                collided_f[i] = hit
+                offroad_f[i] = exited
+                finished_f[i] = completed
+            else:
+                next_active.append(i)
+        active = next_active
+
+    # ------------------------------------------------------------------
+    # Reports (field order and aggregation identical to the serial path).
+    # ------------------------------------------------------------------
+    reports = []
+    for i, episode in enumerate(episode_ids):
+        used_d = used_by_model[i]
+        base_d = base_by_model[i]
+        gains = {}
+        for name, *_ in opt_models:
+            base_v = base_d.get(name, 0.0)
+            used_v = used_d.get(name, 0.0)
+            gains[name] = 0.0 if base_v <= 0 else 1.0 - used_v / base_v
+        overall = 0.0 if base_opt[i] <= 0 else 1.0 - used_opt[i] / base_opt[i]
+        reports.append(
+            EpisodeReport(
+                episode=episode,
+                steps=steps_count[i],
+                duration_s=steps_count[i] * tau,
+                completed=finished_f[i],
+                collided=collided_f[i],
+                off_road=offroad_f[i],
+                shield_interventions=shields[i].interventions,
+                delta_max_samples=samples[i],
+                energy_by_model_j=used_d,
+                baseline_by_model_j=base_d,
+                gain_by_model=gains,
+                overall_gain=overall,
+                offloads_issued=offload_counts[i],
+                offload_deadline_misses=miss_counts[i],
+                min_obstacle_distance_m=min_dist[i],
+                unsafe_steps=unsafe[i],
+                sensor_dropouts=dropouts[i],
+            )
+        )
+    return reports
+
+
+class BatchExecutor(EpisodeExecutor):
+    """Run a batch of episodes in numpy lockstep (bit-exact vs serial).
+
+    Drop-in :class:`~repro.runtime.executor.EpisodeExecutor`: sweeps, work
+    units, the run ledger and remote workers compose with it unchanged.
+
+    Args:
+        framework: Optional pre-built framework to reuse.  When provided and
+            its config matches the requested one, the (expensive) framework
+            construction is skipped; otherwise a fresh framework is built.
+    """
+
+    def __init__(self, framework: Optional[SEOFramework] = None) -> None:
+        self._framework = framework
+
+    def run(self, config: SEOConfig, episodes: int) -> List[EpisodeReport]:
+        self._validate(episodes)
+        return self.run_range(config, 0, episodes)
+
+    def run_range(
+        self, config: SEOConfig, start: int, stop: int
+    ) -> List[EpisodeReport]:
+        """Run episodes ``start .. stop-1`` (a work unit's episode range)."""
+        if start < 0 or stop <= start:
+            raise ValueError("episode range must be non-empty and non-negative")
+        framework = self._framework
+        if framework is None or framework.config != config:
+            framework = SEOFramework(config)
+            self._framework = framework
+        return run_batch(framework, range(start, stop))

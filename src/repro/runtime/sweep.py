@@ -182,7 +182,9 @@ class SweepRunner:
     Args:
         jobs: Worker count; ``jobs <= 0`` selects ``os.cpu_count()`` and
             ``jobs == 1`` keeps everything serial and in-process.
-        backend: ``"process"`` (default), ``"thread"`` or ``"async"``.
+        backend: ``"process"`` (default), ``"thread"``, ``"async"``,
+            ``"socket"`` or ``"batch"`` (in-process numpy lockstep over each
+            unit's episode range; ``jobs`` is ignored).
         ledger: Optional on-disk run ledger.  Every freshly executed unit is
             recorded in it (cross-run reuse); with ``resume=True`` recorded
             units are loaded instead of executed.
@@ -244,6 +246,7 @@ class SweepRunner:
         self._pool = None
         self._closed = False
         self._serial = SerialExecutor()
+        self._batch = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -393,6 +396,21 @@ class SweepRunner:
         """Execute units on the configured backend, keyed by unit hash."""
         if not units:
             return {}
+        # The batch backend runs in-process: each unit's episode range is
+        # stepped in numpy lockstep, no pool involved.
+        if self.backend == "batch":
+            batch = self._batch
+            if batch is None:
+                # Imported lazily: repro.runtime.batch imports executor.
+                from repro.runtime.batch import BatchExecutor
+
+                batch = self._batch = BatchExecutor()
+            return {
+                unit.key: batch.run_range(
+                    unit.config, unit.episode_start, unit.episode_stop
+                )
+                for unit in units
+            }
         # The socket backend never degrades to local-serial: one address
         # still means "run it on that machine".
         if self.backend != "socket" and self.workers <= 1:
