@@ -23,9 +23,17 @@ Schema (``seo-bench/1``)::
       "workload": {"experiment": str, "episodes": int, "max_steps": int,
                    "tau_s": float, "seed": int},
       "backends": {<name>: {"episodes": int, "wall_s": float,
-                            "episodes_per_s": float}},
+                            "episodes_per_s": float,
+                            "phases"?: {<phase>: float}}},
+      "scaling"?: {<name>: [{"episodes": int, "wall_s": float,
+                             "episodes_per_s": float}, ...]},
       "speedup_batch_vs_serial": <float>
     }
+
+``backends.batch.phases`` breaks the engine wall time into the lockstep
+phases (``decision``, ``scheduler``, ``scan``, ``dynamics``) reported by
+:func:`repro.runtime.batch.run_batch`; ``scaling`` records the batch
+engine's throughput across batch sizes (amortization curve).
 """
 
 from __future__ import annotations
@@ -37,14 +45,21 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr6.json"
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr7.json"
 SCHEMA = "seo-bench/1"
-PR = 6
+PR = 7
 
 #: Baseline batch size for the committed trajectory: large enough that the
 #: lockstep engine's fixed per-frame numpy overhead is amortized, matching
 #: how sweeps actually use it.
 DEFAULT_EPISODES = 64
+
+#: Batch sizes of the scaling axis (only run at the full default workload;
+#: CI smoke runs stick to their single reduced size).
+SCALING_EPISODES = (16, 64, 256)
+
+#: Phase keys reported by the batch engine's per-phase timing breakdown.
+BATCH_PHASES = ("decision", "scheduler", "scan", "dynamics")
 
 
 def bench_episodes() -> int:
@@ -59,6 +74,17 @@ def bench_episodes() -> int:
     if episodes < 1:
         raise SystemExit(f"SEO_BENCH_EPISODES must be at least 1, got {episodes}")
     return episodes
+
+
+def _validate_rate_entry(name: str, entry: object) -> None:
+    if not isinstance(entry, dict):
+        raise ValueError(f"{name} must be an object")
+    if not isinstance(entry.get("episodes"), int) or entry["episodes"] < 1:
+        raise ValueError(f"{name}.episodes must be a positive integer")
+    for key in ("wall_s", "episodes_per_s"):
+        value = entry.get(key)
+        if not isinstance(value, float) or value <= 0.0:
+            raise ValueError(f"{name}.{key} must be a positive float")
 
 
 def validate_payload(payload: dict) -> None:
@@ -85,14 +111,27 @@ def validate_payload(payload: dict) -> None:
     if "serial" not in backends or "batch" not in backends:
         raise ValueError("backends must include 'serial' and 'batch'")
     for name, entry in backends.items():
-        if not isinstance(entry, dict):
-            raise ValueError(f"backends.{name} must be an object")
-        if not isinstance(entry.get("episodes"), int) or entry["episodes"] < 1:
-            raise ValueError(f"backends.{name}.episodes must be a positive integer")
-        for key in ("wall_s", "episodes_per_s"):
-            value = entry.get(key)
-            if not isinstance(value, float) or value <= 0.0:
-                raise ValueError(f"backends.{name}.{key} must be a positive float")
+        _validate_rate_entry(f"backends.{name}", entry)
+        phases = entry.get("phases")
+        if phases is not None:
+            if not isinstance(phases, dict):
+                raise ValueError(f"backends.{name}.phases must be an object")
+            for phase in BATCH_PHASES:
+                value = phases.get(phase)
+                if not isinstance(value, float) or value < 0.0:
+                    raise ValueError(
+                        f"backends.{name}.phases.{phase} must be a "
+                        "non-negative float"
+                    )
+    scaling = payload.get("scaling")
+    if scaling is not None:
+        if not isinstance(scaling, dict) or not scaling:
+            raise ValueError("scaling must be a non-empty object")
+        for name, entries in scaling.items():
+            if not isinstance(entries, list) or not entries:
+                raise ValueError(f"scaling.{name} must be a non-empty array")
+            for index, entry in enumerate(entries):
+                _validate_rate_entry(f"scaling.{name}[{index}]", entry)
     speedup = payload.get("speedup_batch_vs_serial")
     if not isinstance(speedup, float) or speedup <= 0.0:
         raise ValueError("speedup_batch_vs_serial must be a positive float")
@@ -104,7 +143,7 @@ def main(argv) -> int:
 
     from repro.core.framework import SEOFramework
     from repro.experiments.common import ExperimentSettings, standard_config
-    from repro.runtime.batch import BatchExecutor
+    from repro.runtime.batch import run_batch
     from repro.runtime.executor import SerialExecutor
 
     settings = ExperimentSettings(episodes=episodes, max_steps=1200, seed=0)
@@ -113,30 +152,69 @@ def main(argv) -> int:
 
     # Build the lookup table into the process-wide cache up front so both
     # backends time the episode loop, not the one-off table construction.
-    SEOFramework(config)
+    framework = SEOFramework(config)
 
     timings = {}
     reports = {}
-    for name, executor in (
-        ("serial", SerialExecutor()),
-        ("batch", BatchExecutor()),
-    ):
-        start = time.perf_counter()
-        reports[name] = executor.run(config, episodes)
-        wall = time.perf_counter() - start
-        timings[name] = {
-            "episodes": episodes,
-            "wall_s": round(wall, 6),
-            "episodes_per_s": round(episodes / wall, 4),
-        }
+
+    start = time.perf_counter()
+    reports["serial"] = SerialExecutor().run(config, episodes)
+    wall = time.perf_counter() - start
+    timings["serial"] = {
+        "episodes": episodes,
+        "wall_s": round(wall, 6),
+        "episodes_per_s": round(episodes / wall, 4),
+    }
+
+    phase_seconds: dict = {}
+    start = time.perf_counter()
+    reports["batch"] = run_batch(framework, range(episodes), timings=phase_seconds)
+    wall = time.perf_counter() - start
+    timings["batch"] = {
+        "episodes": episodes,
+        "wall_s": round(wall, 6),
+        "episodes_per_s": round(episodes / wall, 4),
+        "phases": {
+            phase: round(phase_seconds.get(phase, 0.0), 6)
+            for phase in BATCH_PHASES
+        },
+    }
+
+    for name in ("serial", "batch"):
         print(
-            f"{name:7s} {episodes:4d} episodes in {wall:8.3f}s  "
+            f"{name:7s} {episodes:4d} episodes in {timings[name]['wall_s']:8.3f}s  "
             f"({timings[name]['episodes_per_s']:.2f} eps/s)"
         )
+    phases = timings["batch"]["phases"]
+    print(
+        "batch phases: "
+        + "  ".join(f"{phase}={phases[phase]:.3f}s" for phase in BATCH_PHASES)
+    )
 
     if reports["batch"] != reports["serial"]:
         print("FAIL: batch reports differ from the serial oracle", file=sys.stderr)
         return 1
+
+    # Batch-size scaling axis: how throughput amortizes with the batch size.
+    # Only measured on the full default workload; reduced smoke runs skip it
+    # to stay fast.
+    scaling = None
+    if episodes == DEFAULT_EPISODES:
+        scaling = {"batch": []}
+        for size in SCALING_EPISODES:
+            start = time.perf_counter()
+            run_batch(framework, range(size))
+            size_wall = time.perf_counter() - start
+            entry = {
+                "episodes": size,
+                "wall_s": round(size_wall, 6),
+                "episodes_per_s": round(size / size_wall, 4),
+            }
+            scaling["batch"].append(entry)
+            print(
+                f"scaling {size:4d} episodes in {size_wall:8.3f}s  "
+                f"({entry['episodes_per_s']:.2f} eps/s)"
+            )
 
     speedup = timings["batch"]["episodes_per_s"] / timings["serial"]["episodes_per_s"]
     payload = {
@@ -152,6 +230,8 @@ def main(argv) -> int:
         "backends": timings,
         "speedup_batch_vs_serial": round(speedup, 4),
     }
+    if scaling is not None:
+        payload["scaling"] = scaling
     validate_payload(payload)
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"speedup batch vs serial: {speedup:.2f}x  -> {output}")

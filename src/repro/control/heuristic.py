@@ -17,7 +17,6 @@ of the "RL agent" (see DESIGN.md).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -56,55 +55,94 @@ class ObstacleAvoidanceController(Controller):
     stale_caution: float = 0.2
     curvature_gain: float = 4.0
 
-    def act_from_inputs(self, inputs: ControlInputs) -> ControlAction:
-        steering = self._lane_keeping_steer(inputs)
-        steering += self._avoidance_steer(inputs)
-        throttle = self._speed_control(inputs)
-        return ControlAction(steering=steering, throttle=throttle).clipped()
+    def act_batch(
+        self,
+        speeds_mps: np.ndarray,
+        target_speeds_mps: np.ndarray,
+        lateral_offsets_m: np.ndarray,
+        headings_rad: np.ndarray,
+        road_curvatures_per_m: np.ndarray,
+        has_obstacle: np.ndarray,
+        obstacle_distances_m: np.ndarray,
+        obstacle_bearings_rad: np.ndarray,
+        obstacle_stale: np.ndarray,
+    ) -> tuple:
+        """Vectorized lane-keep + avoid + speed law over ``(N,)`` arrays.
 
-    # ------------------------------------------------------------------
-    # Behaviour components
-    # ------------------------------------------------------------------
-    def _lane_keeping_steer(self, inputs: ControlInputs) -> float:
-        """PD steering toward the lane centre and road direction, plus a
-        curvature feedforward that tracks curved centrelines."""
-        return (
-            -self.lane_gain * inputs.lateral_offset_m
-            - self.heading_gain * inputs.heading_rad
-            + self.curvature_gain * inputs.road_curvature_per_m
+        ``has_obstacle`` is a bool mask; distance/bearing/stale values of
+        masked-out elements are ignored.  Returns ``(steering, throttle)``
+        arrays, both clipped to [-1, 1].  This is the single implementation
+        of the control law — :meth:`act_from_inputs` is a 1-element view of
+        it, so the serial and batch paths cannot drift.
+        """
+        speeds = np.asarray(speeds_mps, dtype=float)
+        targets = np.asarray(target_speeds_mps, dtype=float)
+        laterals = np.asarray(lateral_offsets_m, dtype=float)
+        headings = np.asarray(headings_rad, dtype=float)
+        curvatures = np.asarray(road_curvatures_per_m, dtype=float)
+        has_obstacle = np.asarray(has_obstacle, dtype=bool)
+        raw_distances = np.asarray(obstacle_distances_m, dtype=float)
+        bearings = np.asarray(obstacle_bearings_rad, dtype=float)
+        stale = np.asarray(obstacle_stale, dtype=bool)
+
+        # PD steering toward the lane centre and road direction, plus a
+        # curvature feedforward that tracks curved centrelines.
+        lane_steer = (
+            -self.lane_gain * laterals
+            - self.heading_gain * headings
+            + self.curvature_gain * curvatures
         )
 
-    def _avoidance_steer(self, inputs: ControlInputs) -> float:
-        """Repulsive steering away from the nearest perceived obstacle."""
-        if not inputs.has_obstacle:
-            return 0.0
-        distance = max(0.5, float(inputs.obstacle_distance_m))
-        bearing = float(inputs.obstacle_bearing_rad)
-        if distance > self.avoid_range_m:
-            return 0.0
-        # Only obstacles roughly ahead require evasive steering.
-        ahead_weight = max(0.0, math.cos(bearing))
-        if ahead_weight <= 0.0:
-            return 0.0
-        proximity = (self.avoid_range_m - distance) / self.avoid_range_m
+        # Repulsive steering away from the nearest perceived obstacle; only
+        # obstacles roughly ahead and within range require evasive steering.
+        distances = np.maximum(0.5, raw_distances)
+        ahead_weight = np.maximum(0.0, np.cos(bearings))
+        proximity = (self.avoid_range_m - distances) / self.avoid_range_m
         # Steer away from the obstacle side; for a dead-ahead obstacle pick
         # the side with more room (the sign of the current lateral offset).
-        if abs(bearing) > 1e-3:
-            direction = -math.copysign(1.0, bearing)
-        else:
-            direction = -math.copysign(1.0, inputs.lateral_offset_m) if inputs.lateral_offset_m else 1.0
-        return direction * self.avoid_gain * proximity * ahead_weight
+        direction = np.where(
+            np.abs(bearings) > 1e-3,
+            -np.copysign(1.0, bearings),
+            np.where(laterals != 0.0, -np.copysign(1.0, laterals), 1.0),
+        )
+        avoid_active = (
+            has_obstacle
+            & ~(distances > self.avoid_range_m)
+            & (ahead_weight > 0.0)
+        )
+        avoid_steer = np.where(
+            avoid_active,
+            direction * self.avoid_gain * proximity * ahead_weight,
+            0.0,
+        )
+        steering = lane_steer + avoid_steer
 
-    def _speed_control(self, inputs: ControlInputs) -> float:
-        """Proportional speed tracking with obstacle-aware braking."""
-        throttle = self.speed_gain * (inputs.target_speed_mps - inputs.speed_mps)
-        if inputs.has_obstacle:
-            distance = float(inputs.obstacle_distance_m)
-            bearing = float(inputs.obstacle_bearing_rad)
-            ahead_weight = max(0.0, math.cos(bearing))
-            if distance < self.brake_range_m and ahead_weight > 0.3:
-                braking = (self.brake_range_m - distance) / self.brake_range_m
-                if inputs.obstacle_stale:
-                    braking *= 1.0 + self.stale_caution
-                throttle -= braking * ahead_weight
-        return float(np.clip(throttle, -1.0, 1.0))
+        # Proportional speed tracking with obstacle-aware braking; stale
+        # (gated) obstacle information brakes a little harder.
+        throttle = self.speed_gain * (targets - speeds)
+        braking = (self.brake_range_m - raw_distances) / self.brake_range_m
+        braking = np.where(stale, braking * (1.0 + self.stale_caution), braking)
+        brake_active = (
+            has_obstacle & (raw_distances < self.brake_range_m) & (ahead_weight > 0.3)
+        )
+        throttle = np.where(brake_active, throttle - braking * ahead_weight, throttle)
+        return np.clip(steering, -1.0, 1.0), np.clip(throttle, -1.0, 1.0)
+
+    def act_from_inputs(self, inputs: ControlInputs) -> ControlAction:
+        """Scalar facade: a 1-element view of :meth:`act_batch`."""
+        has_obstacle = inputs.has_obstacle
+        steering, throttle = self.act_batch(
+            np.array([inputs.speed_mps]),
+            np.array([inputs.target_speed_mps]),
+            np.array([inputs.lateral_offset_m]),
+            np.array([inputs.heading_rad]),
+            np.array([inputs.road_curvature_per_m]),
+            np.array([has_obstacle]),
+            np.array([float(inputs.obstacle_distance_m) if has_obstacle else 0.0]),
+            np.array([float(inputs.obstacle_bearing_rad) if has_obstacle else 0.0]),
+            np.array([bool(inputs.obstacle_stale) if has_obstacle else False]),
+        )
+        return ControlAction(
+            steering=float(steering[0]),
+            throttle=float(throttle[0]),
+        )

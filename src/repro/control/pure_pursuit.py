@@ -40,18 +40,48 @@ class PurePursuitController(Controller):
     max_steer_rad: float = math.radians(35.0)
     speed_gain: float = 0.5
 
-    def act_from_inputs(self, inputs: ControlInputs) -> ControlAction:
+    def act_batch(
+        self,
+        speeds_mps: np.ndarray,
+        target_speeds_mps: np.ndarray,
+        lateral_offsets_m: np.ndarray,
+        headings_rad: np.ndarray,
+        road_curvatures_per_m: np.ndarray,
+    ) -> tuple:
+        """Vectorized pure-pursuit law over ``(N,)`` Frenet-pose arrays.
+
+        Returns ``(steering, throttle)`` arrays, both clipped to [-1, 1].
+        This is the single implementation of the control law —
+        :meth:`act_from_inputs` is a 1-element view of it, so the serial and
+        batch paths cannot drift.
+        """
         # Lookahead point on the centre line, expressed in the road-aligned
         # vehicle frame (Frenet offsets); the centreline curvature is fed
         # forward so curved roads are tracked without a steady-state error.
         dx = self.lookahead_m
-        dy = -inputs.lateral_offset_m
-        alpha = math.atan2(dy, dx) - inputs.heading_rad
-        curvature = 2.0 * math.sin(alpha) / self.lookahead_m + inputs.road_curvature_per_m
-        steer_rad = math.atan(curvature * self.wheelbase_m)
+        dy = -np.asarray(lateral_offsets_m, dtype=float)
+        alpha = np.arctan2(dy, dx) - np.asarray(headings_rad, dtype=float)
+        curvature = 2.0 * np.sin(alpha) / self.lookahead_m + np.asarray(
+            road_curvatures_per_m, dtype=float
+        )
+        steer_rad = np.arctan(curvature * self.wheelbase_m)
         steering = steer_rad / self.max_steer_rad
-        throttle = self.speed_gain * (inputs.target_speed_mps - inputs.speed_mps)
+        throttle = self.speed_gain * (
+            np.asarray(target_speeds_mps, dtype=float)
+            - np.asarray(speeds_mps, dtype=float)
+        )
+        return np.clip(steering, -1.0, 1.0), np.clip(throttle, -1.0, 1.0)
+
+    def act_from_inputs(self, inputs: ControlInputs) -> ControlAction:
+        """Scalar facade: a 1-element view of :meth:`act_batch`."""
+        steering, throttle = self.act_batch(
+            np.array([inputs.speed_mps]),
+            np.array([inputs.target_speed_mps]),
+            np.array([inputs.lateral_offset_m]),
+            np.array([inputs.heading_rad]),
+            np.array([inputs.road_curvature_per_m]),
+        )
         return ControlAction(
-            steering=float(np.clip(steering, -1.0, 1.0)),
-            throttle=float(np.clip(throttle, -1.0, 1.0)),
+            steering=float(steering[0]),
+            throttle=float(throttle[0]),
         )

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.intervals import SafeIntervalEstimator
 from repro.core.safety import NO_OBSTACLE_DISTANCE_M, SafetyInputs
-from repro.dynamics.state import ControlAction
+from repro.dynamics.state import ControlAction, wrap_angle
 
 
 @dataclass(frozen=True)
@@ -195,7 +195,7 @@ class DeadlineLookupTable:
         # The bearing axis is circular: bin on wrapped angular distance so a
         # bearing of -pi + eps maps next to +pi - eps instead of sweeping the
         # whole grid.
-        bearing_error = _wrap_angle(bearings - inputs.bearing_rad)
+        bearing_error = wrap_angle(bearings - inputs.bearing_rad)
         bearing_index = int(np.argmin(np.abs(bearing_error)))
 
         clipped = control.clipped()
@@ -275,7 +275,7 @@ class DeadlineLookupTable:
         speed_index = np.clip(
             np.searchsorted(speed_grid, v, side="left"), 0, speed_grid.size - 1
         )
-        bearing_error = _wrap_angle(bearing_grid[None, :] - b[:, None])
+        bearing_error = wrap_angle(bearing_grid[None, :] - b[:, None])
         bearing_index = np.argmin(np.abs(bearing_error), axis=1)
         steer_index = np.argmin(np.abs(steering_grid[None, :] - s[:, None]), axis=1)
         throttle_index = np.argmin(
@@ -360,8 +360,3 @@ class DeadlineLookupTable:
 def _neighbour_slice(index: int, length: int) -> slice:
     """A slice covering ``index`` and its immediate neighbours."""
     return slice(max(0, index - 1), min(length, index + 2))
-
-
-def _wrap_angle(angle: np.ndarray) -> np.ndarray:
-    """Wrap angles into [-pi, pi)."""
-    return np.mod(angle + np.pi, 2.0 * np.pi) - np.pi

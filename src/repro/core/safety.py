@@ -17,9 +17,10 @@ separates recoverable from unrecoverable states.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
+
+import numpy as np
 
 from repro.dynamics.state import ControlAction
 from repro.sim.world import World
@@ -136,20 +137,56 @@ class BrakingDistanceBarrier(SafetyFunction):
         if self.max_brake_mps2 <= 0:
             raise ValueError("max_brake_mps2 must be positive")
 
-    def required_clearance_m(self, inputs: SafetyInputs) -> float:
-        """Distance the barrier requires for the current speed and bearing."""
-        heading_weight = max(0.0, math.cos(inputs.bearing_rad))
+    def required_clearance_batch(
+        self, bearings_rad: np.ndarray, speeds_mps: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`required_clearance_m` over ``(N,)`` state arrays.
+
+        This is the single implementation of the clearance math; the scalar
+        method is a 1-element view of it, so the serial and batch paths
+        cannot drift.
+        """
+        bearings = np.asarray(bearings_rad, dtype=float)
+        speeds = np.asarray(speeds_mps, dtype=float)
+        heading_weight = np.maximum(0.0, np.cos(bearings))
         stopping = (
-            inputs.speed_mps * self.reaction_time_s
-            + inputs.speed_mps**2 / (2.0 * self.max_brake_mps2)
+            speeds * self.reaction_time_s + speeds**2 / (2.0 * self.max_brake_mps2)
         )
         return self.clearance_m + heading_weight * stopping
+
+    def evaluate_batch(
+        self,
+        distances_m: np.ndarray,
+        bearings_rad: np.ndarray,
+        speeds_mps: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized ``h`` over ``(N,)`` state arrays.
+
+        Elements at the :data:`NO_OBSTACLE_DISTANCE_M` sentinel report the
+        raw distance, exactly like the scalar ``evaluate``.
+        """
+        distances = np.asarray(distances_m, dtype=float)
+        required = self.required_clearance_batch(bearings_rad, speeds_mps)
+        present = distances < NO_OBSTACLE_DISTANCE_M
+        return np.where(present, distances - required, distances)
+
+    def required_clearance_m(self, inputs: SafetyInputs) -> float:
+        """Distance the barrier requires for the current speed and bearing."""
+        return float(
+            self.required_clearance_batch(
+                np.array([inputs.bearing_rad]), np.array([inputs.speed_mps])
+            )[0]
+        )
 
     def evaluate(
         self, inputs: SafetyInputs, control: Optional[ControlAction] = None
     ) -> float:
         """Evaluate ``h``; the control argument is accepted for interface
         compatibility but this barrier depends on the state only."""
-        if not inputs.obstacle_present:
-            return inputs.distance_m
-        return inputs.distance_m - self.required_clearance_m(inputs)
+        return float(
+            self.evaluate_batch(
+                np.array([inputs.distance_m]),
+                np.array([inputs.bearing_rad]),
+                np.array([inputs.speed_mps]),
+            )[0]
+        )

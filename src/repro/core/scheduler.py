@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.intervals import discretize_deadline
+from repro.core.intervals import _MULTIPLE_TOLERANCE
 from repro.core.models import ModelSet, SensoryModel
 from repro.core.optimizations import (
     ACTION_IDLE,
@@ -48,6 +48,141 @@ from repro.platform.energy_ledger import (
 
 DeadlineProvider = Callable[[SafetyInputs, ControlAction], float]
 StrategyFactory = Callable[[SensoryModel], OptimizationStrategy]
+
+
+# ----------------------------------------------------------------------
+# Batch-first decision kernels
+# ----------------------------------------------------------------------
+#
+# The per-period decision math of Algorithm 1 (deadline discretization,
+# natural/full-slot selection, per-model done flags, interval-end arming) is
+# implemented once, as vectorized kernels over ``(N,)`` episode arrays, with
+# :class:`SafeRuntimeScheduler` operating on a 1-element
+# :class:`SchedulerState`.  The lockstep batch engine
+# (:mod:`repro.runtime.batch`) drives the same kernels over the full active
+# index set, so the serial and batch paths cannot drift.
+
+
+@dataclass
+class SchedulerState:
+    """Structure-of-arrays per-episode interval state of Algorithm 1.
+
+    All arrays are indexed by episode; ``done`` has one column per
+    optimizable (Lambda') model, in ``model_set.optimizable`` order.
+    """
+
+    interval_index: np.ndarray  #: (N,) int64 — index of the current interval
+    interval_step: np.ndarray  #: (N,) int64 — period index inside the interval
+    delta_max: np.ndarray  #: (N,) int64 — discretized deadline of the interval
+    delta_max_s: np.ndarray  #: (N,) float — raw sampled deadline (seconds)
+    new_delta: np.ndarray  #: (N,) bool — a new deadline must be sampled
+    done: np.ndarray  #: (N, M) bool — per-model deadline-met flags
+
+    @classmethod
+    def create(cls, count: int, optimizable_count: int) -> "SchedulerState":
+        """Initial state: every episode armed to sample its first deadline."""
+        return cls(
+            interval_index=np.full(count, -1, dtype=np.int64),
+            interval_step=np.zeros(count, dtype=np.int64),
+            delta_max=np.zeros(count, dtype=np.int64),
+            delta_max_s=np.zeros(count, dtype=float),
+            new_delta=np.ones(count, dtype=bool),
+            done=np.zeros((count, optimizable_count), dtype=bool),
+        )
+
+
+def discretized_deadline_kernel(
+    deadlines_s: np.ndarray, tau_s: float, max_deadline_periods: int
+) -> np.ndarray:
+    """Vectorized ``discretize_deadline(max(0, d), tau)`` clipped to the cap.
+
+    Elementwise equal to the scalar
+    :func:`repro.core.intervals.discretize_deadline` composed with the
+    scheduler's ``[0, max_deadline_periods]`` clamp (lines 7-8 of
+    Algorithm 1): exact multiples of ``tau`` (within the shared float
+    tolerance) round to the nearest period, everything else floors.
+    """
+    ratio = np.maximum(0.0, np.asarray(deadlines_s, dtype=float)) / tau_s
+    nearest = np.round(ratio)
+    exact = np.abs(ratio - nearest) <= _MULTIPLE_TOLERANCE * np.maximum(
+        1.0, np.abs(nearest)
+    )
+    periods = np.where(exact, nearest, np.floor(ratio))
+    return np.clip(periods, 0, max_deadline_periods).astype(np.int64)
+
+
+def begin_interval_kernel(
+    state: SchedulerState,
+    indices: np.ndarray,
+    deadlines_s: np.ndarray,
+    tau_s: float,
+    max_deadline_periods: int,
+    delta_i_opt: np.ndarray,
+) -> np.ndarray:
+    """Start a new safe interval for ``indices`` (Algorithm 1 lines 7-11).
+
+    ``deadlines_s`` holds the freshly sampled ``Delta_max`` of each episode
+    in ``indices``; ``delta_i_opt`` the ``(M,)`` discretized periods of the
+    optimizable models.  Models with no viable optimization window
+    (``delta_i >= delta_max``) are done immediately; they simply keep
+    running at their natural period.  Returns the discretized deadlines.
+    """
+    deadlines_s = np.asarray(deadlines_s, dtype=float)
+    periods = discretized_deadline_kernel(deadlines_s, tau_s, max_deadline_periods)
+    state.delta_max_s[indices] = deadlines_s
+    state.delta_max[indices] = periods
+    state.interval_index[indices] += 1
+    state.interval_step[indices] = 0
+    state.new_delta[indices] = False
+    state.done[indices] = delta_i_opt[None, :] >= periods[:, None]
+    return periods
+
+
+def natural_slot_kernel(global_step: int, delta_i: np.ndarray) -> np.ndarray:
+    """Which models hit their natural slot this period (``n % delta_i == 0``)."""
+    return global_step % delta_i == 0
+
+
+def full_slot_kernel(
+    natural: np.ndarray,
+    interval_step: np.ndarray,
+    delta_i_opt: np.ndarray,
+    delta_max: np.ndarray,
+) -> np.ndarray:
+    """Full-slot decision of eq. (6) as an ``(N, M)`` mask (lines 13-15).
+
+    A model must run locally on its natural slots when its period cannot fit
+    an optimization window (``delta_i >= delta_max``), otherwise exactly at
+    the mandatory fallback slot ``interval_step == delta_max - delta_i``.
+    """
+    return np.where(
+        delta_i_opt[None, :] >= delta_max[:, None],
+        natural[None, :],
+        interval_step[:, None] == delta_max[:, None] - delta_i_opt[None, :],
+    )
+
+
+def deadline_done_kernel(
+    state: SchedulerState, indices: np.ndarray, delta_i_opt: np.ndarray
+) -> None:
+    """Mark models whose mandatory slot was reached as done (lines 18-19)."""
+    delta_max = state.delta_max[indices]
+    reached = (delta_i_opt[None, :] < delta_max[:, None]) & (
+        state.interval_step[indices][:, None]
+        == delta_max[:, None] - delta_i_opt[None, :]
+    )
+    state.done[indices] |= reached
+
+
+def finish_period_kernel(state: SchedulerState, indices: np.ndarray) -> None:
+    """End-of-period bookkeeping (lines 22-24).
+
+    Once every optimizable model met its deadline the safe interval ends and
+    a new ``Delta_max`` is sampled next period; the interval step advances
+    either way.
+    """
+    state.new_delta[indices] |= state.done[indices].all(axis=1)
+    state.interval_step[indices] += 1
 
 
 @dataclass(frozen=True)
@@ -143,6 +278,19 @@ class SafeRuntimeScheduler:
             model.name: strategy_factory(model) for model in model_set.optimizable
         }
         self._delta_i: Dict[str, int] = model_set.discretized_periods(tau_s)
+        self._delta_i_opt = np.array(
+            [self._delta_i[model.name] for model in model_set.optimizable],
+            dtype=np.int64,
+        )
+        self._delta_i_crit = np.array(
+            [self._delta_i[model.name] for model in model_set.critical],
+            dtype=np.int64,
+        )
+        #: The scheduler is a 1-element view of the batch kernels: all
+        #: interval state lives in a single-episode SchedulerState and every
+        #: per-period decision goes through the same vectorized code the
+        #: lockstep batch engine runs over full episode sets.
+        self._indices = np.array([0])
 
         self.ledger = EnergyLedger()
         self.baseline_ledger = EnergyLedger()
@@ -158,12 +306,7 @@ class SafeRuntimeScheduler:
         self.baseline_ledger = EnergyLedger()
         self.stats = SchedulerStatistics()
         self._global_step = 0
-        self._interval_index = -1
-        self._interval_step = 0
-        self._delta_max = 0
-        self._delta_max_s = 0.0
-        self._new_delta = True
-        self._done: Dict[str, bool] = {}
+        self._state = SchedulerState.create(1, len(self.model_set.optimizable))
 
     # ------------------------------------------------------------------
     # Main loop body
@@ -172,32 +315,43 @@ class SafeRuntimeScheduler:
         self, safety_inputs: SafetyInputs, control: ControlAction
     ) -> SchedulerStepReport:
         """Run one base period of Algorithm 1 (lines 7-24)."""
+        state = self._state
         new_interval = False
-        if self._new_delta:
+        if bool(state.new_delta[0]):
             self._start_interval(safety_inputs, control)
             new_interval = True
 
         report = SchedulerStepReport(
             global_step=self._global_step,
-            interval_index=self._interval_index,
-            interval_step=self._interval_step,
+            interval_index=int(state.interval_index[0]),
+            interval_step=int(state.interval_step[0]),
             new_interval=new_interval,
-            delta_max_periods=self._delta_max,
-            delta_max_s=self._delta_max_s,
+            delta_max_periods=int(state.delta_max[0]),
+            delta_max_s=float(state.delta_max_s[0]),
         )
 
-        for model in self.model_set.critical:
-            report.directives.append(self._run_critical(model))
+        natural_crit = natural_slot_kernel(self._global_step, self._delta_i_crit)
+        for position, model in enumerate(self.model_set.critical):
+            report.directives.append(
+                self._run_critical(model, bool(natural_crit[position]))
+            )
 
-        for model in self.model_set.optimizable:
-            report.directives.append(self._run_optimizable(model))
+        natural_opt = natural_slot_kernel(self._global_step, self._delta_i_opt)
+        full_opt = full_slot_kernel(
+            natural_opt, state.interval_step, self._delta_i_opt, state.delta_max
+        )[0]
+        for position, model in enumerate(self.model_set.optimizable):
+            report.directives.append(
+                self._run_optimizable(
+                    model, bool(natural_opt[position]), bool(full_opt[position])
+                )
+            )
 
-        # Lines 22-23: once every optimizable model met its deadline, the
-        # safe interval ends and a new Delta_max is sampled next period.
-        if all(self._done.values()):
-            self._new_delta = True
-
-        self._interval_step += 1
+        # Lines 18-19 and 22-23: mandatory slots mark their model done; once
+        # every optimizable model met its deadline, the safe interval ends
+        # and a new Delta_max is sampled next period.
+        deadline_done_kernel(state, self._indices, self._delta_i_opt)
+        finish_period_kernel(state, self._indices)
         self._global_step += 1
         return report
 
@@ -209,34 +363,28 @@ class SafeRuntimeScheduler:
     ) -> None:
         """Sample a new deadline and reset per-interval state (lines 7-11)."""
         delta_max_s = float(self.deadline_provider(safety_inputs, control))
-        delta_max = discretize_deadline(max(0.0, delta_max_s), self.tau_s)
-        delta_max = int(np.clip(delta_max, 0, self.max_deadline_periods))
-
-        self._delta_max_s = delta_max_s
-        self._delta_max = delta_max
-        self._interval_index += 1
-        self._interval_step = 0
-        self._new_delta = False
+        periods = begin_interval_kernel(
+            self._state,
+            self._indices,
+            np.array([delta_max_s]),
+            self.tau_s,
+            self.max_deadline_periods,
+            self._delta_i_opt,
+        )
+        delta_max = int(periods[0])
 
         self.stats.delta_max_samples.append(delta_max)
         self.stats.delta_max_seconds.append(delta_max_s)
 
-        self._done = {}
         for model in self.model_set.optimizable:
             strategy = self._strategies[model.name]
-            delta_i = self._delta_i[model.name]
-            strategy.begin_interval(delta_i, delta_max, self.rng)
-            # Models with no viable optimization window are done immediately;
-            # they simply keep running at their natural period.
-            self._done[model.name] = delta_i >= delta_max
+            strategy.begin_interval(self._delta_i[model.name], delta_max, self.rng)
 
     # ------------------------------------------------------------------
     # Per-model execution
     # ------------------------------------------------------------------
-    def _run_critical(self, model: SensoryModel) -> ModelDirective:
+    def _run_critical(self, model: SensoryModel, natural_slot: bool) -> ModelDirective:
         """Lambda'' models always run at full capacity (Section IV-A)."""
-        delta_i = self._delta_i[model.name]
-        natural_slot = self._global_step % delta_i == 0
         execution = StepExecution(
             action=ACTION_LOCAL if natural_slot else ACTION_IDLE,
             fresh_output=natural_slot,
@@ -258,20 +406,20 @@ class SafeRuntimeScheduler:
             critical=True,
         )
 
-    def _run_optimizable(self, model: SensoryModel) -> ModelDirective:
-        """Lambda' models follow eq. (6) under their optimization strategy."""
-        delta_i = self._delta_i[model.name]
-        natural_slot = self._global_step % delta_i == 0
-        if delta_i >= self._delta_max:
-            full_slot = natural_slot
-        else:
-            full_slot = self._interval_step == (self._delta_max - delta_i)
+    def _run_optimizable(
+        self, model: SensoryModel, natural_slot: bool, full_slot: bool
+    ) -> ModelDirective:
+        """Lambda' models follow eq. (6) under their optimization strategy.
 
+        The natural/full-slot decisions come from the batch kernels
+        (:func:`natural_slot_kernel` / :func:`full_slot_kernel`); deadline
+        bookkeeping happens in :meth:`step` via :func:`deadline_done_kernel`.
+        """
         context = PeriodContext(
-            interval_step=self._interval_step,
+            interval_step=int(self._state.interval_step[0]),
             global_step=self._global_step,
-            delta_i=delta_i,
-            delta_max=self._delta_max,
+            delta_i=self._delta_i[model.name],
+            delta_max=int(self._state.delta_max[0]),
             natural_slot=natural_slot,
             full_slot=full_slot,
             tau_s=self.tau_s,
@@ -281,12 +429,6 @@ class SafeRuntimeScheduler:
         self._charge(self.ledger, model.name, execution)
         self._charge_baseline(model, natural_slot)
         self._bump_counters(model.name, execution)
-
-        # Line 18-19: reaching the mandatory slot marks the model done.
-        if delta_i < self._delta_max and self._interval_step == (
-            self._delta_max - delta_i
-        ):
-            self._done[model.name] = True
 
         return ModelDirective(
             model_name=model.name,

@@ -14,11 +14,18 @@ subset, and returns a filtered control ``u'``:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Tuple
 
-from repro.core.safety import BrakingDistanceBarrier, SafetyFunction, SafetyInputs, safety_state
+import numpy as np
+
+from repro.core.safety import (
+    NO_OBSTACLE_DISTANCE_M,
+    BrakingDistanceBarrier,
+    SafetyFunction,
+    SafetyInputs,
+    safety_state,
+)
 from repro.dynamics.state import ControlAction
 from repro.sim.world import World
 
@@ -80,38 +87,143 @@ class SteeringShield:
     # ------------------------------------------------------------------
     # Core filtering
     # ------------------------------------------------------------------
+    def filter_batch(
+        self,
+        h_values: np.ndarray,
+        distances_m: np.ndarray,
+        bearings_rad: np.ndarray,
+        speeds_mps: np.ndarray,
+        lateral_offsets_m: np.ndarray,
+        road_half_widths_m: np.ndarray,
+        steerings: np.ndarray,
+        throttles: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized safety filter over ``(N,)`` state/control arrays.
+
+        ``h_values`` is the barrier evaluated at each state (precomputed by
+        the caller, so the kernel stays generic over safety functions).
+        Returns ``(filtered_steering, filtered_throttle, intervened)``.
+
+        This is the single implementation of the blend/corrective math —
+        :meth:`filter_action` is a 1-element view of it, so the serial and
+        batch paths cannot drift.  The kernel is side-effect free: callers
+        own the evaluation/intervention counters.
+
+        The composed action is never *less* evasive than the raw one: the
+        steering component along the chosen evasive direction is the larger
+        of the controller's and the shield's, and the throttle is the
+        smaller (more braking) of the two.  The filtered action interpolates
+        raw → fully-shielded with a severity that grows from 0 exactly at
+        ``h = intervention_margin_m`` (so the correction is continuous where
+        the intervention starts) to 1 at the end of the blend band, and
+        saturates at (and below) ``h = 0``.  Exception: at creep speed the
+        corrective throttle (small and positive) is applied in full as soon
+        as the shield intervenes — anti-stall takes precedence over blend
+        continuity, otherwise a braking controller could pin the blended
+        throttle negative and freeze the vehicle inside the intervention
+        band.
+        """
+        h_values = np.asarray(h_values, dtype=float)
+        distances = np.asarray(distances_m, dtype=float)
+        bearings = np.asarray(bearings_rad, dtype=float)
+        speeds = np.asarray(speeds_mps, dtype=float)
+        laterals = np.asarray(lateral_offsets_m, dtype=float)
+        half_widths = np.asarray(road_half_widths_m, dtype=float)
+        steerings = np.asarray(steerings, dtype=float)
+        throttles = np.asarray(throttles, dtype=float)
+
+        obstacle_present = distances < NO_OBSTACLE_DISTANCE_M
+        passthrough = ~obstacle_present | (h_values >= self.intervention_margin_m)
+
+        ramp_band_m = min(self.blend_band_m, self.intervention_margin_m)
+        if ramp_band_m > 0.0:
+            severity = (self.intervention_margin_m - h_values) / ramp_band_m
+        else:
+            # A zero margin means the shield only ever acts at h < 0, where
+            # the override is total.
+            severity = np.ones_like(h_values)
+        severity = np.minimum(1.0, np.maximum(0.0, severity))
+
+        # The corrective behaviour ``psi``: steer away from the obstacle,
+        # brake.  Braking is released below a small creep speed so the
+        # filtered vehicle can still manoeuvre around the obstacle instead
+        # of freezing in front of it (the admissible-action set ``U``
+        # excludes a permanent stop).
+        steer_direction = np.where(
+            np.abs(bearings) > 1e-3, -np.copysign(1.0, bearings), 1.0
+        )
+        # Prefer the evasive side that keeps the vehicle on the road: if
+        # steering away from the obstacle would push it near the road edge,
+        # evade toward the lane centre instead.
+        projected_offset = laterals + steer_direction * 2.0
+        centre_direction = -np.copysign(1.0, np.where(laterals != 0.0, laterals, 1.0))
+        steer_direction = np.where(
+            np.abs(projected_offset) > 0.75 * half_widths,
+            centre_direction,
+            steer_direction,
+        )
+        # Obstacles behind the vehicle need no steering correction.
+        ahead_weight = np.maximum(0.0, np.cos(bearings))
+        creeping = speeds <= self.creep_speed_mps
+        corrective_steering = np.where(
+            creeping,
+            steer_direction,
+            steer_direction * self.steer_authority * ahead_weight,
+        )
+        corrective_throttle = np.where(
+            creeping, 0.15, -self.brake_authority * ahead_weight
+        )
+
+        raw_along_away = steerings * steer_direction
+        shielded_steering = steer_direction * np.maximum(
+            raw_along_away, np.abs(corrective_steering)
+        )
+        blended_steering = (
+            1.0 - severity
+        ) * steerings + severity * shielded_steering
+        shielded_throttle = np.minimum(throttles, corrective_throttle)
+        blended_throttle = np.where(
+            creeping,
+            corrective_throttle,
+            (1.0 - severity) * throttles + severity * shielded_throttle,
+        )
+        blended_steering = np.clip(blended_steering, -1.0, 1.0)
+        blended_throttle = np.clip(blended_throttle, -1.0, 1.0)
+
+        filtered_steering = np.where(passthrough, steerings, blended_steering)
+        filtered_throttle = np.where(passthrough, throttles, blended_throttle)
+        intervened = ~passthrough & (
+            (filtered_steering != steerings) | (filtered_throttle != throttles)
+        )
+        return filtered_steering, filtered_throttle, intervened
+
     def filter_action(
         self, inputs: SafetyInputs, control: ControlAction
     ) -> Tuple[ControlAction, ShieldDecision]:
-        """Filter a raw control action given the current safety inputs."""
+        """Filter a raw control action given the current safety inputs.
+
+        A 1-element view of :meth:`filter_batch`.
+        """
         self.evaluations += 1
         h_value = self.safety_function.evaluate(inputs, control)
         state = safety_state(h_value)
 
-        if not inputs.obstacle_present or h_value >= self.intervention_margin_m:
-            decision = ShieldDecision(
-                h_value=h_value,
-                safe=state,
-                intervened=False,
-                original=control,
-                filtered=control,
-            )
-            return control, decision
-
-        # Severity grows from 0 exactly at the margin (so the correction is
-        # continuous where the intervention starts) to 1 at the end of the
-        # blend band, and saturates at (and below) h = 0.
-        ramp_band_m = min(self.blend_band_m, self.intervention_margin_m)
-        if ramp_band_m > 0.0:
-            severity = (self.intervention_margin_m - h_value) / ramp_band_m
-        else:
-            # A zero margin means the shield only ever acts at h < 0, where
-            # the override is total.
-            severity = 1.0
-        severity = min(1.0, max(0.0, severity))
-        filtered = self._compose(inputs, control, severity)
-
-        intervened = filtered != control
+        steering, throttle, intervened_arr = self.filter_batch(
+            np.array([h_value]),
+            np.array([inputs.distance_m]),
+            np.array([inputs.bearing_rad]),
+            np.array([inputs.speed_mps]),
+            np.array([inputs.lateral_offset_m]),
+            np.array([inputs.road_half_width_m]),
+            np.array([control.steering]),
+            np.array([control.throttle]),
+        )
+        intervened = bool(intervened_arr[0])
+        filtered = (
+            ControlAction(steering=float(steering[0]), throttle=float(throttle[0]))
+            if intervened
+            else control
+        )
         if intervened:
             self.interventions += 1
         decision = ShieldDecision(
@@ -122,73 +234,6 @@ class SteeringShield:
             filtered=filtered,
         )
         return filtered, decision
-
-    def _compose(
-        self, inputs: SafetyInputs, control: ControlAction, severity: float
-    ) -> ControlAction:
-        """Blend the raw control with the fully-corrective behaviour.
-
-        The fully-shielded action is never *less* evasive than the raw one:
-        the steering component along the chosen evasive direction is the
-        larger of the controller's and the shield's, and the throttle is the
-        smaller (more braking) of the two.  The filtered action interpolates
-        raw → fully-shielded with ``severity``, so it approaches the raw
-        control continuously as ``h`` approaches the intervention margin and
-        still lies between raw and shielded on every component (never less
-        evasive than raw).
-
-        Exception: at creep speed the corrective throttle (small and
-        positive) is applied in full as soon as the shield intervenes —
-        anti-stall takes precedence over blend continuity, otherwise a
-        braking controller could pin the blended throttle negative and
-        freeze the vehicle inside the intervention band.
-        """
-        away_direction, corrective = self._corrective_action(inputs)
-        raw_along_away = control.steering * away_direction
-        shielded_steering = away_direction * max(
-            raw_along_away, abs(corrective.steering)
-        )
-        steering = (1.0 - severity) * control.steering + severity * shielded_steering
-
-        if inputs.speed_mps <= self.creep_speed_mps:
-            throttle = corrective.throttle
-        else:
-            shielded_throttle = min(control.throttle, corrective.throttle)
-            throttle = (1.0 - severity) * control.throttle + severity * shielded_throttle
-        return ControlAction(steering=steering, throttle=throttle).clipped()
-
-    def _corrective_action(self, inputs: SafetyInputs) -> Tuple[float, ControlAction]:
-        """The corrective behaviour ``psi``: steer away from the obstacle, brake.
-
-        Returns the chosen evasive direction (+1 left / -1 right) and the
-        corrective action.  Braking is released below a small creep speed so
-        the filtered vehicle can still manoeuvre around the obstacle instead
-        of freezing in front of it (the admissible-action set ``U`` excludes
-        a permanent stop).
-        """
-        bearing = inputs.bearing_rad
-        if abs(bearing) > 1e-3:
-            steer_direction = -math.copysign(1.0, bearing)
-        else:
-            steer_direction = 1.0
-        # Prefer the evasive side that keeps the vehicle on the road: if
-        # steering away from the obstacle would push it near the road edge,
-        # evade toward the lane centre instead.
-        projected_offset = inputs.lateral_offset_m + steer_direction * 2.0
-        if abs(projected_offset) > 0.75 * inputs.road_half_width_m:
-            steer_direction = -math.copysign(1.0, inputs.lateral_offset_m or 1.0)
-        # Obstacles behind the vehicle need no steering correction.
-        ahead_weight = max(0.0, math.cos(bearing))
-        if inputs.speed_mps <= self.creep_speed_mps:
-            # Braking further is pointless at creep speed: keep a small
-            # forward speed and steer hard so the manoeuvre completes
-            # instead of freezing in front of the obstacle.
-            steering = steer_direction
-            throttle = 0.15
-        else:
-            steering = steer_direction * self.steer_authority * ahead_weight
-            throttle = -self.brake_authority * ahead_weight
-        return steer_direction, ControlAction(steering=steering, throttle=throttle)
 
     # ------------------------------------------------------------------
     # Convenience adapters

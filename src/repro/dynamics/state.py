@@ -16,8 +16,18 @@ from typing import Tuple
 import numpy as np
 
 
-def wrap_angle(angle_rad: float) -> float:
-    """Wrap an angle to the interval (-pi, pi]."""
+def wrap_angle(angle_rad):
+    """Wrap an angle (scalar or ndarray) to the interval (-pi, pi].
+
+    The array path mirrors the scalar branch structure exactly (including
+    the pass-through of already-in-range values) so both produce bitwise
+    identical results element by element; ``np.fmod`` matches ``math.fmod``.
+    """
+    if isinstance(angle_rad, np.ndarray):
+        inside = (angle_rad > -math.pi) & (angle_rad <= math.pi)
+        wrapped = np.fmod(angle_rad + math.pi, 2.0 * math.pi)
+        wrapped = np.where(wrapped <= 0.0, wrapped + 2.0 * math.pi, wrapped)
+        return np.where(inside, angle_rad, wrapped - math.pi)
     if -math.pi < angle_rad <= math.pi:
         return angle_rad
     wrapped = math.fmod(angle_rad + math.pi, 2.0 * math.pi)

@@ -3,54 +3,72 @@
 :class:`BatchExecutor` steps ``N`` episodes of one
 :class:`~repro.core.framework.SEOConfig` in numpy lockstep: one frame of the
 runtime loop advances *every* live episode at once, so the per-frame numpy
-work (range scans, RK4 dynamics, deadline queries, road membership) is
-amortized over the whole batch instead of being paid per episode.
+work (range scans, RK4 dynamics, deadline queries, decision kernels, road
+membership) is amortized over the whole batch instead of being paid per
+episode.
+
+The decision layer is shared with the serial path instead of being
+re-implemented here: the controller, barrier, shield and scheduler each
+expose one batch-first kernel (``act_batch``, ``evaluate_batch``,
+``filter_batch``, the ``*_kernel`` functions of
+:mod:`repro.core.scheduler`), and the serial entry points are 1-element
+views of those kernels.  This engine calls the same kernels over the full
+active index set, so the serial and batch decision math *cannot* drift.
 
 The serial path (:meth:`SEOFramework.run_episode`) is the bit-exactness
 oracle: for every registered scenario family the reports produced here are
 field-for-field identical to the serial ones.  Three disciplines make that
 possible:
 
-* **Same float ops.** Vectorized sections replicate the serial arithmetic
-  expression by expression (operand order, association, clips and ``-0.0``
-  normalization included).  Where numpy's elementwise kernels differ from the
-  ``math`` module by a unit in the last place (``tan``, ``atan2``), the batch
-  engine calls the scalar function per episode exactly like the serial code.
+* **Same float ops.** Vectorized sections either call the shared kernels
+  (whose numpy ufuncs are size-independent) or replicate the serial
+  arithmetic expression by expression (operand order, association, clips
+  and ``-0.0`` normalization included).  Where numpy's elementwise kernels
+  differ from the ``math`` module by a unit in the last place (``tan``,
+  ``atan2``, ``hypot``), the batch engine calls the scalar function per
+  episode exactly like the serial code — that keeps the nearest-obstacle
+  view loop scalar.
 * **Same RNG streams.** Every stochastic consumer keeps its per-episode
   generator from the serial path (world placement, scheduler/wireless,
   sensor dropout, per-detector noise), and draws from each generator happen
-  in the serial order.  Cross-episode interleaving is free because no
-  generator is shared between episodes.
-* **Masking, not branching.** Episodes that terminate (collision, road exit,
-  route completion) are removed from the ``active`` index list; the frame
-  loop keeps stepping the survivors.  A finished episode's state is frozen at
-  its terminal frame — exactly what the serial ``break`` does.
+  in the serial order: the model-outer loops below visit models in pipeline
+  order, so each episode's generator sees its draws in the same sequence as
+  the serial per-episode loop.
+* **Masking, not branching.** Per-frame decisions are evaluated as boolean
+  masks over the active set (Algorithm 1's branch structure becomes mask
+  algebra; pending offloads become per-``(episode, model)`` arrival
+  bitmasks), and episodes that terminate (collision, road exit, route
+  completion) are removed from the ``active`` index list.  A finished
+  episode's state is frozen at its terminal frame — exactly what the
+  serial ``break`` does.
 
-Per-episode *control-flow* state (scheduler interval bookkeeping, strategy
-decisions, energy accounting) is carried as plain Python arrays/dicts: it is
-branchy and cheap, while the numeric inner loops above dominate the serial
-cost and are the ones vectorized.
+Still per-episode (cheap, branchy, or ULP-sensitive): the nearest-obstacle
+view scan, curved-road Frenet lookups, per-detector nearest-detection
+aggregation, wireless outcome sampling and dropout draws, and the range-scan
+detection grouping.
 """
 
 from __future__ import annotations
 
 import math
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.control.base import ControlInputs
+from repro.control.heuristic import ObstacleAvoidanceController
+from repro.control.pure_pursuit import PurePursuitController
 from repro.core.framework import EpisodeReport, SEOConfig, SEOFramework
-from repro.core.intervals import discretize_deadline
-from repro.core.optimizations import (
-    ACTION_GATED,
-    ACTION_IDLE,
-    ACTION_LOCAL,
-    ACTION_OFFLOAD,
-    ACTION_RESPONSE,
-    ACTION_SENSOR_GATED,
+from repro.core.safety import NO_OBSTACLE_DISTANCE_M
+from repro.core.scheduler import (
+    SchedulerState,
+    begin_interval_kernel,
+    deadline_done_kernel,
+    finish_period_kernel,
+    full_slot_kernel,
+    natural_slot_kernel,
 )
-from repro.core.safety import NO_OBSTACLE_DISTANCE_M, SafetyInputs
 from repro.core.shield import SteeringShield
 from repro.dynamics.state import wrap_angle
 from repro.runtime.executor import EpisodeExecutor
@@ -58,27 +76,25 @@ from repro.sim.scenario import build_world
 
 __all__ = ["BatchExecutor", "run_batch"]
 
-
-def _wrap_angle_array(angles: np.ndarray) -> np.ndarray:
-    """Vectorized :func:`repro.dynamics.state.wrap_angle` (bit-identical).
-
-    The scalar version returns angles already inside ``(-pi, pi]``
-    unchanged (bit-preserving, including ``-0.0``); only outside values go
-    through the fmod arithmetic.  The same split is kept here.
-    """
-    inside = (angles > -np.pi) & (angles <= np.pi)
-    wrapped = np.fmod(angles + np.pi, 2.0 * np.pi)
-    wrapped = np.where(wrapped <= 0.0, wrapped + 2.0 * np.pi, wrapped)
-    return np.where(inside, angles, wrapped - np.pi)
+#: Highest ``max_deadline_periods`` the int64 offload arrival bitmask holds.
+_MAX_PENDING_BITS = 60
 
 
 def run_batch(
-    framework: SEOFramework, episodes: Iterable[int]
+    framework: SEOFramework,
+    episodes: Iterable[int],
+    timings: Optional[Dict[str, float]] = None,
 ) -> List[EpisodeReport]:
     """Run the given episode indices in numpy lockstep.
 
     Returns reports in the order of ``episodes``, bit-identical to
     ``[framework.run_episode(e) for e in episodes]``.
+
+    When ``timings`` is given, wall-clock seconds spent in each engine phase
+    are accumulated into it under the keys ``"decision"`` (perception
+    aggregate, barrier, controller, shield), ``"scheduler"`` (deadline
+    sampling plus Algorithm 1), ``"scan"`` (range scans and detection
+    extraction) and ``"dynamics"`` (RK4 plant update and episode status).
     """
     config = framework.config
     episode_ids = [int(episode) for episode in episodes]
@@ -110,15 +126,13 @@ def run_batch(
     length_m = road.length_m
     half_width = road.half_width_m
     straight = road.is_straight
-    seg0 = centerline._placed[0]
-    seg_tx, seg_ty = math.cos(seg0.heading0), math.sin(seg0.heading0)
     edge_limit = road.half_width_m - 0.5 * params.width_m + 1e-9
     vehicle_radius = params.collision_radius_m
 
-    xs = [world.state.x_m for world in worlds]
-    ys = [world.state.y_m for world in worlds]
-    hs = [world.state.heading_rad for world in worlds]
-    vs = [world.state.speed_mps for world in worlds]
+    xs = np.array([world.state.x_m for world in worlds], dtype=float)
+    ys = np.array([world.state.y_m for world in worlds], dtype=float)
+    hs = np.array([world.state.heading_rad for world in worlds], dtype=float)
+    vs = np.array([world.state.speed_mps for world in worlds], dtype=float)
 
     obstacle_counts = {len(world.obstacles) for world in worlds}
     if len(obstacle_counts) != 1:  # pragma: no cover - placement guarantees
@@ -147,7 +161,7 @@ def run_batch(
     del worlds
 
     # ------------------------------------------------------------------
-    # Per-episode RNG streams, shields, controller.
+    # Per-episode RNG streams, shared shield, controller.
     # ------------------------------------------------------------------
     sched_rngs = [
         np.random.default_rng((config.seed + 2) * 1000 + episode)
@@ -161,13 +175,14 @@ def run_batch(
         for episode in episode_ids
     ]
     controller = framework._build_controller()
-    shields = [
-        SteeringShield(
-            safety_function=barrier,
-            intervention_margin_m=config.shield_margin_m,
-        )
-        for _ in range(n)
-    ]
+    heuristic_controller = isinstance(controller, ObstacleAvoidanceController)
+    pursuit_controller = isinstance(controller, PurePursuitController)
+    # The shield math is stateless (the per-episode counters live in the
+    # arrays below), so one instance filters the whole batch.
+    shield = SteeringShield(
+        safety_function=barrier,
+        intervention_margin_m=config.shield_margin_m,
+    )
 
     # ------------------------------------------------------------------
     # Detectors: one shared scan per episode per frame feeds every detector
@@ -229,11 +244,20 @@ def run_batch(
         )
         for model in framework.model_set.optimizable
     ]
+    num_crit = len(crit_models)
+    num_opt = len(opt_models)
+    delta_i_crit = np.array([di for _, di, *_ in crit_models], dtype=np.int64)
+    delta_i_opt = np.array([di for _, di, *_ in opt_models], dtype=np.int64)
     max_deadline_periods = config.max_deadline_periods
     mode = config.optimization
     gate_sensor = mode == "sensor_gating"
     planner = framework.offload_planner
     delta_hat = planner.estimated_response_periods(tau) if mode == "offload" else 0
+    if mode == "offload" and max_deadline_periods > _MAX_PENDING_BITS:
+        raise NotImplementedError(
+            "offload arrival bitmask supports max_deadline_periods "
+            f"<= {_MAX_PENDING_BITS}"
+        )
 
     horizon_s = framework.estimator.horizon_s
     lookup_table = framework.lookup_table
@@ -246,38 +270,42 @@ def run_batch(
         obstacle_radius = config.scenario.obstacle_radius_m
 
     # ------------------------------------------------------------------
-    # Per-episode run state.
+    # Per-episode run state (structure of arrays; the scheduler interval
+    # state is the same SchedulerState the serial scheduler uses with N=1).
     # ------------------------------------------------------------------
-    new_delta = [True] * n
-    interval_step = [0] * n
-    delta_max = [0] * n
-    done: List[Dict[str, bool]] = [{} for _ in range(n)]
-    pending: List[Dict[str, List[int]]] = [
-        {name: [] for name, *_ in opt_models} for _ in range(n)
-    ]
-    used_by_model: List[Dict[str, float]] = [{} for _ in range(n)]
-    base_by_model: List[Dict[str, float]] = [{} for _ in range(n)]
-    used_opt = [0.0] * n
-    base_opt = [0.0] * n
+    sched = SchedulerState.create(n, num_opt)
+    pending_mask = np.zeros((n, num_opt), dtype=np.int64)
+    used_crit = np.zeros((n, num_crit), dtype=float)
+    base_crit = np.zeros((n, num_crit), dtype=float)
+    used_optm = np.zeros((n, num_opt), dtype=float)
+    base_optm = np.zeros((n, num_opt), dtype=float)
+    used_opt_total = np.zeros(n, dtype=float)
+    base_opt_total = np.zeros(n, dtype=float)
     samples: List[List[int]] = [[] for _ in range(n)]
     offload_counts = [0] * n
     miss_counts = [0] * n
-    unsafe = [0] * n
     dropouts = [0] * n
-    min_dist = [float("inf")] * n
-    steps_count = [config.max_steps] * n
-    finished_f = [False] * n
-    collided_f = [False] * n
-    offroad_f = [False] * n
+    unsafe = np.zeros(n, dtype=np.int64)
+    interventions = np.zeros(n, dtype=np.int64)
+    min_dist = np.full(n, float("inf"), dtype=float)
+    steps_count = np.full(n, config.max_steps, dtype=np.int64)
+    finished_f = np.zeros(n, dtype=bool)
+    collided_f = np.zeros(n, dtype=bool)
+    offroad_f = np.zeros(n, dtype=bool)
     latest: List[Dict[str, Tuple[List[Tuple[float, float]], bool]]] = [
         {} for _ in range(n)
     ]
-    proj = [centerline.project(xs[i], ys[i]) for i in range(n)]
+    proj_s, proj_d = centerline.project_batch(xs, ys)
 
-    si_d = [0.0] * n
-    si_b = [0.0] * n
-    ctrl_s = [0.0] * n
-    ctrl_t = [0.0] * n
+    si_d = np.zeros(n, dtype=float)
+    si_b = np.zeros(n, dtype=float)
+    ctrl_s = np.zeros(n, dtype=float)
+    ctrl_t = np.zeros(n, dtype=float)
+
+    t_decision = 0.0
+    t_scheduler = 0.0
+    t_scan = 0.0
+    t_dynamics = 0.0
 
     time_s = 0.0
     active = list(range(n))
@@ -285,15 +313,23 @@ def run_batch(
     for t in range(config.max_steps):
         if not active:
             break
+        idx = np.array(active, dtype=int)
+        m = len(active)
+        stamp = perf_counter()
 
         # ---- Pass 1: perception aggregate -> safety state -> control ----
-        steer_list: List[float] = []
-        throttle_list: List[float] = []
-        for i in active:
-            xe = xs[i]
-            ye = ys[i]
-            he = hs[i]
-            ve = vs[i]
+        # The nearest-obstacle view stays scalar: math.hypot/math.atan2
+        # differ from the numpy ufuncs by a ULP on some inputs.
+        dist_b = np.empty(m, dtype=float)
+        bear_b = np.empty(m, dtype=float)
+        has_det = np.zeros(m, dtype=bool)
+        det_d = np.zeros(m, dtype=float)
+        det_bg = np.zeros(m, dtype=float)
+        det_stale = np.zeros(m, dtype=bool)
+        for j, i in enumerate(active):
+            xe = float(xs[i])
+            ye = float(ys[i])
+            he = float(hs[i])
 
             views = []
             for ox, oy, orad in pos[i]:
@@ -303,29 +339,9 @@ def run_batch(
             if views:
                 ahead = [view for view in views if abs(view[1]) <= half_pi]
                 candidates = ahead if ahead else views
-                dist_b, bear_b = min(candidates, key=lambda view: view[0])
+                dist_b[j], bear_b[j] = min(candidates, key=lambda view: view[0])
             else:
-                dist_b, bear_b = NO_OBSTACLE_DISTANCE_M, 0.0
-
-            s_raw, lat = proj[i]
-            if straight:
-                heading_err = wrap_angle(he - 0.0)
-                curv = 0.0
-            else:
-                s_cl = min(max(s_raw, 0.0), length_m)
-                heading_err = wrap_angle(he - road.heading_at(s_cl))
-                curv = road.curvature_at(s_cl)
-
-            inputs = SafetyInputs(
-                distance_m=dist_b,
-                bearing_rad=bear_b,
-                speed_mps=ve,
-                lateral_offset_m=lat,
-                road_half_width_m=half_width,
-            )
-            min_dist[i] = min(min_dist[i], inputs.distance_m)
-            if barrier.evaluate(inputs) < 0.0:
-                unsafe[i] += 1
+                dist_b[j], bear_b[j] = NO_OBSTACLE_DISTANCE_M, 0.0
 
             nearest_d = None
             nearest_b = None
@@ -341,217 +357,235 @@ def run_batch(
                     nearest_d = best[0]
                     nearest_b = best[1]
                     nearest_stale = stale
+            if nearest_d is not None:
+                has_det[j] = True
+                det_d[j] = nearest_d
+                det_bg[j] = nearest_b
+                det_stale[j] = nearest_stale
 
-            control_inputs = ControlInputs(
-                speed_mps=ve,
-                target_speed_mps=target_speed,
-                lateral_offset_m=lat,
-                heading_rad=heading_err,
-                obstacle_distance_m=nearest_d,
-                obstacle_bearing_rad=nearest_b,
-                obstacle_stale=nearest_stale,
-                road_half_width_m=half_width,
-                road_curvature_per_m=curv,
+        v_act = vs[idx]
+        h_act = hs[idx]
+        lat_act = proj_d[idx]
+        if straight:
+            heading_err = wrap_angle(h_act - 0.0)
+            curv_act = np.zeros(m, dtype=float)
+        else:
+            heading_err = np.empty(m, dtype=float)
+            curv_act = np.empty(m, dtype=float)
+            for j, i in enumerate(active):
+                s_cl = min(max(float(proj_s[i]), 0.0), length_m)
+                heading_err[j] = wrap_angle(float(hs[i]) - road.heading_at(s_cl))
+                curv_act[j] = road.curvature_at(s_cl)
+
+        h_vals = barrier.evaluate_batch(dist_b, bear_b, v_act)
+        min_dist[idx] = np.minimum(min_dist[idx], dist_b)
+        unsafe[idx] += h_vals < 0.0
+
+        target_act = np.full(m, target_speed, dtype=float)
+        if heuristic_controller:
+            raw_s, raw_t = controller.act_batch(
+                v_act, target_act, lat_act, heading_err, curv_act,
+                has_det, det_d, det_bg, det_stale,
             )
-            raw = controller.act_from_inputs(control_inputs)
-            if use_filter:
-                control, _ = shields[i].filter_action(inputs, raw)
-            else:
-                control = raw
-
-            si_d[i] = dist_b
-            si_b[i] = bear_b
-            ctrl_s[i] = control.steering
-            ctrl_t[i] = control.throttle
-            steer_list.append(control.steering)
-            throttle_list.append(control.throttle)
-
-        # ---- Batched deadline sampling for episodes starting an interval ----
-        new_interval = [i for i in active if new_delta[i]]
-        deadline_values: Dict[int, float] = {}
-        if new_interval:
-            if deadline_mode == "const":
-                for i in new_interval:
-                    deadline_values[i] = horizon_s
-            elif deadline_mode == "lookup":
-                values = lookup_table.query_batch(
-                    np.array([si_d[i] for i in new_interval], dtype=float),
-                    np.array([si_b[i] for i in new_interval], dtype=float),
-                    np.array([vs[i] for i in new_interval], dtype=float),
-                    np.array([ctrl_s[i] for i in new_interval], dtype=float),
-                    np.array([ctrl_t[i] for i in new_interval], dtype=float),
+        elif pursuit_controller:
+            raw_s, raw_t = controller.act_batch(
+                v_act, target_act, lat_act, heading_err, curv_act
+            )
+        else:  # pragma: no cover - custom controllers fall back to the facade
+            raw_s = np.empty(m, dtype=float)
+            raw_t = np.empty(m, dtype=float)
+            for j in range(m):
+                action = controller.act_from_inputs(
+                    ControlInputs(
+                        speed_mps=float(v_act[j]),
+                        target_speed_mps=target_speed,
+                        lateral_offset_m=float(lat_act[j]),
+                        heading_rad=float(heading_err[j]),
+                        obstacle_distance_m=(
+                            float(det_d[j]) if has_det[j] else None
+                        ),
+                        obstacle_bearing_rad=(
+                            float(det_bg[j]) if has_det[j] else None
+                        ),
+                        obstacle_stale=bool(det_stale[j]),
+                        road_half_width_m=half_width,
+                        road_curvature_per_m=float(curv_act[j]),
+                    )
                 )
-                for j, i in enumerate(new_interval):
-                    deadline_values[i] = float(values[j])
+                raw_s[j] = action.steering
+                raw_t[j] = action.throttle
+
+        if use_filter:
+            fs, ft, intervened = shield.filter_batch(
+                h_vals, dist_b, bear_b, v_act, lat_act, half_width, raw_s, raw_t
+            )
+            interventions[idx] += intervened
+        else:
+            fs, ft = raw_s, raw_t
+
+        si_d[idx] = dist_b
+        si_b[idx] = bear_b
+        ctrl_s[idx] = fs
+        ctrl_t[idx] = ft
+        now = perf_counter()
+        t_decision += now - stamp
+        stamp = now
+
+        # ---- Deadline sampling for episodes starting a safe interval ----
+        start_eps = idx[sched.new_delta[idx]]
+        if start_eps.size:
+            if deadline_mode == "const":
+                deadlines = np.full(start_eps.size, horizon_s, dtype=float)
+            elif deadline_mode == "lookup":
+                deadlines = lookup_table.query_batch(
+                    si_d[start_eps],
+                    si_b[start_eps],
+                    vs[start_eps],
+                    ctrl_s[start_eps],
+                    ctrl_t[start_eps],
+                )
             else:
-                for i in new_interval:
-                    deadline_values[i] = horizon_s
-                present = [
-                    i for i in new_interval if si_d[i] < NO_OBSTACLE_DISTANCE_M
-                ]
-                if present:
-                    values = framework.estimator.estimate_batch(
-                        np.array([si_d[i] for i in present], dtype=float),
-                        np.array([si_b[i] for i in present], dtype=float),
-                        np.array([vs[i] for i in present], dtype=float),
-                        np.array([ctrl_s[i] for i in present], dtype=float),
-                        np.array([ctrl_t[i] for i in present], dtype=float),
+                deadlines = np.full(start_eps.size, horizon_s, dtype=float)
+                present = si_d[start_eps] < NO_OBSTACLE_DISTANCE_M
+                if present.any():
+                    subset = start_eps[present]
+                    deadlines[present] = framework.estimator.estimate_batch(
+                        si_d[subset],
+                        si_b[subset],
+                        vs[subset],
+                        ctrl_s[subset],
+                        ctrl_t[subset],
                         obstacle_radius_m=obstacle_radius,
                     )
-                    for j, i in enumerate(present):
-                        deadline_values[i] = float(values[j])
+            periods = begin_interval_kernel(
+                sched, start_eps, deadlines, tau, max_deadline_periods, delta_i_opt
+            )
+            for k in range(start_eps.size):
+                samples[int(start_eps[k])].append(int(periods[k]))
+            if mode == "offload":
+                pending_mask[start_eps] = 0
 
         # ---- Pass 2: scheduler + optimization strategies (Algorithm 1) ----
+        # One mask-algebra block per model; every energy category is a
+        # separate in-place add in the serial charge order, and per-episode
+        # RNG draws keep their serial sequence because the model loop runs
+        # in pipeline order.
+        dmx_act = sched.delta_max[idx]
+        istep_act = sched.interval_step[idx]
+
+        natural_crit = natural_slot_kernel(t, delta_i_crit)
+        for j, (_name, _di, ce, me, he) in enumerate(crit_models):
+            natural = bool(natural_crit[j])
+            if natural and ce != 0.0:
+                used_crit[idx, j] += ce
+            if me != 0.0:
+                used_crit[idx, j] += me
+            if he != 0.0:
+                used_crit[idx, j] += he
+            if me != 0.0:
+                base_crit[idx, j] += me
+            if he != 0.0:
+                base_crit[idx, j] += he
+            if natural and ce != 0.0:
+                base_crit[idx, j] += ce
+
+        natural_opt = natural_slot_kernel(t, delta_i_opt)
+        full_all = full_slot_kernel(natural_opt, istep_act, delta_i_opt, dmx_act)
         needs: List[Tuple[int, str]] = []
-        for i in active:
-            rng_i = sched_rngs[i]
-            used_d = used_by_model[i]
-            base_d = base_by_model[i]
-            if new_delta[i]:
-                dmx = discretize_deadline(max(0.0, deadline_values[i]), tau)
-                dmx = min(max(dmx, 0), max_deadline_periods)
-                delta_max[i] = dmx
-                interval_step[i] = 0
-                new_delta[i] = False
-                samples[i].append(dmx)
-                interval_done = {}
-                for name, di, _ce, _me, _he in opt_models:
-                    if mode == "offload":
-                        pending[i][name] = []
-                    interval_done[name] = di >= dmx
-                done[i] = interval_done
-            dmx = delta_max[i]
-            istep = interval_step[i]
-
-            for name, di, ce, me, he in crit_models:
-                natural = t % di == 0
-                if natural and ce != 0.0:
-                    used_d[name] = used_d.get(name, 0.0) + ce
-                if me != 0.0:
-                    used_d[name] = used_d.get(name, 0.0) + me
-                if he != 0.0:
-                    used_d[name] = used_d.get(name, 0.0) + he
-                if me != 0.0:
-                    base_d[name] = base_d.get(name, 0.0) + me
-                if he != 0.0:
-                    base_d[name] = base_d.get(name, 0.0) + he
-                if natural and ce != 0.0:
-                    base_d[name] = base_d.get(name, 0.0) + ce
-
-            uo = used_opt[i]
-            bo = base_opt[i]
-            interval_done = done[i]
-            latest_i = latest[i]
-            for name, di, ce, me, he in opt_models:
-                natural = t % di == 0
-                if di >= dmx:
-                    full = natural
-                else:
-                    full = istep == dmx - di
-
-                action = ACTION_IDLE
-                fresh = False
-                compute_e = 0.0
-                tx_e = 0.0
-                meas_on = True
-                issued = False
-                missed = False
-                if mode == "none":
-                    if natural:
-                        action = ACTION_LOCAL
-                        fresh = True
-                        compute_e = ce
-                elif mode == "offload":
-                    plist = pending[i][name]
-                    arrived = istep in plist
-                    if arrived:
-                        pending[i][name] = [a for a in plist if a != istep]
-                    if full:
-                        if arrived:
-                            action = ACTION_RESPONSE
-                            fresh = True
-                        else:
-                            action = ACTION_LOCAL
-                            fresh = True
-                            compute_e = ce
+        for j, (name, di, ce, me, he) in enumerate(opt_models):
+            natural = bool(natural_opt[j])
+            full = full_all[:, j]
+            tx_e = None
+            meas_e = None
+            if mode == "none":
+                fresh = np.full(m, natural)
+                local = fresh
+                compute_e = ce if natural else 0.0
+            elif mode == "offload":
+                pend = pending_mask[idx, j]
+                arrived = ((pend >> istep_act) & 1) == 1
+                pend = np.where(
+                    arrived, pend & ~(np.int64(1) << istep_act), pend
+                )
+                applicable = di < dmx_act
+                fallback = dmx_act - di
+                branch_try = (
+                    ~full & applicable & (istep_act < fallback)
+                    if natural
+                    else np.zeros(m, dtype=bool)
+                )
+                run_local = branch_try & (istep_act + delta_hat > fallback)
+                issue = branch_try & ~run_local
+                run_natural = (
+                    ~full & ~branch_try & ~applicable
+                    if natural
+                    else np.zeros(m, dtype=bool)
+                )
+                passive = ~full & ~branch_try & ~run_natural
+                local = (full & ~arrived) | run_local | run_natural
+                fresh = (
+                    full
+                    | run_local
+                    | run_natural
+                    | ((issue | passive) & arrived)
+                )
+                compute_e = np.where(local, ce, 0.0)
+                tx_e = np.zeros(m, dtype=float)
+                for e in np.nonzero(issue)[0]:
+                    i = active[e]
+                    outcome = planner.sample(tau, sched_rngs[i])
+                    arrival = int(istep_act[e]) + outcome.response_periods
+                    if arrival > int(fallback[e]):
+                        miss_counts[i] += 1
                     else:
-                        applicable = di < dmx
-                        fallback = dmx - di
-                        if applicable and natural and istep < fallback:
-                            if istep + delta_hat > fallback:
-                                action = ACTION_LOCAL
-                                fresh = True
-                                compute_e = ce
-                            else:
-                                outcome = planner.sample(tau, rng_i)
-                                arrival = istep + outcome.response_periods
-                                missed = arrival > fallback
-                                if not missed:
-                                    pending[i][name].append(arrival)
-                                action = ACTION_OFFLOAD
-                                fresh = arrived
-                                tx_e = outcome.transmission_energy_j
-                                issued = True
-                        elif natural and not applicable:
-                            action = ACTION_LOCAL
-                            fresh = True
-                            compute_e = ce
-                        else:
-                            action = ACTION_RESPONSE if arrived else ACTION_IDLE
-                            fresh = arrived
-                else:  # model gating / sensor gating
-                    if full:
-                        action = ACTION_LOCAL
-                        fresh = True
-                        compute_e = ce
-                    elif di >= dmx:
-                        action = ACTION_IDLE
-                    elif gate_sensor:
-                        meas_on = istep >= dmx - di
-                        action = ACTION_GATED if meas_on else ACTION_SENSOR_GATED
-                    else:
-                        action = ACTION_GATED
-
-                meas_e = me if meas_on else 0.0
-                # Used ledger: compute, transmission, measurement, mechanical.
-                if compute_e != 0.0:
-                    used_d[name] = used_d.get(name, 0.0) + compute_e
-                    uo += compute_e
-                if tx_e != 0.0:
-                    used_d[name] = used_d.get(name, 0.0) + tx_e
-                    uo += tx_e
-                if meas_e != 0.0:
-                    used_d[name] = used_d.get(name, 0.0) + meas_e
-                    uo += meas_e
-                if he != 0.0:
-                    used_d[name] = used_d.get(name, 0.0) + he
-                    uo += he
-                # Baseline ledger: measurement, mechanical, compute at natural.
-                if me != 0.0:
-                    base_d[name] = base_d.get(name, 0.0) + me
-                    bo += me
-                if he != 0.0:
-                    base_d[name] = base_d.get(name, 0.0) + he
-                    bo += he
-                if natural and ce != 0.0:
-                    base_d[name] = base_d.get(name, 0.0) + ce
-                    bo += ce
-
-                if issued:
+                        pend[e] |= np.int64(1) << np.int64(arrival)
+                    tx_e[e] = outcome.transmission_energy_j
                     offload_counts[i] += 1
-                if missed:
-                    miss_counts[i] += 1
-                if di < dmx and istep == dmx - di:
-                    interval_done[name] = True
+                pending_mask[idx, j] = pend
+            else:  # model gating / sensor gating
+                local = full
+                fresh = full
+                compute_e = np.where(full, ce, 0.0)
+                if gate_sensor:
+                    gated_off = ~full & (di < dmx_act) & (istep_act < dmx_act - di)
+                    meas_e = np.where(gated_off, 0.0, me)
 
-                # Perception effect of the directive (serial directive loop).
-                if fresh:
-                    drop_rng = drop_rngs[i]
+            # Used ledger: compute, transmission, measurement, mechanical.
+            if np.ndim(compute_e) or compute_e != 0.0:
+                used_optm[idx, j] += compute_e
+                used_opt_total[idx] += compute_e
+            if tx_e is not None:
+                used_optm[idx, j] += tx_e
+                used_opt_total[idx] += tx_e
+            if meas_e is not None:
+                used_optm[idx, j] += meas_e
+                used_opt_total[idx] += meas_e
+            elif me != 0.0:
+                used_optm[idx, j] += me
+                used_opt_total[idx] += me
+            if he != 0.0:
+                used_optm[idx, j] += he
+                used_opt_total[idx] += he
+            # Baseline ledger: measurement, mechanical, compute at natural.
+            if me != 0.0:
+                base_optm[idx, j] += me
+                base_opt_total[idx] += me
+            if he != 0.0:
+                base_optm[idx, j] += he
+                base_opt_total[idx] += he
+            if natural and ce != 0.0:
+                base_optm[idx, j] += ce
+                base_opt_total[idx] += ce
+
+            # Perception effect of the directive (serial directive loop).
+            if p_drop > 0.0:
+                for e in np.nonzero(fresh)[0]:
+                    i = active[e]
+                    latest_i = latest[i]
                     dropped = (
-                        drop_rng is not None
-                        and action == ACTION_LOCAL
+                        bool(local[e])
                         and name in latest_i
-                        and drop_rng.random() < p_drop
+                        and drop_rngs[i].random() < p_drop
                     )
                     if dropped:
                         dropouts[i] += 1
@@ -561,14 +595,22 @@ def run_batch(
                         # serial path; the scan phase below fills it in.
                         latest_i[name] = None  # type: ignore[assignment]
                         needs.append((i, name))
-                elif name in latest_i:
+            else:
+                for e in np.nonzero(fresh)[0]:
+                    i = active[e]
+                    latest[i][name] = None  # type: ignore[assignment]
+                    needs.append((i, name))
+            for e in np.nonzero(~fresh)[0]:
+                i = active[e]
+                latest_i = latest[i]
+                if name in latest_i:
                     latest_i[name] = (latest_i[name][0], True)
 
-            used_opt[i] = uo
-            base_opt[i] = bo
-            if all(interval_done.values()):
-                new_delta[i] = True
-            interval_step[i] = istep + 1
+        deadline_done_kernel(sched, idx, delta_i_opt)
+        finish_period_kernel(sched, idx)
+        now = perf_counter()
+        t_scheduler += now - stamp
+        stamp = now
 
         # ---- Batched range scans for every fresh inference ----
         if needs:
@@ -578,15 +620,15 @@ def run_batch(
                 if i not in scan_rows:
                     scan_rows[i] = len(scan_eps)
                     scan_eps.append(i)
-            px = np.array([xs[i] for i in scan_eps], dtype=float)
-            py = np.array([ys[i] for i in scan_eps], dtype=float)
-            ph = np.array([hs[i] for i in scan_eps], dtype=float)
+            sel = np.array(scan_eps, dtype=int)
+            px = xs[sel]
+            py = ys[sel]
+            ph = hs[sel]
             ang = rel_angles[None, :] + ph[:, None]
             dxs = np.cos(ang)
             dys = np.sin(ang)
             best = np.full((len(scan_eps), num_beams), max_range, dtype=float)
             if K:
-                sel = np.array(scan_eps, dtype=int)
                 for k in range(K):
                     fx = px - obs_x[sel, k]
                     fy = py - obs_y[sel, k]
@@ -632,10 +674,13 @@ def run_batch(
                         kept.append(det)
                     dets = kept
                 latest[i][name] = (dets, False)
+        now = perf_counter()
+        t_scan += now - stamp
+        stamp = now
 
         # ---- Batched RK4 plant update ----
-        st = np.clip(np.array(steer_list, dtype=float), -1.0, 1.0)
-        th = np.clip(np.array(throttle_list, dtype=float), -1.0, 1.0)
+        st = np.clip(fs, -1.0, 1.0)
+        th = np.clip(ft, -1.0, 1.0)
         steer_rad = st * params.max_steer_rad
         accel = np.where(
             th >= 0.0, th * params.max_accel_mps2, th * params.max_brake_mps2
@@ -645,10 +690,10 @@ def run_batch(
             [math.tan(value) for value in steer_rad.tolist()], dtype=float
         )
         wheelbase = params.wheelbase_m
-        x0 = np.array([xs[i] for i in active], dtype=float)
-        y0 = np.array([ys[i] for i in active], dtype=float)
-        h0 = np.array([hs[i] for i in active], dtype=float)
-        v0 = np.array([vs[i] for i in active], dtype=float)
+        x0 = xs[idx]
+        y0 = ys[idx]
+        h0 = h_act
+        v0 = v_act
         half = 0.5 * tau
 
         sp1 = np.where(v0 > 0.0, v0, 0.0)
@@ -682,7 +727,7 @@ def run_batch(
         yn = y0 + sixth * (k1y + 2.0 * k2y + 2.0 * k3y + k4y)
         hn = h0 + sixth * (k1h + 2.0 * k2h + 2.0 * k3h + k4h)
         vn = v0 + sixth * (accel + 2.0 * accel + 2.0 * accel + accel)
-        hn = _wrap_angle_array(hn)
+        hn = wrap_angle(hn)
         vn = np.clip(vn, 0.0, params.max_speed_mps)
         vn = np.where(vn == 0.0, 0.0, vn)
 
@@ -703,77 +748,77 @@ def run_batch(
                     row_pos[k] = (mx, my, obstacle.radius_m)
 
         if K:
-            sel = np.array(active, dtype=int)
             collided = np.any(
-                np.hypot(obs_x[sel] - xn[:, None], obs_y[sel] - yn[:, None])
-                <= (obs_r[sel] + vehicle_radius),
+                np.hypot(obs_x[idx] - xn[:, None], obs_y[idx] - yn[:, None])
+                <= (obs_r[idx] + vehicle_radius),
                 axis=1,
             )
         else:
-            collided = np.zeros(len(active), dtype=bool)
+            collided = np.zeros(m, dtype=bool)
 
-        if straight:
-            dxn = xn - seg0.x0
-            dyn = yn - seg0.y0
-            s_raw_arr = dxn * seg_tx + dyn * seg_ty
-            d_arr = -dxn * seg_ty + dyn * seg_tx
-            s_tot = seg0.s0 + s_raw_arr
-            fin = s_tot >= length_m
-            off = ~(np.abs(d_arr) <= edge_limit)
-            projections = [
-                (float(s_tot[j]), float(d_arr[j])) for j in range(len(active))
-            ]
-        else:
-            projections = []
-            fin = []
-            off = []
-            for j in range(len(active)):
-                s_raw, d = centerline.project(float(xn[j]), float(yn[j]))
-                projections.append((s_raw, d))
-                fin.append(s_raw >= length_m)
-                off.append(not abs(d) <= edge_limit)
+        s_tot, d_arr = centerline.project_batch(xn, yn)
+        fin = s_tot >= length_m
+        off = ~(np.abs(d_arr) <= edge_limit)
 
-        next_active: List[int] = []
-        for j, i in enumerate(active):
-            xs[i] = float(xn[j])
-            ys[i] = float(yn[j])
-            hs[i] = float(hn[j])
-            vs[i] = float(vn[j])
-            proj[i] = projections[j]
-            hit = bool(collided[j])
-            exited = bool(off[j])
-            completed = bool(fin[j])
-            if hit or exited or completed:
-                steps_count[i] = t + 1
-                collided_f[i] = hit
-                offroad_f[i] = exited
-                finished_f[i] = completed
-            else:
-                next_active.append(i)
-        active = next_active
+        xs[idx] = xn
+        ys[idx] = yn
+        hs[idx] = hn
+        vs[idx] = vn
+        proj_s[idx] = s_tot
+        proj_d[idx] = d_arr
+        ended = collided | off | fin
+        if ended.any():
+            ended_idx = idx[ended]
+            steps_count[ended_idx] = t + 1
+            collided_f[ended_idx] = collided[ended]
+            offroad_f[ended_idx] = off[ended]
+            finished_f[ended_idx] = fin[ended]
+            active = idx[~ended].tolist()
+        t_dynamics += perf_counter() - stamp
+
+    if timings is not None:
+        timings["decision"] = timings.get("decision", 0.0) + t_decision
+        timings["scheduler"] = timings.get("scheduler", 0.0) + t_scheduler
+        timings["scan"] = timings.get("scan", 0.0) + t_scan
+        timings["dynamics"] = timings.get("dynamics", 0.0) + t_dynamics
 
     # ------------------------------------------------------------------
-    # Reports (field order and aggregation identical to the serial path).
+    # Reports (field order and aggregation identical to the serial path;
+    # the per-model dicts are rebuilt from the accumulator columns — a key
+    # is present exactly when the serial ledger charged it).
     # ------------------------------------------------------------------
     reports = []
     for i, episode in enumerate(episode_ids):
-        used_d = used_by_model[i]
-        base_d = base_by_model[i]
+        used_d: Dict[str, float] = {}
+        base_d: Dict[str, float] = {}
+        for j, (name, *_rest) in enumerate(crit_models):
+            if used_crit[i, j] != 0.0:
+                used_d[name] = float(used_crit[i, j])
+            if base_crit[i, j] != 0.0:
+                base_d[name] = float(base_crit[i, j])
+        for j, (name, *_rest) in enumerate(opt_models):
+            if used_optm[i, j] != 0.0:
+                used_d[name] = float(used_optm[i, j])
+            if base_optm[i, j] != 0.0:
+                base_d[name] = float(base_optm[i, j])
         gains = {}
-        for name, *_ in opt_models:
+        for name, *_rest in opt_models:
             base_v = base_d.get(name, 0.0)
             used_v = used_d.get(name, 0.0)
             gains[name] = 0.0 if base_v <= 0 else 1.0 - used_v / base_v
-        overall = 0.0 if base_opt[i] <= 0 else 1.0 - used_opt[i] / base_opt[i]
+        base_total = float(base_opt_total[i])
+        used_total = float(used_opt_total[i])
+        overall = 0.0 if base_total <= 0 else 1.0 - used_total / base_total
+        steps = int(steps_count[i])
         reports.append(
             EpisodeReport(
                 episode=episode,
-                steps=steps_count[i],
-                duration_s=steps_count[i] * tau,
-                completed=finished_f[i],
-                collided=collided_f[i],
-                off_road=offroad_f[i],
-                shield_interventions=shields[i].interventions,
+                steps=steps,
+                duration_s=steps * tau,
+                completed=bool(finished_f[i]),
+                collided=bool(collided_f[i]),
+                off_road=bool(offroad_f[i]),
+                shield_interventions=int(interventions[i]),
                 delta_max_samples=samples[i],
                 energy_by_model_j=used_d,
                 baseline_by_model_j=base_d,
@@ -781,8 +826,8 @@ def run_batch(
                 overall_gain=overall,
                 offloads_issued=offload_counts[i],
                 offload_deadline_misses=miss_counts[i],
-                min_obstacle_distance_m=min_dist[i],
-                unsafe_steps=unsafe[i],
+                min_obstacle_distance_m=float(min_dist[i]),
+                unsafe_steps=int(unsafe[i]),
                 sensor_dropouts=dropouts[i],
             )
         )

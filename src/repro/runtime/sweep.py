@@ -35,6 +35,7 @@ regenerates every artifact constructs at most one pool.
 from __future__ import annotations
 
 import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -227,6 +228,13 @@ class SweepRunner:
         if workers and backend != "socket":
             raise ValueError(
                 "worker addresses are only valid with the socket backend"
+            )
+        if backend == "batch" and jobs != 1:
+            warnings.warn(
+                "the batch backend runs in-process and ignores jobs="
+                f"{jobs}; its throughput comes from numpy lockstep, not "
+                "worker parallelism",
+                stacklevel=2,
             )
         self.backend = backend
         self.worker_addresses = tuple(workers) if workers else None

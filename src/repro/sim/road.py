@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.dynamics.state import VehicleState, wrap_angle
 
 
@@ -222,6 +224,32 @@ class Centerline:
                 best = (gap, anchored.s0 + s_raw, d)
         assert best is not None
         return best[1], best[2]
+
+    def project_batch(self, xs: np.ndarray, ys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`project` over ``(N,)`` point arrays.
+
+        Returns ``(s_raw, d)`` arrays.  The single-straight-segment chain
+        (the paper's road) projects in one vectorized frame rotation,
+        bit-identical to the scalar path; multi-segment chains fall back to
+        the scalar projection per point.
+        """
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if self.is_straight:
+            anchored = self._placed[0]
+            tx, ty = math.cos(anchored.heading0), math.sin(anchored.heading0)
+            dx = xs - anchored.x0
+            dy = ys - anchored.y0
+            s_raw = dx * tx + dy * ty
+            d = -dx * ty + dy * tx
+            return anchored.s0 + s_raw, d
+        s_out = np.empty(xs.size)
+        d_out = np.empty(xs.size)
+        for index in range(xs.size):
+            s_out[index], d_out[index] = self.project(
+                float(xs[index]), float(ys[index])
+            )
+        return s_out, d_out
 
     def to_frenet(self, x: float, y: float) -> Tuple[float, float]:
         """Frenet coordinates ``(s, d)`` of a point, with ``s`` clamped."""

@@ -23,10 +23,19 @@ from repro.core.intervals import (
     discretize_deadline,
     discretize_period,
 )
+from repro.control.base import ControlInputs
+from repro.control.heuristic import ObstacleAvoidanceController
+from repro.control.pure_pursuit import PurePursuitController
 from repro.core.models import ModelSet, SensoryModel
 from repro.core.optimizations import make_strategy_factory
-from repro.core.safety import BrakingDistanceBarrier, SafetyInputs, safety_state
+from repro.core.safety import (
+    NO_OBSTACLE_DISTANCE_M,
+    BrakingDistanceBarrier,
+    SafetyInputs,
+    safety_state,
+)
 from repro.core.scheduler import SafeRuntimeScheduler
+from repro.core.shield import SteeringShield
 from repro.dynamics.bicycle import KinematicBicycleModel
 from repro.dynamics.state import ControlAction, VehicleState, wrap_angle
 from repro.platform.compute import ComputeProfile
@@ -44,6 +53,12 @@ controls = st.builds(
     steering=st.floats(-1.0, 1.0, allow_nan=False),
     throttle=st.floats(-1.0, 1.0, allow_nan=False),
 )
+maybe_obstacle_distances = st.one_of(
+    distances, st.just(NO_OBSTACLE_DISTANCE_M)
+)
+lateral_offsets = st.floats(-4.0, 4.0, allow_nan=False)
+unit_commands = st.floats(-1.0, 1.0, allow_nan=False)
+curvatures = st.floats(-0.1, 0.1, allow_nan=False)
 
 
 class TestAngleAndDynamicsProperties:
@@ -294,3 +309,184 @@ class TestSchedulerProperties:
             0 <= sample <= scheduler.max_deadline_periods
             for sample in scheduler.stats.delta_max_samples
         )
+
+
+class TestKernelFacadeParity:
+    """Scalar facades are 1-element views of the batch kernels.
+
+    On any randomized state the facade and the corresponding kernel element
+    must agree bit-for-bit — this is the no-drift guarantee the lockstep
+    batch engine's bit-exactness rests on.
+    """
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        states=st.lists(
+            st.tuples(maybe_obstacle_distances, bearings, speeds),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_barrier_facade_matches_kernel(self, states):
+        barrier = BrakingDistanceBarrier()
+        d, b, v = (np.array(column, dtype=float) for column in zip(*states))
+        h = barrier.evaluate_batch(d, b, v)
+        required = barrier.required_clearance_batch(b, v)
+        for j, (dj, bj, vj) in enumerate(states):
+            inputs = SafetyInputs(distance_m=dj, bearing_rad=bj, speed_mps=vj)
+            assert barrier.evaluate(inputs) == h[j]
+            assert barrier.required_clearance_m(inputs) == required[j]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        states=st.lists(
+            st.tuples(
+                maybe_obstacle_distances,
+                bearings,
+                speeds,
+                lateral_offsets,
+                unit_commands,
+                unit_commands,
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_shield_facade_matches_kernel(self, states):
+        shield = SteeringShield()
+        barrier = shield.safety_function
+        d, b, v, lat, s, th = (
+            np.array(column, dtype=float) for column in zip(*states)
+        )
+        h = barrier.evaluate_batch(d, b, v)
+        fs, ft, intervened = shield.filter_batch(h, d, b, v, lat, 4.0, s, th)
+        for j, (dj, bj, vj, latj, sj, thj) in enumerate(states):
+            inputs = SafetyInputs(
+                distance_m=dj,
+                bearing_rad=bj,
+                speed_mps=vj,
+                lateral_offset_m=latj,
+                road_half_width_m=4.0,
+            )
+            filtered, decision = shield.filter_action(
+                inputs, ControlAction(steering=sj, throttle=thj)
+            )
+            assert decision.intervened == bool(intervened[j])
+            assert filtered.steering == fs[j]
+            assert filtered.throttle == ft[j]
+
+    def test_shield_blend_ramp_boundary(self):
+        """Exactly at h = intervention_margin_m the shield passes through;
+        one ulp below the blend ramp engages."""
+        shield = SteeringShield()
+        margin = shield.intervention_margin_m
+        h = np.array([margin, np.nextafter(margin, -math.inf)])
+        fs, ft, intervened = shield.filter_batch(
+            h,
+            np.array([5.0, 5.0]),
+            np.zeros(2),
+            np.array([5.0, 5.0]),
+            np.zeros(2),
+            4.0,
+            np.zeros(2),
+            np.array([0.5, 0.5]),
+        )
+        assert not intervened[0]
+        assert fs[0] == 0.0 and ft[0] == 0.5
+        assert intervened[1]
+        assert ft[1] < 0.5
+
+    def test_shield_no_obstacle_sentinel_passes_through(self):
+        """The sentinel distance disables the shield regardless of h."""
+        shield = SteeringShield()
+        fs, ft, intervened = shield.filter_batch(
+            np.array([-1.0]),
+            np.array([NO_OBSTACLE_DISTANCE_M]),
+            np.zeros(1),
+            np.array([5.0]),
+            np.zeros(1),
+            4.0,
+            np.array([0.3]),
+            np.array([0.2]),
+        )
+        assert not intervened[0]
+        assert fs[0] == 0.3 and ft[0] == 0.2
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        states=st.lists(
+            st.tuples(speeds, lateral_offsets, bearings, curvatures),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_pure_pursuit_facade_matches_kernel(self, states):
+        controller = PurePursuitController()
+        v, lat, hd, cv = (np.array(column, dtype=float) for column in zip(*states))
+        target = np.full(len(states), controller.target_speed_mps)
+        steering, throttle = controller.act_batch(v, target, lat, hd, cv)
+        for j, (vj, latj, hdj, cvj) in enumerate(states):
+            action = controller.act_from_inputs(
+                ControlInputs(
+                    speed_mps=vj,
+                    target_speed_mps=controller.target_speed_mps,
+                    lateral_offset_m=latj,
+                    heading_rad=hdj,
+                    road_curvature_per_m=cvj,
+                )
+            )
+            assert action.steering == steering[j]
+            assert action.throttle == throttle[j]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        states=st.lists(
+            st.tuples(
+                speeds,
+                lateral_offsets,
+                bearings,
+                curvatures,
+                st.one_of(
+                    st.none(), st.tuples(distances, bearings, st.booleans())
+                ),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_heuristic_facade_matches_kernel(self, states):
+        controller = ObstacleAvoidanceController()
+        n = len(states)
+        v, lat, hd, cv = (
+            np.array([state[k] for state in states], dtype=float)
+            for k in range(4)
+        )
+        has_obstacle = np.array([state[4] is not None for state in states])
+        obs_d = np.array(
+            [state[4][0] if state[4] else 0.0 for state in states], dtype=float
+        )
+        obs_b = np.array(
+            [state[4][1] if state[4] else 0.0 for state in states], dtype=float
+        )
+        obs_stale = np.array(
+            [state[4][2] if state[4] else False for state in states]
+        )
+        target = np.full(n, controller.target_speed_mps)
+        steering, throttle = controller.act_batch(
+            v, target, lat, hd, cv, has_obstacle, obs_d, obs_b, obs_stale
+        )
+        for j, (vj, latj, hdj, cvj, obs) in enumerate(states):
+            action = controller.act_from_inputs(
+                ControlInputs(
+                    speed_mps=vj,
+                    target_speed_mps=controller.target_speed_mps,
+                    lateral_offset_m=latj,
+                    heading_rad=hdj,
+                    road_curvature_per_m=cvj,
+                    obstacle_distance_m=obs[0] if obs else None,
+                    obstacle_bearing_rad=obs[1] if obs else None,
+                    obstacle_stale=obs[2] if obs else False,
+                )
+            )
+            assert action.steering == steering[j]
+            assert action.throttle == throttle[j]

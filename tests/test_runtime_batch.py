@@ -6,6 +6,7 @@ lockstep engine and the per-episode loop is a bug by definition.
 """
 
 import dataclasses
+import warnings
 
 import numpy as np
 import pytest
@@ -20,7 +21,7 @@ from repro.runtime.executor import (
     make_executor,
 )
 from repro.runtime.sweep import SweepJob, SweepRunner
-from repro.sim.scenario import DEFAULT_SUITE, ScenarioConfig
+from repro.sim.scenario import DEFAULT_SUITE
 
 
 @pytest.mark.parametrize("family_name", DEFAULT_SUITE.names())
@@ -112,8 +113,28 @@ class TestBackendWiring:
 
     def test_make_executor(self):
         assert isinstance(make_executor(backend="batch"), BatchExecutor)
-        # The batch backend ignores jobs: lockstep, not worker parallelism.
-        assert isinstance(make_executor(jobs=8, backend="batch"), BatchExecutor)
+        # The batch backend ignores jobs (lockstep, not worker parallelism);
+        # the expected advisory warning is asserted by test_explicit_jobs_warns.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert isinstance(make_executor(jobs=8, backend="batch"), BatchExecutor)
+
+    def test_explicit_jobs_warns(self):
+        """jobs != 1 with the batch backend is accepted but flagged."""
+        with pytest.warns(UserWarning, match="ignores jobs"):
+            executor = make_executor(jobs=8, backend="batch")
+        assert isinstance(executor, BatchExecutor)
+
+    def test_default_jobs_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            make_executor(jobs=1, backend="batch")
+
+    def test_sweep_runner_explicit_jobs_warns(self):
+        """The CLI routes through SweepRunner, so it must warn there too."""
+        with pytest.warns(UserWarning, match="ignores jobs"):
+            with SweepRunner(jobs=4, backend="batch"):
+                pass
 
     def test_make_executor_rejects_workers(self):
         with pytest.raises(ValueError):
