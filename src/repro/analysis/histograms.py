@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -17,8 +17,8 @@ class DeltaHistogram:
         frequencies: Relative frequencies (sum to 1 when any sample exists).
     """
 
-    counts: Dict[int, int]
-    frequencies: Dict[int, float]
+    counts: dict[int, int]
+    frequencies: dict[int, float]
 
     def frequency(self, delta: int) -> float:
         """Relative frequency of one ``delta_max`` value (0.0 if never seen)."""

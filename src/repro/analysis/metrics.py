@@ -3,14 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.framework import EpisodeReport
 
 
-def mean_and_std(values: Sequence[float]) -> Tuple[float, float]:
+def mean_and_std(values: Sequence[float]) -> tuple[float, float]:
     """Mean and standard deviation of a sequence (0, 0 when empty).
 
     Accepts any sized sequence, including numpy arrays (whose truth value is
@@ -44,10 +44,10 @@ class RunSummary:
 
     episodes: int
     successful_episodes: int
-    model_gains: Dict[str, ModelGainSummary] = field(default_factory=dict)
+    model_gains: dict[str, ModelGainSummary] = field(default_factory=dict)
     overall_gain: float = 0.0
     mean_delta_max: float = 0.0
-    delta_max_samples: List[int] = field(default_factory=list)
+    delta_max_samples: list[int] = field(default_factory=list)
     mean_shield_interventions: float = 0.0
     collision_episodes: int = 0
     off_road_episodes: int = 0
@@ -95,7 +95,7 @@ def aggregate_reports(
     model_names = sorted(
         {name for report in selected for name in report.gain_by_model}
     )
-    model_gains: Dict[str, ModelGainSummary] = {}
+    model_gains: dict[str, ModelGainSummary] = {}
     for name in model_names:
         gains = [report.gain_by_model.get(name, 0.0) for report in selected]
         energies = [report.energy_by_model_j.get(name, 0.0) for report in selected]
@@ -109,7 +109,7 @@ def aggregate_reports(
             mean_baseline_j=float(np.mean(baselines)),
         )
 
-    delta_samples: List[int] = []
+    delta_samples: list[int] = []
     for report in selected:
         delta_samples.extend(report.delta_max_samples)
 

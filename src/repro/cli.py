@@ -40,8 +40,9 @@ bit-identical to the unsharded run, without executing a single episode.
 from __future__ import annotations
 
 import argparse
+import contextlib
+from collections.abc import Callable, Sequence
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_table
 from repro.experiments.ablations import run_lookup_ablation, run_safety_awareness_ablation
@@ -112,7 +113,7 @@ def _ablation_lookup_table(settings: ExperimentSettings) -> str:
 
 
 #: Experiment name -> callable producing the rendered table.
-EXPERIMENTS: Dict[str, Callable[[ExperimentSettings], str]] = {
+EXPERIMENTS: dict[str, Callable[[ExperimentSettings], str]] = {
     "fig1": lambda settings: run_fig1(settings).to_table(),
     "fig5": lambda settings: run_fig5(settings).to_table(),
     "fig6": lambda settings: run_fig6(settings).to_table(),
@@ -249,10 +250,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=Path, default=None,
         help="optional file to write the rendered table(s) to",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the repo invariant linter (see docs/static-analysis.md)"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", type=Path, default=[], metavar="PATH",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_parser.add_argument(
+        "--select", action="append", metavar="CHECKER", default=None,
+        help="run only this checker (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--ignore", action="append", metavar="CHECKER", default=None,
+        help="skip this checker (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--list-checkers", action="store_true",
+        help="list the available checkers and exit",
+    )
     return parser
 
 
-def _reproduction_command(args: argparse.Namespace) -> List[str]:
+def _reproduction_command(args: argparse.Namespace) -> list[str]:
     """The argv that re-renders this sweep (minus execution/shard flags).
 
     Recorded in every shard manifest so ``merge`` can regenerate the full
@@ -288,14 +309,12 @@ def _run_worker(args: argparse.Namespace) -> str:
         # ephemeral port, so the format is part of the interface.
         print(f"worker listening on {address}", flush=True)
 
-    try:
+    with contextlib.suppress(KeyboardInterrupt):
         asyncio.run(serve_worker(host, port, on_bound=announce))
-    except KeyboardInterrupt:
-        pass
     return ""
 
 
-def _parse_worker_list(text: str) -> List[str]:
+def _parse_worker_list(text: str) -> list[str]:
     """Split and validate a ``--workers`` value — bad addresses must fail
     here, not when the first batch lazily opens the pool mid-run."""
     from repro.runtime.remote import parse_worker_address
@@ -340,13 +359,35 @@ def _run_merge(args: argparse.Namespace) -> str:
     return output
 
 
-def run(argv: Optional[Sequence[str]] = None) -> str:
+def _run_lint(args: argparse.Namespace) -> str:
+    """Run the invariant linter; exits non-zero on violations."""
+    import repro
+    from repro import lint
+
+    # Default to the installed package tree so the gate works from any cwd.
+    paths = args.paths or [Path(repro.__file__).parent]
+    argv = [str(path) for path in paths]
+    for name in args.select or []:
+        argv += ["--select", name]
+    for name in args.ignore or []:
+        argv += ["--ignore", name]
+    if args.list_checkers:
+        argv.append("--list-checkers")
+    code = lint.main(argv)
+    if code:
+        raise SystemExit(code)
+    return ""
+
+
+def run(argv: Sequence[str] | None = None) -> str:
     """Run the CLI and return the rendered output (also printed to stdout)."""
     args = build_parser().parse_args(argv)
     if args.experiment == "worker":
         return _run_worker(args)
     if args.experiment == "merge":
         return _run_merge(args)
+    if args.experiment == "lint":
+        return _run_lint(args)
     if (args.shard is not None or args.resume) and args.ledger_dir is None:
         raise SystemExit("--shard and --resume require --ledger-dir")
     workers = _parse_worker_list(args.workers) if args.workers else None

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -45,7 +44,7 @@ class RayleighChannel:
         """Rate estimate used for planning (the distribution mean)."""
         return self.mean_rate_bps
 
-    def sample_rate_bps(self, rng: Optional[np.random.Generator] = None) -> float:
+    def sample_rate_bps(self, rng: np.random.Generator | None = None) -> float:
         """Draw one effective data rate in bit/s."""
         generator = rng if rng is not None else self._rng
         rate_mbps = float(generator.rayleigh(self.scale_mbps))

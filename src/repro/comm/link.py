@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -33,7 +32,7 @@ class WirelessLink:
             raise ValueError("overhead_s must be non-negative")
 
     def transmission_time_s(
-        self, payload_bytes: int, rng: Optional[np.random.Generator] = None
+        self, payload_bytes: int, rng: np.random.Generator | None = None
     ) -> float:
         """Sampled transmission time ``T_tx`` for a payload of ``payload_bytes``."""
         if payload_bytes <= 0:

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -77,7 +76,7 @@ class OffloadPlanner:
     # Realized outcome
     # ------------------------------------------------------------------
     def sample(
-        self, tau_s: float, rng: Optional[np.random.Generator] = None
+        self, tau_s: float, rng: np.random.Generator | None = None
     ) -> OffloadOutcome:
         """Sample one offload round trip.
 

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -34,7 +33,7 @@ class EdgeServer:
         if self.downlink_time_s < 0:
             raise ValueError("downlink_time_s must be non-negative")
 
-    def service_time_s(self, rng: Optional[np.random.Generator] = None) -> float:
+    def service_time_s(self, rng: np.random.Generator | None = None) -> float:
         """Sampled time from request arrival to response departure."""
         jitter = 0.0
         if self.queueing_jitter_s > 0:

@@ -9,7 +9,7 @@ the nearest perceived obstacle, and (optionally) the VAE feature vector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -45,12 +45,12 @@ class ControlInputs:
     target_speed_mps: float
     lateral_offset_m: float
     heading_rad: float
-    obstacle_distance_m: Optional[float] = None
-    obstacle_bearing_rad: Optional[float] = None
+    obstacle_distance_m: float | None = None
+    obstacle_bearing_rad: float | None = None
     obstacle_stale: bool = False
     road_half_width_m: float = 4.0
     road_curvature_per_m: float = 0.0
-    features: Optional[np.ndarray] = field(default=None, compare=False)
+    features: np.ndarray | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if (self.obstacle_distance_m is None) != (self.obstacle_bearing_rad is None):
@@ -65,7 +65,7 @@ class ControlInputs:
 
     @classmethod
     def from_world(
-        cls, world: World, target_speed_mps: float, features: Optional[np.ndarray] = None
+        cls, world: World, target_speed_mps: float, features: np.ndarray | None = None
     ) -> "ControlInputs":
         """Build inputs from ground truth (used by training and plain episodes)."""
         view = world.nearest_obstacle_view()
@@ -92,7 +92,7 @@ class ControlInputs:
         world: World,
         detection_sets: Iterable[DetectionSet],
         target_speed_mps: float,
-        features: Optional[np.ndarray] = None,
+        features: np.ndarray | None = None,
     ) -> "ControlInputs":
         """Build inputs from perception outputs (used by the SEO runtime loop).
 
@@ -100,8 +100,8 @@ class ControlInputs:
         perceived obstacle; its staleness flag is propagated so controllers
         can react more conservatively to gated outputs if they choose to.
         """
-        nearest_distance: Optional[float] = None
-        nearest_bearing: Optional[float] = None
+        nearest_distance: float | None = None
+        nearest_bearing: float | None = None
         nearest_stale = False
         for detection_set in detection_sets:
             candidate = detection_set.nearest()

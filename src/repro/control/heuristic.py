@@ -66,7 +66,7 @@ class ObstacleAvoidanceController(Controller):
         obstacle_distances_m: np.ndarray,
         obstacle_bearings_rad: np.ndarray,
         obstacle_stale: np.ndarray,
-    ) -> tuple:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized lane-keep + avoid + speed law over ``(N,)`` arrays.
 
         ``has_obstacle`` is a bool mask; distance/bearing/stale values of

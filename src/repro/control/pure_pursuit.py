@@ -47,7 +47,7 @@ class PurePursuitController(Controller):
         lateral_offsets_m: np.ndarray,
         headings_rad: np.ndarray,
         road_curvatures_per_m: np.ndarray,
-    ) -> tuple:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized pure-pursuit law over ``(N,)`` Frenet-pose arrays.
 
         Returns ``(steering, throttle)`` arrays, both clipped to [-1, 1].

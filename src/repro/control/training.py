@@ -11,7 +11,7 @@ make progress along the route, stay on the road and do not collide.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -27,8 +27,8 @@ class TrainingResult:
 
     best_parameters: np.ndarray
     best_return: float
-    mean_returns: List[float] = field(default_factory=list)
-    elite_returns: List[float] = field(default_factory=list)
+    mean_returns: list[float] = field(default_factory=list)
+    elite_returns: list[float] = field(default_factory=list)
     generations: int = 0
 
 
@@ -116,7 +116,7 @@ class CrossEntropyTrainer:
         self,
         policy: MLPPolicy,
         generations: int = 10,
-        callback: Optional[Callable[[int, float], None]] = None,
+        callback: Callable[[int, float], None] | None = None,
     ) -> TrainingResult:
         """Optimize ``policy`` in place for ``generations`` CEM generations.
 

@@ -24,7 +24,8 @@ is how every figure/table experiment of the paper is regenerated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional
+from collections.abc import Callable
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -99,7 +100,7 @@ class SEOConfig:
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
     filtered: bool = True
     optimization: str = "offload"
-    detector_period_multiples: tuple = (1, 2)
+    detector_period_multiples: tuple[int, ...] = (1, 2)
     detector_compute: ComputeProfile = DRIVE_PX2_RESNET152
     detector_sensor: SensorPowerSpec = ZERO_POWER_SENSOR
     payload_bytes: int = 28_000
@@ -107,7 +108,7 @@ class SEOConfig:
     max_deadline_periods: int = 4
     safety_aware: bool = True
     use_lookup_table: bool = True
-    lookup_grid: Optional[LookupGrid] = None
+    lookup_grid: LookupGrid | None = None
     controller: str = "heuristic"
     target_speed_mps: float = 8.0
     shield_margin_m: float = 2.0
@@ -143,10 +144,10 @@ class EpisodeReport:
     collided: bool = False
     off_road: bool = False
     shield_interventions: int = 0
-    delta_max_samples: List[int] = field(default_factory=list)
-    energy_by_model_j: Dict[str, float] = field(default_factory=dict)
-    baseline_by_model_j: Dict[str, float] = field(default_factory=dict)
-    gain_by_model: Dict[str, float] = field(default_factory=dict)
+    delta_max_samples: list[int] = field(default_factory=list)
+    energy_by_model_j: dict[str, float] = field(default_factory=dict)
+    baseline_by_model_j: dict[str, float] = field(default_factory=dict)
+    gain_by_model: dict[str, float] = field(default_factory=dict)
     overall_gain: float = 0.0
     offloads_issued: int = 0
     offload_deadline_misses: int = 0
@@ -180,7 +181,7 @@ class SEOFramework:
             horizon_s=config.max_deadline_periods * config.tau_s,
             step_s=config.tau_s / 4.0,
         )
-        self.lookup_table: Optional[DeadlineLookupTable] = None
+        self.lookup_table: DeadlineLookupTable | None = None
         if config.use_lookup_table:
             # Imported here: repro.runtime imports this module at load time.
             from repro.runtime.cache import default_cache
@@ -205,12 +206,12 @@ class SEOFramework:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def _build_detectors(self) -> Dict[str, DetectorModel]:
+    def _build_detectors(self) -> dict[str, DetectorModel]:
         config = self.config
         # Detectors report obstacles only; the drivable-corridor geometry is
         # the VAE's concern, not theirs.
         scanner = RangeScanner(include_road_edges=False)
-        detectors: Dict[str, DetectorModel] = {}
+        detectors: dict[str, DetectorModel] = {}
         for index, multiple in enumerate(config.detector_period_multiples):
             name = config.detector_name(multiple)
             detectors[name] = DetectorModel(
@@ -225,7 +226,7 @@ class SEOFramework:
 
     def _build_model_set(self) -> ModelSet:
         config = self.config
-        models: List[SensoryModel] = [
+        models: list[SensoryModel] = [
             SensoryModel(
                 name="vae-state-encoder",
                 period_s=config.tau_s,
@@ -266,7 +267,9 @@ class SEOFramework:
             return PurePursuitController(target_speed_mps=config.target_speed_mps)
         return ObstacleAvoidanceController(target_speed_mps=config.target_speed_mps)
 
-    def _deadline_provider(self):
+    def _deadline_provider(
+        self,
+    ) -> Callable[[SafetyInputs, ControlAction], float]:
         if not self.config.safety_aware:
             horizon = self.estimator.horizon_s
             return lambda inputs, control: horizon
@@ -275,7 +278,7 @@ class SEOFramework:
         estimator = self.estimator
         scenario = self.config.scenario
 
-        def provider(inputs: SafetyInputs, control) -> float:
+        def provider(inputs: SafetyInputs, control: ControlAction) -> float:
             if not inputs.obstacle_present:
                 return estimator.horizon_s
             return estimator.estimate_one(
@@ -334,7 +337,7 @@ class SEOFramework:
         )
 
         report = EpisodeReport(episode=episode)
-        latest_detections: Dict[str, DetectionSet] = {}
+        latest_detections: dict[str, DetectionSet] = {}
 
         for _ in range(config.max_steps):
             safety_inputs = SafetyInputs.from_world(world)
@@ -405,8 +408,8 @@ class SEOFramework:
         episodes: int,
         only_successful: bool = False,
         jobs: int = 1,
-        executor: Optional["EpisodeExecutor"] = None,
-    ) -> List[EpisodeReport]:
+        executor: "EpisodeExecutor" | None = None,
+    ) -> list[EpisodeReport]:
         """Run several episodes (different obstacle placements and channel draws).
 
         Episodes are fully determined by ``(config, episode index)``, so they
@@ -443,6 +446,6 @@ class SEOFramework:
     # ------------------------------------------------------------------
     # Variants
     # ------------------------------------------------------------------
-    def with_config(self, **overrides) -> "SEOFramework":
+    def with_config(self, **overrides: Any) -> "SEOFramework":
         """Return a new framework whose config overrides the given fields."""
         return SEOFramework(replace(self.config, **overrides))

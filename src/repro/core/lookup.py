@@ -17,7 +17,7 @@ interval than the underlying estimator would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
 
 import numpy as np
 
@@ -131,7 +131,7 @@ class DeadlineLookupTable:
     def build(
         cls,
         estimator: SafeIntervalEstimator,
-        grid: Optional[LookupGrid] = None,
+        grid: LookupGrid | None = None,
         obstacle_radius_m: float = 1.0,
     ) -> "DeadlineLookupTable":
         """Build the table by evaluating the estimator over the full grid."""
@@ -164,54 +164,23 @@ class DeadlineLookupTable:
     # Runtime queries
     # ------------------------------------------------------------------
     def query(self, inputs: SafetyInputs, control: ControlAction) -> float:
-        """Return a conservative ``Delta_max`` for the given state and control."""
-        self.queries += 1
-        if not inputs.obstacle_present:
-            return self.horizon_s
-        if inputs.distance_m >= self.grid.max_distance_m:
-            return self.horizon_s
+        """Return a conservative ``Delta_max`` for the given state and control.
 
-        distances = self.grid.distance_values()
-        speeds = self.grid.speed_values()
-        bearings = self.grid.bearing_values()
-        steerings = self.grid.steering_values()
-        throttles = self.grid.throttle_values()
-
-        # Conservative quantization: distance rounds down, speed rounds up.
-        distance_index = int(
-            np.clip(
-                np.searchsorted(distances, inputs.distance_m, side="right") - 1,
-                0,
-                distances.size - 1,
-            )
+        Scalar facade: a 1-element view of :meth:`query_batch`, so the serial
+        and batch engines share one quantization/neighbourhood-minimum
+        implementation.  ``inputs.obstacle_present`` needs no special case —
+        an absent obstacle carries the ``NO_OBSTACLE_DISTANCE_M`` sentinel,
+        which the kernel saturates to the estimator horizon.
+        """
+        return float(
+            self.query_batch(
+                np.array([inputs.distance_m]),
+                np.array([inputs.bearing_rad]),
+                np.array([inputs.speed_mps]),
+                np.array([control.steering]),
+                np.array([control.throttle]),
+            )[0]
         )
-        speed_index = int(
-            np.clip(
-                np.searchsorted(speeds, inputs.speed_mps, side="left"),
-                0,
-                speeds.size - 1,
-            )
-        )
-        # The bearing axis is circular: bin on wrapped angular distance so a
-        # bearing of -pi + eps maps next to +pi - eps instead of sweeping the
-        # whole grid.
-        bearing_error = wrap_angle(bearings - inputs.bearing_rad)
-        bearing_index = int(np.argmin(np.abs(bearing_error)))
-
-        clipped = control.clipped()
-        steer_index = int(np.argmin(np.abs(steerings - clipped.steering)))
-        throttle_index = int(np.argmin(np.abs(throttles - clipped.throttle)))
-
-        # Take the minimum over the neighbouring bearing and control bins so
-        # quantization never extends the reported safe interval; the bearing
-        # neighbourhood wraps around the rear sector.
-        bearing_indices = np.arange(bearing_index - 1, bearing_index + 2) % bearings.size
-        steer_slice = _neighbour_slice(steer_index, steerings.size)
-        throttle_slice = _neighbour_slice(throttle_index, throttles.size)
-        cell = self.values[
-            distance_index, bearing_indices, speed_index, steer_slice, throttle_slice
-        ]
-        return float(np.min(cell))
 
     def query_batch(
         self,
@@ -314,7 +283,7 @@ class DeadlineLookupTable:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Persist the table to an ``.npz`` file (grid, values, metadata)."""
         grid = self.grid
         np.savez_compressed(
@@ -336,7 +305,7 @@ class DeadlineLookupTable:
         )
 
     @classmethod
-    def load(cls, path) -> "DeadlineLookupTable":
+    def load(cls, path: str | Path) -> "DeadlineLookupTable":
         """Load a table previously written by :meth:`save`."""
         with np.load(path) as data:
             params = data["grid_params"]
@@ -356,7 +325,3 @@ class DeadlineLookupTable:
                 obstacle_radius_m=float(data["obstacle_radius_m"]),
             )
 
-
-def _neighbour_slice(index: int, length: int) -> slice:
-    """A slice covering ``index`` and its immediate neighbours."""
-    return slice(max(0, index - 1), min(length, index + 2))

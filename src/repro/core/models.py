@@ -15,7 +15,7 @@ size for offloading, and whether it belongs to the critical subset.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterator, List, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.core.intervals import discretize_period
 from repro.platform.compute import ComputeProfile
@@ -70,7 +70,7 @@ class SensoryModel:
 class ModelSet:
     """The full pipeline Lambda with its Lambda' / Lambda'' partition."""
 
-    models: List[SensoryModel] = field(default_factory=list)
+    models: list[SensoryModel] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         names = [model.name for model in self.models]
@@ -91,12 +91,12 @@ class ModelSet:
         raise KeyError(name)
 
     @property
-    def critical(self) -> List[SensoryModel]:
+    def critical(self) -> list[SensoryModel]:
         """The critical subset Lambda'' (state estimation, never optimized)."""
         return [model for model in self.models if model.critical]
 
     @property
-    def optimizable(self) -> List[SensoryModel]:
+    def optimizable(self) -> list[SensoryModel]:
         """The optimizable subset Lambda'."""
         return [model for model in self.models if not model.critical]
 
@@ -116,7 +116,7 @@ class ModelSet:
                 "the pipeline needs at least one optimizable (Lambda') model"
             )
 
-    def discretized_periods(self, tau_s: float) -> Dict[str, int]:
+    def discretized_periods(self, tau_s: float) -> dict[str, int]:
         """``delta_i`` for every model, keyed by model name."""
         return {model.name: model.discretized_period(tau_s) for model in self.models}
 

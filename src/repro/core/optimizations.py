@@ -18,8 +18,8 @@ costs.  Three strategies mirror the paper:
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -130,7 +130,7 @@ class OptimizationStrategy:
     # Helpers shared by the concrete strategies -------------------------
     def _sensor_energies(
         self, tau_s: float, measurement_on: bool
-    ) -> Dict[str, float]:
+    ) -> dict[str, float]:
         """Sensor energy split for one base period."""
         sensor = self.model.sensor
         return {
@@ -209,13 +209,13 @@ class OffloadStrategy(OptimizationStrategy):
     name = "offload"
 
     def __init__(
-        self, model: SensoryModel, planner: Optional[OffloadPlanner] = None
+        self, model: SensoryModel, planner: OffloadPlanner | None = None
     ) -> None:
         super().__init__(model)
         self.planner = planner if planner is not None else OffloadPlanner(
             payload_bytes=model.payload_bytes
         )
-        self._pending_arrivals: List[int] = []
+        self._pending_arrivals: list[int] = []
 
     def begin_interval(
         self, delta_i: int, delta_max: int, rng: np.random.Generator
@@ -304,8 +304,8 @@ class OffloadStrategy(OptimizationStrategy):
 
 def make_strategy_factory(
     optimization: str,
-    planner_factory=None,
-):
+    planner_factory: Callable[[SensoryModel], OffloadPlanner] | None = None,
+) -> Callable[[SensoryModel], "OptimizationStrategy"]:
     """Return a ``model -> OptimizationStrategy`` factory for a method name.
 
     Args:

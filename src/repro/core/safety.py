@@ -18,7 +18,6 @@ separates recoverable from unrecoverable states.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -97,7 +96,7 @@ class SafetyFunction:
     """Interface of the real-valued safety function ``h(x, u)``."""
 
     def evaluate(
-        self, inputs: SafetyInputs, control: Optional[ControlAction] = None
+        self, inputs: SafetyInputs, control: ControlAction | None = None
     ) -> float:
         """Return ``h(x, u)``; non-negative values mean the state is safe."""
         raise NotImplementedError
@@ -179,7 +178,7 @@ class BrakingDistanceBarrier(SafetyFunction):
         )
 
     def evaluate(
-        self, inputs: SafetyInputs, control: Optional[ControlAction] = None
+        self, inputs: SafetyInputs, control: ControlAction | None = None
     ) -> float:
         """Evaluate ``h``; the control argument is accepted for interface
         compatibility but this barrier depends on the state only."""

@@ -23,7 +23,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -207,7 +207,7 @@ class SchedulerStepReport:
     new_interval: bool
     delta_max_periods: int
     delta_max_s: float
-    directives: List[ModelDirective] = field(default_factory=list)
+    directives: list[ModelDirective] = field(default_factory=list)
 
     def directive_for(self, model_name: str) -> ModelDirective:
         """Return the directive issued to ``model_name`` this period."""
@@ -221,13 +221,13 @@ class SchedulerStepReport:
 class SchedulerStatistics:
     """Aggregate counters maintained across a run."""
 
-    delta_max_samples: List[int] = field(default_factory=list)
-    delta_max_seconds: List[float] = field(default_factory=list)
+    delta_max_samples: list[int] = field(default_factory=list)
+    delta_max_seconds: list[float] = field(default_factory=list)
     offloads_issued: int = 0
     offload_deadline_misses: int = 0
-    local_runs: Dict[str, int] = field(default_factory=dict)
-    fresh_outputs: Dict[str, int] = field(default_factory=dict)
-    gated_periods: Dict[str, int] = field(default_factory=dict)
+    local_runs: dict[str, int] = field(default_factory=dict)
+    fresh_outputs: dict[str, int] = field(default_factory=dict)
+    gated_periods: dict[str, int] = field(default_factory=dict)
 
     def mean_delta_max(self) -> float:
         """Average sampled ``delta_max`` (0.0 when nothing was sampled)."""
@@ -246,7 +246,7 @@ class SafeRuntimeScheduler:
         deadline_provider: DeadlineProvider,
         strategy_factory: StrategyFactory,
         max_deadline_periods: int = 4,
-        rng: Optional[np.random.Generator] = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         """Create a scheduler.
 
@@ -274,10 +274,10 @@ class SafeRuntimeScheduler:
         self.max_deadline_periods = max_deadline_periods
         self.rng = rng if rng is not None else np.random.default_rng(0)
 
-        self._strategies: Dict[str, OptimizationStrategy] = {
+        self._strategies: dict[str, OptimizationStrategy] = {
             model.name: strategy_factory(model) for model in model_set.optimizable
         }
-        self._delta_i: Dict[str, int] = model_set.discretized_periods(tau_s)
+        self._delta_i: dict[str, int] = model_set.discretized_periods(tau_s)
         self._delta_i_opt = np.array(
             [self._delta_i[model.name] for model in model_set.optimizable],
             dtype=np.int64,
@@ -506,9 +506,9 @@ class SafeRuntimeScheduler:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
-    def energy_gain_by_model(self) -> Dict[str, float]:
+    def energy_gain_by_model(self) -> dict[str, float]:
         """Relative energy gain vs. the local baseline, per Lambda' model."""
-        gains: Dict[str, float] = {}
+        gains: dict[str, float] = {}
         optimized = self.ledger.total_by_model()
         baseline = self.baseline_ledger.total_by_model()
         for model in self.model_set.optimizable:

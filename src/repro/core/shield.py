@@ -15,7 +15,6 @@ subset, and returns a filtered control ``u'``:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
 
 import numpy as np
 
@@ -97,7 +96,7 @@ class SteeringShield:
         road_half_widths_m: np.ndarray,
         steerings: np.ndarray,
         throttles: np.ndarray,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Vectorized safety filter over ``(N,)`` state/control arrays.
 
         ``h_values`` is the barrier evaluated at each state (precomputed by
@@ -135,13 +134,14 @@ class SteeringShield:
         obstacle_present = distances < NO_OBSTACLE_DISTANCE_M
         passthrough = ~obstacle_present | (h_values >= self.intervention_margin_m)
 
+        # A zero ramp band means the shield only ever acts at h < 0, where
+        # the override is total.
         ramp_band_m = min(self.blend_band_m, self.intervention_margin_m)
-        if ramp_band_m > 0.0:
-            severity = (self.intervention_margin_m - h_values) / ramp_band_m
-        else:
-            # A zero margin means the shield only ever acts at h < 0, where
-            # the override is total.
-            severity = np.ones_like(h_values)
+        severity = (
+            (self.intervention_margin_m - h_values) / ramp_band_m
+            if ramp_band_m > 0.0
+            else np.ones_like(h_values)
+        )
         severity = np.minimum(1.0, np.maximum(0.0, severity))
 
         # The corrective behaviour ``psi``: steer away from the obstacle,
@@ -199,7 +199,7 @@ class SteeringShield:
 
     def filter_action(
         self, inputs: SafetyInputs, control: ControlAction
-    ) -> Tuple[ControlAction, ShieldDecision]:
+    ) -> tuple[ControlAction, ShieldDecision]:
         """Filter a raw control action given the current safety inputs.
 
         A 1-element view of :meth:`filter_batch`.

@@ -10,8 +10,8 @@ physical steering angle and longitudinal acceleration through
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import List
 
 import numpy as np
 
@@ -37,10 +37,11 @@ class KinematicBicycleModel:
         """Map a normalized control to (steering angle [rad], acceleration [m/s^2])."""
         clipped = control.clipped()
         steer_rad = clipped.steering * self.params.max_steer_rad
-        if clipped.throttle >= 0.0:
-            accel = clipped.throttle * self.params.max_accel_mps2
-        else:
-            accel = clipped.throttle * self.params.max_brake_mps2
+        accel = clipped.throttle * (
+            self.params.max_accel_mps2
+            if clipped.throttle >= 0.0
+            else self.params.max_brake_mps2
+        )
         return steer_rad, accel
 
     def derivatives(self, state: VehicleState, control: ControlAction) -> np.ndarray:
@@ -58,7 +59,9 @@ class KinematicBicycleModel:
             dtype=float,
         )
 
-    def _derivative_fn(self, control: ControlAction):
+    def _derivative_fn(
+        self, control: ControlAction
+    ) -> Callable[[np.ndarray], np.ndarray]:
         """Return an array-to-array derivative function with frozen control."""
         steer_rad, accel = self.control_to_physical(control)
         wheelbase = self.params.wheelbase_m
@@ -115,7 +118,7 @@ class KinematicBicycleModel:
         dt: float,
         steps: int,
         method: str = "rk4",
-    ) -> List[VehicleState]:
+    ) -> list[VehicleState]:
         """Simulate ``steps`` steps under a frozen control.
 
         This is the numerical evaluation backbone of the safe-interval

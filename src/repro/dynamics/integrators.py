@@ -7,7 +7,7 @@ without any knowledge of the state container classes.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

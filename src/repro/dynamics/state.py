@@ -11,12 +11,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import overload
 
 import numpy as np
 
 
-def wrap_angle(angle_rad):
+@overload
+def wrap_angle(angle_rad: float) -> float: ...
+
+
+@overload
+def wrap_angle(angle_rad: np.ndarray) -> np.ndarray: ...
+
+
+def wrap_angle(angle_rad: float | np.ndarray) -> float | np.ndarray:
     """Wrap an angle (scalar or ndarray) to the interval (-pi, pi].
 
     The array path mirrors the scalar branch structure exactly (including
@@ -72,7 +80,7 @@ class VehicleState:
         )
 
     @property
-    def position(self) -> Tuple[float, float]:
+    def position(self) -> tuple[float, float]:
         """Planar position (x, y) in metres."""
         return (self.x_m, self.y_m)
 
@@ -113,12 +121,12 @@ class ControlAction:
         return cls(steering=float(arr[0]), throttle=float(arr[1]))
 
 
-def relative_distance(state: VehicleState, point: Tuple[float, float]) -> float:
+def relative_distance(state: VehicleState, point: tuple[float, float]) -> float:
     """Euclidean distance from the vehicle reference point to ``point``."""
     return math.hypot(point[0] - state.x_m, point[1] - state.y_m)
 
 
-def relative_bearing(state: VehicleState, point: Tuple[float, float]) -> float:
+def relative_bearing(state: VehicleState, point: tuple[float, float]) -> float:
     """Bearing of ``point`` relative to the vehicle heading, in (-pi, pi].
 
     A bearing of zero means the point lies dead ahead; positive bearings are
@@ -129,8 +137,8 @@ def relative_bearing(state: VehicleState, point: Tuple[float, float]) -> float:
 
 
 def relative_view(
-    state: VehicleState, point: Tuple[float, float]
-) -> Tuple[float, float]:
+    state: VehicleState, point: tuple[float, float]
+) -> tuple[float, float]:
     """Return ``(distance, bearing)`` of a point relative to the vehicle.
 
     This is the (distance to obstacle, relative orientation angle) pair that

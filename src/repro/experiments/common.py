@@ -12,7 +12,7 @@ reports are bit-identical to the serial per-config path.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from collections.abc import Hashable, Mapping
 
 from repro.analysis.metrics import RunSummary, aggregate_reports
 from repro.core.framework import EpisodeReport, SEOConfig
@@ -59,8 +59,8 @@ class ExperimentSettings:
     target_speed_mps: float = 8.0
     jobs: int = 1
     backend: str = "process"
-    workers: Optional[Tuple[str, ...]] = None
-    runner: Optional[SweepRunner] = field(default=None, compare=False, repr=False)
+    workers: tuple[str, ...] | None = None
+    runner: SweepRunner | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.episodes <= 0:
@@ -98,7 +98,7 @@ def standard_config(
     filtered: bool,
     tau_s: float = 0.02,
     num_obstacles: int = DEFAULT_NUM_OBSTACLES,
-    detector_sensor: Optional[SensorPowerSpec] = None,
+    detector_sensor: SensorPowerSpec | None = None,
     safety_aware: bool = True,
     use_lookup_table: bool = True,
 ) -> SEOConfig:
@@ -133,8 +133,8 @@ def standard_config(
 def run_batch(
     configs: Mapping[Hashable, SEOConfig],
     settings: ExperimentSettings,
-    experiment: Optional[str] = None,
-) -> Dict[Hashable, List[EpisodeReport]]:
+    experiment: str | None = None,
+) -> dict[Hashable, list[EpisodeReport]]:
     """Run every named config for ``settings.episodes`` episodes in one sweep.
 
     Each named config is lowered to a content-addressed
@@ -164,8 +164,8 @@ def run_summaries(
     configs: Mapping[Hashable, SEOConfig],
     settings: ExperimentSettings,
     only_successful: bool = True,
-    experiment: Optional[str] = None,
-) -> Dict[Hashable, RunSummary]:
+    experiment: str | None = None,
+) -> dict[Hashable, RunSummary]:
     """Run a config batch through the shared pool and aggregate each job."""
     return {
         key: aggregate_reports(reports, only_successful=only_successful)
@@ -179,7 +179,7 @@ def run_configuration(
     config: SEOConfig,
     settings: ExperimentSettings,
     only_successful: bool = True,
-    experiment: Optional[str] = None,
+    experiment: str | None = None,
 ) -> RunSummary:
     """Run one configuration for ``settings.episodes`` episodes and aggregate."""
     return run_summaries(

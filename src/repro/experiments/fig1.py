@@ -11,7 +11,6 @@ operation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
@@ -30,10 +29,10 @@ class Fig1Result:
 
     tau_s: float
     #: normalized_energy[(model name, #obstacles)] -> optimized / baseline energy
-    normalized_energy: Dict[Tuple[str, int], float] = field(default_factory=dict)
-    summaries: Dict[int, RunSummary] = field(default_factory=dict)
+    normalized_energy: dict[tuple[str, int], float] = field(default_factory=dict)
+    summaries: dict[int, RunSummary] = field(default_factory=dict)
 
-    def series(self, model: str) -> List[Tuple[int, float]]:
+    def series(self, model: str) -> list[tuple[int, float]]:
         """The (num_obstacles, normalized energy) series of one detector."""
         points = [
             (count, energy)
@@ -62,7 +61,7 @@ class Fig1Result:
 def run_fig1(
     settings: ExperimentSettings = ExperimentSettings(),
     tau_s: float = 0.02,
-    obstacle_counts: Tuple[int, ...] = FIG1_OBSTACLE_COUNTS,
+    obstacle_counts: tuple[int, ...] = FIG1_OBSTACLE_COUNTS,
 ) -> Fig1Result:
     """Regenerate the motivational Fig. 1 (model gating, filtered control)."""
     configs = {

@@ -10,7 +10,6 @@ Paper values: offloading 65.9 % / 24.1 % (p = tau, filtered/unfiltered) and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
@@ -30,8 +29,8 @@ class Fig5Result:
 
     tau_s: float
     #: gains[(method, filtered)] -> {model name: mean gain}
-    gains: Dict[Tuple[str, bool], Dict[str, float]] = field(default_factory=dict)
-    summaries: Dict[Tuple[str, bool], RunSummary] = field(default_factory=dict)
+    gains: dict[tuple[str, bool], dict[str, float]] = field(default_factory=dict)
+    summaries: dict[tuple[str, bool], RunSummary] = field(default_factory=dict)
 
     def gain(self, method: str, filtered: bool, model: str) -> float:
         """Mean gain of one detector under one method and control case."""
@@ -39,7 +38,7 @@ class Fig5Result:
 
     def to_table(self) -> str:
         """Render the figure as a text table."""
-        rows: List[List[object]] = []
+        rows: list[list[object]] = []
         for (method, filtered), per_model in sorted(self.gains.items()):
             for model, gain in sorted(per_model.items()):
                 rows.append(

@@ -10,7 +10,6 @@ average energy-efficiency gain over the two detectors (e.g. 88.6 % / 24.6 % /
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from repro.analysis.histograms import DeltaHistogram, delta_histogram
 from repro.analysis.metrics import RunSummary
@@ -30,9 +29,9 @@ class Fig6Result:
     """Histograms and average gains per (method, #obstacles)."""
 
     filtered: bool
-    histograms: Dict[Tuple[str, int], DeltaHistogram] = field(default_factory=dict)
-    average_gains: Dict[Tuple[str, int], float] = field(default_factory=dict)
-    summaries: Dict[Tuple[str, int], RunSummary] = field(default_factory=dict)
+    histograms: dict[tuple[str, int], DeltaHistogram] = field(default_factory=dict)
+    average_gains: dict[tuple[str, int], float] = field(default_factory=dict)
+    summaries: dict[tuple[str, int], RunSummary] = field(default_factory=dict)
 
     def histogram(self, method: str, num_obstacles: int) -> DeltaHistogram:
         """Histogram of sampled ``delta_max`` for one configuration."""
@@ -40,7 +39,7 @@ class Fig6Result:
 
     def to_table(self, max_delta: int = 4) -> str:
         """Render the figure data (frequencies and gains) as text."""
-        rows: List[List[object]] = []
+        rows: list[list[object]] = []
         for (method, count), histogram in sorted(self.histograms.items()):
             frequencies = [
                 100.0 * histogram.frequency(delta) for delta in range(1, max_delta + 1)
@@ -62,7 +61,7 @@ class Fig6Result:
 def run_fig6(
     settings: ExperimentSettings = ExperimentSettings(),
     filtered: bool = False,
-    obstacle_counts: Tuple[int, ...] = FIG6_OBSTACLE_COUNTS,
+    obstacle_counts: tuple[int, ...] = FIG6_OBSTACLE_COUNTS,
 ) -> Fig6Result:
     """Regenerate Fig. 6 (unfiltered by default, as in the paper)."""
     cells = {

@@ -14,7 +14,7 @@ driver and the shared-pool sweep engine need no per-family code (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
@@ -44,8 +44,8 @@ class SuiteResult:
     """All rows of a scenario-suite run."""
 
     optimization: str
-    rows: List[SuiteRow] = field(default_factory=list)
-    summaries: Dict[str, RunSummary] = field(default_factory=dict)
+    rows: list[SuiteRow] = field(default_factory=list)
+    summaries: dict[str, RunSummary] = field(default_factory=dict)
 
     def row(self, family: str) -> SuiteRow:
         """Return the row for one scenario family."""
@@ -75,7 +75,7 @@ class SuiteResult:
 
 def run_suite(
     settings: ExperimentSettings = ExperimentSettings(),
-    families: Optional[Sequence[str]] = None,
+    families: Sequence[str] | None = None,
     optimization: str = "offload",
     suite: ScenarioSuite = DEFAULT_SUITE,
 ) -> SuiteResult:

@@ -9,7 +9,6 @@ average (21.1 % / 14.5 % average for filtered offloading / gating).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
@@ -42,8 +41,8 @@ class Table1Result:
     """All rows of Table I."""
 
     tau_s: float
-    rows: List[Table1Row] = field(default_factory=list)
-    summaries: Dict[Tuple[str, bool], RunSummary] = field(default_factory=dict)
+    rows: list[Table1Row] = field(default_factory=list)
+    summaries: dict[tuple[str, bool], RunSummary] = field(default_factory=dict)
 
     def row(self, method: str, filtered: bool) -> Table1Row:
         """Return the row for one (method, control) combination."""

@@ -11,7 +11,6 @@ minimum obstacle distance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
@@ -40,8 +39,8 @@ class Table2Result:
     """All rows of Table II."""
 
     tau_s: float
-    rows: List[Table2Row] = field(default_factory=list)
-    summaries: Dict[Tuple[str, bool, int], RunSummary] = field(default_factory=dict)
+    rows: list[Table2Row] = field(default_factory=list)
+    summaries: dict[tuple[str, bool, int], RunSummary] = field(default_factory=dict)
 
     def row(self, filtered: bool, num_obstacles: int) -> Table2Row:
         """Return the row for one (control, #obstacles) combination."""
@@ -75,7 +74,7 @@ class Table2Result:
 def run_table2(
     settings: ExperimentSettings = ExperimentSettings(),
     tau_s: float = 0.02,
-    obstacle_counts: Tuple[int, ...] = TABLE2_OBSTACLE_COUNTS,
+    obstacle_counts: tuple[int, ...] = TABLE2_OBSTACLE_COUNTS,
 ) -> Table2Result:
     """Regenerate Table II."""
     methods = ("offload", "model_gating")

@@ -12,7 +12,6 @@ measurement power benefits more from gating).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
 
 from repro.analysis.metrics import RunSummary
 from repro.analysis.tables import format_table
@@ -52,8 +51,8 @@ class Table3Result:
     """All rows of Table III."""
 
     tau_s: float
-    rows: List[Table3Row] = field(default_factory=list)
-    summaries: Dict[str, RunSummary] = field(default_factory=dict)
+    rows: list[Table3Row] = field(default_factory=list)
+    summaries: dict[str, RunSummary] = field(default_factory=dict)
 
     def row(self, sensor: str, period_multiple: int) -> Table3Row:
         """Return the row for one sensor/period combination."""

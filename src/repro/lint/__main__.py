@@ -1,0 +1,10 @@
+"""``python -m repro.lint [paths...]`` — run the repo invariant linter."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

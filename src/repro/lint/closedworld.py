@@ -1,0 +1,238 @@
+"""REPRO301–304 — work-unit closed world: the registry matches reality.
+
+Work-unit serialization (:mod:`repro.runtime.workunit`) is a reversible,
+closed-world mapping: every dataclass reachable from
+:class:`~repro.core.framework.SEOConfig`'s field types must be a frozen
+dataclass registered in ``_CONFIG_TYPES``, and the *shape* of that world
+(which types, which fields) is pinned by ``WORKUNIT_SCHEMA_VERSION``.
+An unregistered type only fails at serialization time — on whichever
+config first carries one — and a silently changed field set changes
+every content hash, which poisons ledger resume and shard agreement.
+
+This is a *project* checker: it imports the live registry and walks the
+live dataclasses with :func:`typing.get_type_hints`, because the
+registry/field relationship spans several modules and is not visible in
+any single file.
+
+* ``REPRO301`` — dataclass reachable from ``SEOConfig`` but not
+  registered in ``_CONFIG_TYPES``;
+* ``REPRO302`` — registry entry that is not a frozen dataclass;
+* ``REPRO303`` — registry shape (type names + field names) drifted from
+  the fingerprint pinned for the current ``WORKUNIT_SCHEMA_VERSION``
+  without a version bump;
+* ``REPRO304`` — registry entry no longer reachable from ``SEOConfig``
+  (dead weight that still shapes the canonical form).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+import inspect
+import json
+import typing
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.lint.framework import Violation
+
+__all__ = [
+    "CODES",
+    "SCHEMA_FINGERPRINTS",
+    "check_closed_world",
+    "reachable_dataclasses",
+    "schema_fingerprint",
+]
+
+CODES = ("REPRO301", "REPRO302", "REPRO303", "REPRO304")
+
+#: SHA-256 over the canonical JSON of ``{type name: sorted field names}``,
+#: pinned per WORKUNIT_SCHEMA_VERSION.  Changing any registered type's
+#: field set (or the registry itself) changes every work-unit hash, so it
+#: must come with a version bump and a new entry here — the REPRO303
+#: failure message prints the new digest to paste in.
+SCHEMA_FINGERPRINTS: dict[int, str] = {
+    1: "8e273edb8fddcc812e9401da2ff9eb2564287fbc4f8a0b1ce43e4bf7b65572e5",
+}
+
+
+def schema_fingerprint(registry: Mapping[str, type]) -> str:
+    """Digest of the registry's shape: type names and their field names."""
+    payload = {
+        name: sorted(field.name for field in dataclasses.fields(cls))
+        for name, cls in sorted(registry.items())
+        if dataclasses.is_dataclass(cls)
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _nested_dataclasses(hint: object, found: list[type]) -> None:
+    if isinstance(hint, type) and dataclasses.is_dataclass(hint):
+        if hint not in found:
+            found.append(hint)
+        return
+    for arg in typing.get_args(hint):
+        _nested_dataclasses(arg, found)
+
+
+def reachable_dataclasses(root: type) -> list[type]:
+    """Every dataclass reachable from ``root`` through field type hints.
+
+    Follows the annotations transitively (unwrapping ``X | None``,
+    ``tuple[X, ...]``, unions of segment types, ...), in deterministic
+    first-seen order starting at ``root`` itself.
+    """
+    found: list[type] = [root]
+    frontier = [root]
+    while frontier:
+        current = frontier.pop(0)
+        hints = typing.get_type_hints(current)
+        nested: list[type] = []
+        for hint in hints.values():
+            _nested_dataclasses(hint, nested)
+        for cls in nested:
+            if cls not in found:
+                found.append(cls)
+                frontier.append(cls)
+    return found
+
+
+def _registry_site(module: object, name: str) -> tuple[str, int]:
+    """(path, line) of the ``name = ...`` assignment in ``module``."""
+    path = inspect.getsourcefile(module) or "<unknown>"
+    line = 1
+    try:
+        tree = ast.parse(Path(path).read_text())
+    except (OSError, SyntaxError):
+        return path, line
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                return path, node.lineno
+    return path, line
+
+
+def _display_path(path: str) -> str:
+    try:
+        return str(Path(path).resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return path
+
+
+def check_closed_world(
+    registry: Mapping[str, type] | None = None,
+    root: type | None = None,
+    version: int | None = None,
+    fingerprints: Mapping[int, str] | None = None,
+) -> list[Violation]:
+    """Cross-check the work-unit registry against the live config types.
+
+    All parameters default to the real repo objects; tests inject mutated
+    registries/roots/fingerprints to prove each code fires.
+    """
+    from repro.core.framework import SEOConfig
+    from repro.runtime import workunit
+
+    if registry is None:
+        registry = workunit._CONFIG_TYPES
+    if root is None:
+        root = SEOConfig
+    if version is None:
+        version = workunit.WORKUNIT_SCHEMA_VERSION
+    if fingerprints is None:
+        fingerprints = SCHEMA_FINGERPRINTS
+
+    registry_path, registry_line = _registry_site(workunit, "_CONFIG_TYPES")
+    _, version_line = _registry_site(workunit, "WORKUNIT_SCHEMA_VERSION")
+    path = _display_path(registry_path)
+
+    violations: list[Violation] = []
+    registered = {cls: name for name, cls in registry.items()}
+
+    for name, cls in sorted(registry.items()):
+        if not (
+            isinstance(cls, type)
+            and dataclasses.is_dataclass(cls)
+            and cls.__dataclass_params__.frozen  # type: ignore[attr-defined]
+        ):
+            violations.append(
+                Violation(
+                    path=path,
+                    line=registry_line,
+                    code="REPRO302",
+                    message=(
+                        f"registry entry {name!r} is not a frozen dataclass; "
+                        "only frozen dataclasses have a stable canonical form"
+                    ),
+                )
+            )
+
+    reachable = reachable_dataclasses(root)
+    for cls in reachable:
+        if cls not in registered:
+            violations.append(
+                Violation(
+                    path=path,
+                    line=registry_line,
+                    code="REPRO301",
+                    message=(
+                        f"{cls.__name__} is reachable from {root.__name__} "
+                        "field types but is not registered in _CONFIG_TYPES; "
+                        "configs carrying one cannot be serialized"
+                    ),
+                )
+            )
+    reachable_set = set(reachable)
+    for name, cls in sorted(registry.items()):
+        if isinstance(cls, type) and cls not in reachable_set:
+            violations.append(
+                Violation(
+                    path=path,
+                    line=registry_line,
+                    code="REPRO304",
+                    message=(
+                        f"registry entry {name!r} is not reachable from "
+                        f"{root.__name__} field types; remove it (and bump "
+                        "WORKUNIT_SCHEMA_VERSION) or re-link it"
+                    ),
+                )
+            )
+
+    digest = schema_fingerprint(registry)
+    pinned = fingerprints.get(version)
+    if pinned is None:
+        violations.append(
+            Violation(
+                path=path,
+                line=version_line,
+                code="REPRO303",
+                message=(
+                    f"no fingerprint pinned for schema version {version}; add "
+                    f"{version}: {digest!r} to "
+                    "repro.lint.closedworld.SCHEMA_FINGERPRINTS"
+                ),
+            )
+        )
+    elif pinned != digest:
+        violations.append(
+            Violation(
+                path=path,
+                line=version_line,
+                code="REPRO303",
+                message=(
+                    "registered type/field sets drifted without a "
+                    f"WORKUNIT_SCHEMA_VERSION bump (expected fingerprint "
+                    f"{pinned[:12]}…, computed {digest}); field changes alter "
+                    "every work-unit hash — bump the version and pin the new "
+                    "fingerprint"
+                ),
+            )
+        )
+    return violations

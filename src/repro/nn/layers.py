@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 import numpy as np
 
@@ -18,8 +17,8 @@ class Layer:
     """
 
     def __init__(self) -> None:
-        self.params: Dict[str, np.ndarray] = {}
-        self.grads: Dict[str, np.ndarray] = {}
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
         self._cache: np.ndarray | None = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
@@ -95,6 +94,6 @@ class Dense(Layer):
         return grad_output @ self.params["weight"].T
 
 
-def layer_parameter_count(layers: List[Layer]) -> int:
+def layer_parameter_count(layers: list[Layer]) -> int:
     """Total number of scalar parameters across ``layers``."""
     return sum(param.size for layer in layers for param in layer.params.values())

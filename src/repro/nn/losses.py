@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
 
 def mse_loss(
     predictions: np.ndarray, targets: np.ndarray
-) -> Tuple[float, np.ndarray]:
+) -> tuple[float, np.ndarray]:
     """Mean squared error and its gradient w.r.t. the predictions."""
     predictions = np.asarray(predictions, dtype=float)
     targets = np.asarray(targets, dtype=float)
@@ -23,7 +22,7 @@ def mse_loss(
 
 def bce_loss(
     predictions: np.ndarray, targets: np.ndarray, eps: float = 1e-7
-) -> Tuple[float, np.ndarray]:
+) -> tuple[float, np.ndarray]:
     """Binary cross-entropy (on probabilities) and its gradient."""
     predictions = np.clip(np.asarray(predictions, dtype=float), eps, 1.0 - eps)
     targets = np.asarray(targets, dtype=float)
@@ -38,7 +37,7 @@ def bce_loss(
 
 def gaussian_kl(
     mean: np.ndarray, log_var: np.ndarray
-) -> Tuple[float, np.ndarray, np.ndarray]:
+) -> tuple[float, np.ndarray, np.ndarray]:
     """KL divergence of N(mean, exp(log_var)) from N(0, I).
 
     Returns the scalar KL (averaged over the batch) and its gradients with

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -13,7 +13,7 @@ class Sequential:
     """A feed-forward stack of layers applied in order."""
 
     def __init__(self, layers: Iterable[Layer]) -> None:
-        self.layers: List[Layer] = list(layers)
+        self.layers: list[Layer] = list(layers)
         if not self.layers:
             raise ValueError("Sequential requires at least one layer")
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 import numpy as np
 
@@ -37,7 +36,7 @@ class SGD(Optimizer):
         if not 0.0 <= momentum < 1.0:
             raise ValueError("momentum must be in [0, 1)")
         self.momentum = momentum
-        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
 
     def step(self) -> None:
         for index, layer in enumerate(self.network.layers):
@@ -71,8 +70,8 @@ class Adam(Optimizer):
         self.beta2 = beta2
         self.eps = eps
         self._step_count = 0
-        self._first: Dict[Tuple[int, str], np.ndarray] = {}
-        self._second: Dict[Tuple[int, str], np.ndarray] = {}
+        self._first: dict[tuple[int, str], np.ndarray] = {}
+        self._second: dict[tuple[int, str], np.ndarray] = {}
 
     def step(self) -> None:
         self._step_count += 1

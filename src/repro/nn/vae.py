@@ -10,7 +10,6 @@ MSE plus a KL regulariser).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
@@ -84,7 +83,7 @@ class VariationalAutoencoder:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def encode(self, observations: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def encode(self, observations: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Return the latent mean and log-variance for ``observations``."""
         hidden = self.encoder.forward(observations)
         return self.mean_head.forward(hidden), self.log_var_head.forward(hidden)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 
 @dataclass(frozen=True)
@@ -41,12 +40,12 @@ class DetectionSet:
             fresh inference result.
     """
 
-    detections: List[Detection] = field(default_factory=list)
+    detections: list[Detection] = field(default_factory=list)
     source: str = ""
     timestamp_s: float = 0.0
     stale: bool = False
 
-    def nearest(self) -> Optional[Detection]:
+    def nearest(self) -> Detection | None:
         """The detection with the smallest distance, or None if empty."""
         if not self.detections:
             return None

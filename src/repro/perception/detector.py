@@ -18,7 +18,6 @@ still complete the obstacle course from the detections.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -83,7 +82,7 @@ class DetectorModel:
     # ------------------------------------------------------------------
     # Functional inference
     # ------------------------------------------------------------------
-    def infer(self, world: World, timestamp_s: Optional[float] = None) -> DetectionSet:
+    def infer(self, world: World, timestamp_s: float | None = None) -> DetectionSet:
         """Run one inference against the current world state.
 
         The detector casts the scanner's beam fan and groups consecutive
@@ -95,7 +94,7 @@ class DetectorModel:
         hit_mask = scan < (self.scanner.max_range_m - self.detection_threshold_m)
 
         detections = []
-        group_start: Optional[int] = None
+        group_start: int | None = None
         for index in range(len(scan) + 1):
             is_hit = index < len(scan) and hit_mask[index]
             if is_hit and group_start is None:

@@ -11,7 +11,6 @@ framework can charge it outside the optimization accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
 
 import numpy as np
 
@@ -45,7 +44,7 @@ def collect_scan_dataset(
     if num_worlds <= 0 or samples_per_world <= 0:
         raise ValueError("num_worlds and samples_per_world must be positive")
     rng = np.random.default_rng(seed)
-    scans: List[np.ndarray] = []
+    scans: list[np.ndarray] = []
     for world_index in range(num_worlds):
         world = build_world(config, rng=np.random.default_rng(seed + world_index))
         for _ in range(samples_per_world):

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from collections.abc import Iterable
 
 
 #: Category labels used throughout the scheduler.
@@ -46,7 +46,7 @@ class EnergyRecord:
 class EnergyLedger:
     """Accumulates energy records and answers aggregate queries."""
 
-    records: List[EnergyRecord] = field(default_factory=list)
+    records: list[EnergyRecord] = field(default_factory=list)
 
     def charge(
         self, model: str, category: str, energy_j: float, step: int = 0
@@ -68,16 +68,16 @@ class EnergyLedger:
         """Total energy across all records."""
         return float(sum(record.energy_j for record in self.records))
 
-    def total_by_model(self) -> Dict[str, float]:
+    def total_by_model(self) -> dict[str, float]:
         """Total energy per model name."""
-        totals: Dict[str, float] = defaultdict(float)
+        totals: dict[str, float] = defaultdict(float)
         for record in self.records:
             totals[record.model] += record.energy_j
         return dict(totals)
 
-    def total_by_category(self) -> Dict[str, float]:
+    def total_by_category(self) -> dict[str, float]:
         """Total energy per category label."""
-        totals: Dict[str, float] = defaultdict(float)
+        totals: dict[str, float] = defaultdict(float)
         for record in self.records:
             totals[record.category] += record.energy_j
         return dict(totals)
@@ -97,9 +97,9 @@ class EnergyLedger:
             total += record.energy_j
         return float(total)
 
-    def breakdown(self) -> Dict[Tuple[str, str], float]:
+    def breakdown(self) -> dict[tuple[str, str], float]:
         """Total energy per (model, category) pair."""
-        totals: Dict[Tuple[str, str], float] = defaultdict(float)
+        totals: dict[tuple[str, str], float] = defaultdict(float)
         for record in self.records:
             totals[(record.model, record.category)] += record.energy_j
         return dict(totals)

@@ -85,7 +85,7 @@ _REMOTE_EXPORTS = frozenset(
 )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _REMOTE_EXPORTS:
         from repro.runtime import remote
 

@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import math
 from time import perf_counter
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -83,8 +83,8 @@ _MAX_PENDING_BITS = 60
 def run_batch(
     framework: SEOFramework,
     episodes: Iterable[int],
-    timings: Optional[Dict[str, float]] = None,
-) -> List[EpisodeReport]:
+    timings: dict[str, float] | None = None,
+) -> list[EpisodeReport]:
     """Run the given episode indices in numpy lockstep.
 
     Returns reports in the order of ``episodes``, bit-identical to
@@ -150,7 +150,7 @@ def run_batch(
         [[obstacle.radius_m for obstacle in world.obstacles] for world in worlds],
         dtype=float,
     ).reshape(n, K)
-    pos: List[List[Tuple[float, float, float]]] = [
+    pos: list[list[tuple[float, float, float]]] = [
         [(o.x_m, o.y_m, o.radius_m) for o in world.obstacles] for world in worlds
     ]
     moving = [
@@ -168,7 +168,7 @@ def run_batch(
         for episode in episode_ids
     ]
     p_drop = config.scenario.sensor_dropout_probability
-    drop_rngs: List[Optional[np.random.Generator]] = [
+    drop_rngs: list[np.random.Generator | None] = [
         np.random.default_rng((config.seed + 3) * 1000 + episode)
         if p_drop > 0.0
         else None
@@ -281,7 +281,7 @@ def run_batch(
     base_optm = np.zeros((n, num_opt), dtype=float)
     used_opt_total = np.zeros(n, dtype=float)
     base_opt_total = np.zeros(n, dtype=float)
-    samples: List[List[int]] = [[] for _ in range(n)]
+    samples: list[list[int]] = [[] for _ in range(n)]
     offload_counts = [0] * n
     miss_counts = [0] * n
     dropouts = [0] * n
@@ -292,7 +292,7 @@ def run_batch(
     finished_f = np.zeros(n, dtype=bool)
     collided_f = np.zeros(n, dtype=bool)
     offroad_f = np.zeros(n, dtype=bool)
-    latest: List[Dict[str, Tuple[List[Tuple[float, float]], bool]]] = [
+    latest: list[dict[str, tuple[list[tuple[float, float]], bool]]] = [
         {} for _ in range(n)
     ]
     proj_s, proj_d = centerline.project_batch(xs, ys)
@@ -491,7 +491,7 @@ def run_batch(
 
         natural_opt = natural_slot_kernel(t, delta_i_opt)
         full_all = full_slot_kernel(natural_opt, istep_act, delta_i_opt, dmx_act)
-        needs: List[Tuple[int, str]] = []
+        needs: list[tuple[int, str]] = []
         for j, (name, di, ce, me, he) in enumerate(opt_models):
             natural = bool(natural_opt[j])
             full = full_all[:, j]
@@ -614,8 +614,8 @@ def run_batch(
 
         # ---- Batched range scans for every fresh inference ----
         if needs:
-            scan_rows: Dict[int, int] = {}
-            scan_eps: List[int] = []
+            scan_rows: dict[int, int] = {}
+            scan_eps: list[int] = []
             for i, _name in needs:
                 if i not in scan_rows:
                     scan_rows[i] = len(scan_eps)
@@ -649,7 +649,7 @@ def run_batch(
                 row = best[scan_rows[i]]
                 thr, rstd, bstd, mrate = det_params[name]
                 rng_d = det_rngs[i][name]
-                dets: List[Tuple[float, float]] = []
+                dets: list[tuple[float, float]] = []
                 group_start = -1
                 for j in range(num_beams + 1):
                     is_hit = j < num_beams and row[j] < thr
@@ -747,14 +747,15 @@ def run_batch(
                     obs_y[i, k] = my
                     row_pos[k] = (mx, my, obstacle.radius_m)
 
-        if K:
-            collided = np.any(
+        collided = (
+            np.any(
                 np.hypot(obs_x[idx] - xn[:, None], obs_y[idx] - yn[:, None])
                 <= (obs_r[idx] + vehicle_radius),
                 axis=1,
             )
-        else:
-            collided = np.zeros(m, dtype=bool)
+            if K
+            else np.zeros(m, dtype=bool)
+        )
 
         s_tot, d_arr = centerline.project_batch(xn, yn)
         fin = s_tot >= length_m
@@ -789,8 +790,8 @@ def run_batch(
     # ------------------------------------------------------------------
     reports = []
     for i, episode in enumerate(episode_ids):
-        used_d: Dict[str, float] = {}
-        base_d: Dict[str, float] = {}
+        used_d: dict[str, float] = {}
+        base_d: dict[str, float] = {}
         for j, (name, *_rest) in enumerate(crit_models):
             if used_crit[i, j] != 0.0:
                 used_d[name] = float(used_crit[i, j])
@@ -846,16 +847,16 @@ class BatchExecutor(EpisodeExecutor):
             construction is skipped; otherwise a fresh framework is built.
     """
 
-    def __init__(self, framework: Optional[SEOFramework] = None) -> None:
+    def __init__(self, framework: SEOFramework | None = None) -> None:
         self._framework = framework
 
-    def run(self, config: SEOConfig, episodes: int) -> List[EpisodeReport]:
+    def run(self, config: SEOConfig, episodes: int) -> list[EpisodeReport]:
         self._validate(episodes)
         return self.run_range(config, 0, episodes)
 
     def run_range(
         self, config: SEOConfig, start: int, stop: int
-    ) -> List[EpisodeReport]:
+    ) -> list[EpisodeReport]:
         """Run episodes ``start .. stop-1`` (a work unit's episode range)."""
         if start < 0 or stop <= start:
             raise ValueError("episode range must be non-empty and non-negative")

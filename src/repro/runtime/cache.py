@@ -20,7 +20,6 @@ from __future__ import annotations
 import hashlib
 import threading
 from pathlib import Path
-from typing import Dict, Optional, Tuple
 
 from repro.core.intervals import SafeIntervalEstimator
 from repro.core.lookup import DeadlineLookupTable, LookupGrid
@@ -32,7 +31,7 @@ from repro.core.safety import BrakingDistanceBarrier
 CACHE_SCHEMA_VERSION = 1
 
 #: Cache key: schema version plus every scalar the table values depend on.
-CacheKey = Tuple[
+CacheKey = tuple[
     int, LookupGrid, float, float, float, float, float, float, float, float, float, float, float
 ]
 
@@ -41,7 +40,7 @@ def cache_key(
     estimator: SafeIntervalEstimator,
     grid: LookupGrid,
     obstacle_radius_m: float,
-) -> Optional[CacheKey]:
+) -> CacheKey | None:
     """Build the memoization key, or ``None`` when the estimator is not cacheable.
 
     Only :class:`BrakingDistanceBarrier` estimators are cacheable: for other
@@ -81,12 +80,12 @@ class LookupTableCache:
         misses: Number of calls that had to build the table.
     """
 
-    def __init__(self, cache_dir: Optional[Path] = None) -> None:
+    def __init__(self, cache_dir: Path | None = None) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
-        self._tables: Dict[CacheKey, DeadlineLookupTable] = {}
+        self._tables: dict[CacheKey, DeadlineLookupTable] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -95,7 +94,7 @@ class LookupTableCache:
     def get_or_build(
         self,
         estimator: SafeIntervalEstimator,
-        grid: Optional[LookupGrid] = None,
+        grid: LookupGrid | None = None,
         obstacle_radius_m: float = 1.0,
     ) -> DeadlineLookupTable:
         """Return the table for this configuration, building it at most once."""
@@ -140,14 +139,14 @@ class LookupTableCache:
     # ------------------------------------------------------------------
     # Disk persistence
     # ------------------------------------------------------------------
-    def path_for(self, key: CacheKey) -> Optional[Path]:
+    def path_for(self, key: CacheKey) -> Path | None:
         """The ``.npz`` path a key persists to (``None`` without a cache_dir)."""
         if self.cache_dir is None:
             return None
         digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()[:16]
         return self.cache_dir / f"deadline-table-{digest}.npz"
 
-    def _load_from_disk(self, key: CacheKey) -> Optional[DeadlineLookupTable]:
+    def _load_from_disk(self, key: CacheKey) -> DeadlineLookupTable | None:
         path = self.path_for(key)
         if path is None or not path.exists():
             return None

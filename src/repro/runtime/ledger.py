@@ -28,7 +28,7 @@ import dataclasses
 import json
 import shutil
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -72,12 +72,12 @@ def _plain(value: Any) -> Any:
     return value
 
 
-def report_to_jsonable(report: EpisodeReport) -> Dict[str, Any]:
+def report_to_jsonable(report: EpisodeReport) -> dict[str, Any]:
     """Serialize one episode report to a JSON-compatible dict."""
     return _plain(dataclasses.asdict(report))
 
 
-def report_from_jsonable(payload: Dict[str, Any]) -> EpisodeReport:
+def report_from_jsonable(payload: dict[str, Any]) -> EpisodeReport:
     """Rebuild an :class:`EpisodeReport` from :func:`report_to_jsonable`.
 
     Raises:
@@ -120,7 +120,7 @@ class RunLedger:
 
     def __init__(self, root: Path) -> None:
         self.root = Path(root)
-        self._index: Dict[str, Dict[str, Any]] = {}
+        self._index: dict[str, dict[str, Any]] = {}
         self._load_index()
 
     # ------------------------------------------------------------------
@@ -154,11 +154,11 @@ class RunLedger:
                 continue
             self._index[record["unit"]] = record
 
-    def keys(self) -> List[str]:
+    def keys(self) -> list[str]:
         """Hashes of every recorded unit."""
         return list(self._index)
 
-    def record(self, unit_key: str) -> Optional[Dict[str, Any]]:
+    def record(self, unit_key: str) -> dict[str, Any] | None:
         """The index record of one unit hash, or ``None``."""
         return self._index.get(unit_key)
 
@@ -171,7 +171,7 @@ class RunLedger:
     # ------------------------------------------------------------------
     # Read / write
     # ------------------------------------------------------------------
-    def get(self, unit: WorkUnit) -> Optional[List[EpisodeReport]]:
+    def get(self, unit: WorkUnit) -> list[EpisodeReport] | None:
         """Load the recorded reports of a unit, or ``None`` on any miss.
 
         A recorded entry whose blob is missing or unreadable is treated as a
@@ -202,9 +202,9 @@ class RunLedger:
     def put(
         self,
         unit: WorkUnit,
-        reports: List[EpisodeReport],
-        label: Optional[str] = None,
-        experiment: Optional[str] = None,
+        reports: list[EpisodeReport],
+        label: str | None = None,
+        experiment: str | None = None,
     ) -> None:
         """Record a completed unit (idempotent: an existing entry is kept).
 

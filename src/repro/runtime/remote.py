@@ -52,7 +52,8 @@ import threading
 import traceback
 from concurrent.futures import Future
 from pathlib import Path
-from typing import Any, BinaryIO, Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import Any, BinaryIO
 
 from repro.core.framework import EpisodeReport, SEOConfig, SEOFramework
 from repro.runtime.cache import LookupTableCache, default_cache, set_default_cache
@@ -125,14 +126,14 @@ def _check_frame_length(length: int) -> None:
 # Framing (sync side: used by the stdio worker)
 # ----------------------------------------------------------------------
 
-def write_frame(stream: BinaryIO, payload: Dict[str, Any]) -> None:
+def write_frame(stream: BinaryIO, payload: dict[str, Any]) -> None:
     """Write one length-prefixed JSON frame and flush."""
     data = json.dumps(payload).encode("utf-8")
     stream.write(_HEADER.pack(len(data)) + data)
     stream.flush()
 
 
-def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+def read_frame(stream: BinaryIO) -> dict[str, Any] | None:
     """Read one frame; ``None`` on a clean EOF at a frame boundary."""
     header = stream.read(_HEADER.size)
     if not header:
@@ -156,14 +157,14 @@ def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
 # Framing (async side: dispatcher transports and the socket server)
 # ----------------------------------------------------------------------
 
-async def write_frame_async(writer: asyncio.StreamWriter, payload: Dict[str, Any]) -> None:
+async def write_frame_async(writer: asyncio.StreamWriter, payload: dict[str, Any]) -> None:
     """Write one frame to an asyncio stream and drain."""
     data = json.dumps(payload).encode("utf-8")
     writer.write(_HEADER.pack(len(data)) + data)
     await writer.drain()
 
 
-async def read_frame_async(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+async def read_frame_async(reader: asyncio.StreamReader) -> dict[str, Any] | None:
     """Read one frame from an asyncio stream; ``None`` on clean EOF."""
     try:
         header = await reader.readexactly(_HEADER.size)
@@ -180,7 +181,7 @@ async def read_frame_async(reader: asyncio.StreamReader) -> Optional[Dict[str, A
     return json.loads(data.decode("utf-8"))
 
 
-def parse_worker_address(text: str) -> Tuple[str, int]:
+def parse_worker_address(text: str) -> tuple[str, int]:
     """Parse a ``HOST:PORT`` worker address (IPv6 hosts may be bracketed)."""
     host, sep, port_text = text.strip().rpartition(":")
     if not sep or not host:
@@ -208,9 +209,9 @@ class WorkerSession:
     """
 
     def __init__(self) -> None:
-        self._memo: Optional[Tuple[str, SEOFramework]] = None
+        self._memo: tuple[str, SEOFramework] | None = None
 
-    def handle(self, request: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    def handle(self, request: dict[str, Any]) -> dict[str, Any] | None:
         """Reply to one request frame; ``None`` means shutdown (close)."""
         op = request.get("op")
         if op == "shutdown":
@@ -241,7 +242,7 @@ class WorkerSession:
 
 
 def worker_main(
-    stdin: Optional[BinaryIO] = None, stdout: Optional[BinaryIO] = None
+    stdin: BinaryIO | None = None, stdout: BinaryIO | None = None
 ) -> None:
     """Serve episode requests over stdio until shutdown/EOF."""
     if stdin is None:
@@ -292,7 +293,7 @@ async def _serve_connection(
 
 
 async def serve_worker(
-    host: str, port: int, on_bound: Optional[Callable[[str], None]] = None
+    host: str, port: int, on_bound: Callable[[str], None] | None = None
 ) -> None:
     """Serve the worker protocol over TCP until cancelled.
 
@@ -326,8 +327,8 @@ class WorkerServer:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.address: Optional[str] = None
-        self._error: Optional[BaseException] = None
+        self.address: str | None = None
+        self._error: BaseException | None = None
         self._ready = threading.Event()
         self._loop = asyncio.new_event_loop()
         self._stopped = False
@@ -402,7 +403,7 @@ class _StreamTransport:
         self.writer = writer
         self.description = description
 
-    async def send(self, payload: Dict[str, Any]) -> None:
+    async def send(self, payload: dict[str, Any]) -> None:
         try:
             await write_frame_async(self.writer, payload)
         except (ConnectionError, OSError) as error:
@@ -410,7 +411,7 @@ class _StreamTransport:
                 f"{self.description} is gone (send failed: {error})"
             ) from error
 
-    async def recv(self) -> Dict[str, Any]:
+    async def recv(self) -> dict[str, Any]:
         try:
             frame = await read_frame_async(self.reader)
         except (ConnectionError, OSError) as error:
@@ -468,7 +469,7 @@ class _SocketTransport(_StreamTransport):
             await asyncio.wait_for(self.writer.wait_closed(), timeout=timeout)
 
 
-def _validate_handshake(reply: Dict[str, Any], description: str) -> None:
+def _validate_handshake(reply: dict[str, Any], description: str) -> None:
     """Refuse a worker whose protocol or work-unit schema version differs."""
     if not reply.get("ok"):
         raise RemoteWorkerError(
@@ -485,7 +486,7 @@ def _validate_handshake(reply: Dict[str, Any], description: str) -> None:
         )
 
 
-def _worker_env() -> Dict[str, str]:
+def _worker_env() -> dict[str, str]:
     """Subprocess environment with the repro package importable."""
     import repro
 
@@ -530,7 +531,7 @@ class _WorkerDispatcher:
     """
 
     def __init__(
-        self, slots: int, cache_dir: Optional[Path] = None, max_respawns: int = 1
+        self, slots: int, cache_dir: Path | None = None, max_respawns: int = 1
     ) -> None:
         if slots < 1:
             raise ValueError("workers must be at least 1")
@@ -546,12 +547,12 @@ class _WorkerDispatcher:
             target=self._loop.run_forever, name="seo-async-dispatch", daemon=True
         )
         self._thread.start()
-        self._transports: Dict[int, _StreamTransport] = {}
-        self._respawns_left: Dict[int, int] = {}
+        self._transports: dict[int, _StreamTransport] = {}
+        self._respawns_left: dict[int, int] = {}
         self._pending: set = set()
-        self._idle: Optional[asyncio.Queue] = None
-        self._start_lock: Optional[asyncio.Lock] = None
-        self._fatal: Optional[RemoteWorkerError] = None
+        self._idle: asyncio.Queue | None = None
+        self._start_lock: asyncio.Lock | None = None
+        self._fatal: RemoteWorkerError | None = None
         self._closed = False
 
     # -- transport establishment (subclass responsibility) --------------
@@ -658,7 +659,7 @@ class _WorkerDispatcher:
             self._idle.put_nowait(_POOL_FAILED)
 
     async def _run_episode(
-        self, payload: Dict[str, Any], episode: int
+        self, payload: dict[str, Any], episode: int
     ) -> EpisodeReport:
         task = asyncio.current_task()
         self._pending.add(task)
@@ -747,7 +748,7 @@ class AsyncWorkerPool(_WorkerDispatcher):
     def __init__(
         self,
         workers: int,
-        cache_dir: Optional[Path] = None,
+        cache_dir: Path | None = None,
         max_respawns: int = 1,
     ) -> None:
         super().__init__(
@@ -793,7 +794,7 @@ class SocketWorkerPool(_WorkerDispatcher):
     def __init__(
         self,
         workers: Sequence[str],
-        cache_dir: Optional[Path] = None,
+        cache_dir: Path | None = None,
         max_respawns: int = 1,
     ) -> None:
         addresses = tuple(workers)
@@ -837,7 +838,7 @@ class AsyncExecutor(EpisodeExecutor):
     def __init__(self, jobs: int = 0) -> None:
         self.jobs = resolve_jobs(jobs)
 
-    def run(self, config: SEOConfig, episodes: int) -> List[EpisodeReport]:
+    def run(self, config: SEOConfig, episodes: int) -> list[EpisodeReport]:
         self._validate(episodes)
         workers = min(self.jobs, episodes)
         if workers <= 1:
@@ -867,7 +868,7 @@ class SocketExecutor(EpisodeExecutor):
         if not self.addresses:
             raise ValueError("socket backend requires at least one worker address")
 
-    def run(self, config: SEOConfig, episodes: int) -> List[EpisodeReport]:
+    def run(self, config: SEOConfig, episodes: int) -> list[EpisodeReport]:
         self._validate(episodes)
         pool = SocketWorkerPool(self.addresses, cache_dir=default_cache().cache_dir)
         try:

@@ -22,7 +22,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.runtime.workunit import WORKUNIT_SCHEMA_VERSION, WorkUnit
 
@@ -93,20 +94,20 @@ class ShardManifest:
     def __init__(
         self,
         command: Sequence[str],
-        shard: Optional[ShardSpec] = None,
-        units: Optional[Dict[str, Dict[str, Any]]] = None,
-        completed: Optional[Iterable[str]] = None,
+        shard: ShardSpec | None = None,
+        units: dict[str, dict[str, Any]] | None = None,
+        completed: Iterable[str] | None = None,
     ) -> None:
         self.command = list(command)
         self.shard = shard
-        self.units: Dict[str, Dict[str, Any]] = dict(units or {})
-        self.completed: Set[str] = set(completed or ())
+        self.units: dict[str, dict[str, Any]] = dict(units or {})
+        self.completed: set[str] = set(completed or ())
 
     def declare(
         self,
         unit: WorkUnit,
-        label: Optional[str] = None,
-        experiment: Optional[str] = None,
+        label: str | None = None,
+        experiment: str | None = None,
     ) -> None:
         """Record one unit of the full sweep (first declaration wins)."""
         self.units.setdefault(
@@ -125,7 +126,7 @@ class ShardManifest:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def to_jsonable(self) -> Dict[str, Any]:
+    def to_jsonable(self) -> dict[str, Any]:
         """JSON structure written to ``manifest.json``."""
         return {
             "schema": WORKUNIT_SCHEMA_VERSION,
@@ -162,8 +163,8 @@ class ShardManifest:
 class MergePlan:
     """Validated outcome of :func:`validate_merge`."""
 
-    command: List[str]
-    unit_keys: Set[str] = field(default_factory=set)
+    command: list[str]
+    unit_keys: set[str] = field(default_factory=set)
 
 
 def validate_merge(
@@ -199,7 +200,7 @@ def validate_merge(
                 f"(shard dir #{position}: {len(extra)} extra, {len(lacking)} absent)"
             )
 
-    seen: Dict[str, int] = {}
+    seen: dict[str, int] = {}
     for position, keys in enumerate(ledger_keys, start=1):
         for key in keys:
             if key not in full:

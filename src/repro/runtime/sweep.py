@@ -36,10 +36,12 @@ from __future__ import annotations
 
 import threading
 import warnings
+from collections.abc import Callable, Hashable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
+from types import TracebackType
+from typing import Any
 
 from repro.core.framework import EpisodeReport, SEOConfig
 from repro.runtime.cache import default_cache
@@ -107,7 +109,7 @@ class SweepIncomplete(RuntimeError):
         executed: int,
         cached: int,
         skipped: int,
-        experiment: Optional[str] = None,
+        experiment: str | None = None,
     ) -> None:
         self.shard = shard
         self.executed = executed
@@ -161,7 +163,7 @@ class SweepJob:
 
 def sweep_jobs(
     configs: Mapping[Hashable, SEOConfig], episodes: int
-) -> List[SweepJob]:
+) -> list[SweepJob]:
     """Build a job batch running every named config for ``episodes`` episodes."""
     return [
         SweepJob(label=label, config=config, episodes=episodes)
@@ -207,12 +209,12 @@ class SweepRunner:
         self,
         jobs: int = 1,
         backend: str = "process",
-        ledger: Optional[RunLedger] = None,
+        ledger: RunLedger | None = None,
         resume: bool = False,
-        shard: Optional[ShardSpec] = None,
-        manifest: Optional[ShardManifest] = None,
-        manifest_path: Optional[Path] = None,
-        workers: Optional[Sequence[str]] = None,
+        shard: ShardSpec | None = None,
+        manifest: ShardManifest | None = None,
+        manifest_path: Path | None = None,
+        workers: Sequence[str] | None = None,
     ) -> None:
         if backend not in EXECUTOR_BACKENDS:
             raise ValueError(
@@ -269,10 +271,15 @@ class SweepRunner:
     def __enter__(self) -> "SweepRunner":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> Any:
         if self._pool is None:
             if self.backend == "process":
                 self._pool = ProcessPoolExecutor(
@@ -300,7 +307,7 @@ class SweepRunner:
             _count_pool_construction()
         return self._pool
 
-    def _submitter(self, pool) -> Callable[[SEOConfig, int], "object"]:
+    def _submitter(self, pool: Any) -> Callable[[SEOConfig, int], "object"]:
         """Episode submission callable for the active backend's pool."""
         if self.backend == "process":
             return lambda config, episode: pool.submit(
@@ -316,8 +323,8 @@ class SweepRunner:
     # Execution
     # ------------------------------------------------------------------
     def run(
-        self, jobs: Sequence[SweepJob], experiment: Optional[str] = None
-    ) -> Dict[Hashable, List[EpisodeReport]]:
+        self, jobs: Sequence[SweepJob], experiment: str | None = None
+    ) -> dict[Hashable, list[EpisodeReport]]:
         """Run a batch of jobs and route reports back per label, episode-ordered.
 
         Jobs are lowered to content-addressed units and deduplicated: two
@@ -344,8 +351,8 @@ class SweepRunner:
         if not jobs:
             return {}
 
-        units: Dict[str, WorkUnit] = {}
-        key_by_label: Dict[Hashable, str] = {}
+        units: dict[str, WorkUnit] = {}
+        key_by_label: dict[Hashable, str] = {}
         for job in jobs:
             unit = job.unit
             units.setdefault(unit.key, unit)
@@ -355,8 +362,8 @@ class SweepRunner:
                     unit, label=str(job.label), experiment=experiment
                 )
 
-        resolved: Dict[str, List[EpisodeReport]] = {}
-        to_run: List[WorkUnit] = []
+        resolved: dict[str, list[EpisodeReport]] = {}
+        to_run: list[WorkUnit] = []
         skipped = 0
         for key, unit in units.items():
             if self.resume and self.ledger is not None:
@@ -400,7 +407,7 @@ class SweepRunner:
 
     def _execute_units(
         self, units: Sequence[WorkUnit]
-    ) -> Dict[str, List[EpisodeReport]]:
+    ) -> dict[str, list[EpisodeReport]]:
         """Execute units on the configured backend, keyed by unit hash."""
         if not units:
             return {}
@@ -434,7 +441,7 @@ class SweepRunner:
             unit.key: [submit(unit.config, episode) for episode in unit.episodes]
             for unit in units
         }
-        results: Dict[str, List[EpisodeReport]] = {}
+        results: dict[str, list[EpisodeReport]] = {}
         try:
             for key, unit_futures in futures.items():
                 results[key] = [future.result() for future in unit_futures]
@@ -447,7 +454,7 @@ class SweepRunner:
             raise
         return results
 
-    def run_one(self, config: SEOConfig, episodes: int) -> List[EpisodeReport]:
+    def run_one(self, config: SEOConfig, episodes: int) -> list[EpisodeReport]:
         """Convenience wrapper: run a single config through the shared pool."""
         return self.run([SweepJob(label="job", config=config, episodes=episodes)])[
             "job"

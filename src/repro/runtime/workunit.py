@@ -28,7 +28,7 @@ import dataclasses
 import functools
 import hashlib
 import json
-from typing import Any, Dict, Type
+from typing import Any
 
 from repro.core.framework import SEOConfig
 from repro.core.lookup import LookupGrid
@@ -54,7 +54,7 @@ WORKUNIT_SCHEMA_VERSION = 1
 #: The closed world of dataclasses allowed inside an SEOConfig.  The mapping
 #: name is part of the canonical form, so entries must never be renamed
 #: without bumping :data:`WORKUNIT_SCHEMA_VERSION`.
-_CONFIG_TYPES: Dict[str, Type] = {
+_CONFIG_TYPES: dict[str, type] = {
     "SEOConfig": SEOConfig,
     "ScenarioConfig": ScenarioConfig,
     "ComputeProfile": ComputeProfile,

@@ -8,7 +8,7 @@ positions the rest of the stack observes.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from collections.abc import Iterable
 
 from repro.dynamics.state import VehicleState
 from repro.sim.obstacles import Obstacle
@@ -27,7 +27,7 @@ def first_collision(
     state: VehicleState,
     obstacles: Iterable[Obstacle],
     vehicle_radius_m: float,
-) -> Optional[Obstacle]:
+) -> Obstacle | None:
     """Return the first obstacle the vehicle collides with, or None."""
     for obstacle in obstacles:
         if circle_hit(state, obstacle, vehicle_radius_m):

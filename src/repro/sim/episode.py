@@ -10,7 +10,7 @@ models and accounts energy, lives in :mod:`repro.core.framework`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol
+from typing import Protocol
 
 from repro.dynamics.state import ControlAction, VehicleState
 from repro.sim.world import World
@@ -38,8 +38,8 @@ class SupportsFilter(Protocol):
 class EpisodeResult:
     """Outcome of a closed-loop episode."""
 
-    states: List[VehicleState] = field(default_factory=list)
-    controls: List[ControlAction] = field(default_factory=list)
+    states: list[VehicleState] = field(default_factory=list)
+    controls: list[ControlAction] = field(default_factory=list)
     collided: bool = False
     off_road: bool = False
     completed: bool = False
@@ -70,7 +70,7 @@ class EpisodeRunner:
 
     world: World
     controller: SupportsAct
-    safety_filter: Optional[SupportsFilter] = None
+    safety_filter: SupportsFilter | None = None
     dt_s: float = 0.02
     max_steps: int = 2000
 
@@ -80,7 +80,7 @@ class EpisodeRunner:
         if self.max_steps <= 0:
             raise ValueError("max_steps must be positive")
 
-    def run(self, initial_state: Optional[VehicleState] = None) -> EpisodeResult:
+    def run(self, initial_state: VehicleState | None = None) -> EpisodeResult:
         """Run one episode and return its result."""
         state = self.world.reset(initial_state)
         result = EpisodeResult(states=[state])

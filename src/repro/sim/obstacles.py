@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import field as dc_field
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -28,13 +29,17 @@ class ConstantVelocity:
     velocity_y_mps: float = 0.0
 
     def position_at(
-        self, origin: Tuple[float, float], time_s: float
-    ) -> Tuple[float, float]:
+        self, origin: tuple[float, float], time_s: float
+    ) -> tuple[float, float]:
         """Position at ``time_s`` starting from ``origin`` at time zero."""
         return (
             origin[0] + self.velocity_x_mps * time_s,
             origin[1] + self.velocity_y_mps * time_s,
         )
+
+
+#: One leg of a waypoint loop: (start point, end point, length).
+_Leg = tuple[tuple[float, float], tuple[float, float], float]
 
 
 @dataclass(frozen=True)
@@ -50,21 +55,25 @@ class WaypointLoop:
         speed_mps: Travel speed along the loop (positive).
     """
 
-    waypoints: Tuple[Tuple[float, float], ...]
+    waypoints: tuple[tuple[float, float], ...]
     speed_mps: float
+    # One-slot leg cache, keyed by origin: the loop is queried every
+    # simulation step with the same origin (the obstacle's placement), so
+    # the leg decomposition is computed once, not per step.  Excluded from
+    # equality/hash/repr; written through ``object.__setattr__`` because the
+    # dataclass is frozen.
+    _legs_cache: tuple[tuple[float, float], list[_Leg], float] | None = dc_field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.waypoints:
             raise ValueError("at least one waypoint is required")
         if self.speed_mps <= 0:
             raise ValueError("speed_mps must be positive")
-        # One-slot leg cache: the loop is queried every simulation step with
-        # the same origin (the obstacle's placement), so the leg
-        # decomposition is computed once, not per step.
-        object.__setattr__(self, "_legs_cache", None)
 
-    def _legs_for(self, origin: Tuple[float, float]):
-        cached = self._legs_cache  # type: ignore[attr-defined]
+    def _legs_for(self, origin: tuple[float, float]) -> tuple[list[_Leg], float]:
+        cached = self._legs_cache
         if cached is not None and cached[0] == origin:
             return cached[1], cached[2]
         points = [tuple(origin)] + [tuple(w) for w in self.waypoints]
@@ -80,8 +89,8 @@ class WaypointLoop:
         return legs, perimeter
 
     def position_at(
-        self, origin: Tuple[float, float], time_s: float
-    ) -> Tuple[float, float]:
+        self, origin: tuple[float, float], time_s: float
+    ) -> tuple[float, float]:
         """Position at ``time_s`` along the loop, starting at ``origin``."""
         origin = (origin[0], origin[1])
         legs, perimeter = self._legs_for(origin)
@@ -101,7 +110,7 @@ class WaypointLoop:
         return legs[-1][1]
 
 
-MotionPolicy = Union[ConstantVelocity, WaypointLoop]
+MotionPolicy = ConstantVelocity | WaypointLoop
 
 #: Obstacle-motion modes understood by :func:`attach_motion`.
 MOTION_MODES = ("static", "lateral-loop", "oncoming")
@@ -121,14 +130,14 @@ class Obstacle:
     x_m: float
     y_m: float
     radius_m: float = 1.0
-    motion: Optional[MotionPolicy] = None
+    motion: MotionPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.radius_m <= 0:
             raise ValueError("radius_m must be positive")
 
     @property
-    def position(self) -> Tuple[float, float]:
+    def position(self) -> tuple[float, float]:
         """Planar position (x, y) of the obstacle centre."""
         return (self.x_m, self.y_m)
 
@@ -156,7 +165,7 @@ def place_obstacles(
     min_gap_m: float = 6.0,
     lateral_fraction: float = 0.3,
     max_attempts: int = 200,
-) -> List[Obstacle]:
+) -> list[Obstacle]:
     """Place ``count`` obstacles in the road's obstacle zone (the final third).
 
     Obstacles are spread through the zone in arc length with random lateral
@@ -190,7 +199,7 @@ def place_obstacles(
         raise ValueError("road obstacle zone is empty")
 
     lateral_limit = road.half_width_m * lateral_fraction
-    placed_with_s: List[Tuple[float, Obstacle]] = []
+    placed_with_s: list[tuple[float, Obstacle]] = []
     # Deterministic arc-length anchors spread through the zone keep the
     # scenario solvable even for higher obstacle counts; lateral placement and
     # longitudinal jitter remain random.
@@ -198,7 +207,7 @@ def place_obstacles(
     jitter_span = zone_length / (2.0 * (count + 1))
 
     for anchor in anchors:
-        placed: Optional[Tuple[float, Obstacle]] = None
+        placed: tuple[float, Obstacle] | None = None
         for _ in range(max_attempts):
             s = float(anchor + rng.uniform(-jitter_span, jitter_span))
             d = float(rng.uniform(-lateral_limit, lateral_limit))
@@ -225,7 +234,7 @@ def attach_motion(
     road: Road,
     mode: str,
     speed_mps: float,
-) -> List[Obstacle]:
+) -> list[Obstacle]:
     """Return copies of ``obstacles`` carrying the requested motion policy.
 
     Modes:
@@ -244,15 +253,13 @@ def attach_motion(
     if speed_mps <= 0:
         raise ValueError("speed_mps must be positive for moving obstacles")
 
-    moving: List[Obstacle] = []
+    moving: list[Obstacle] = []
     for index, obstacle in enumerate(obstacles):
         s, d = road.to_frenet(obstacle.x_m, obstacle.y_m)
         if mode == "lateral-loop":
             span = max(abs(d), 0.3 * road.half_width_m)
-            if abs(d) > 1e-6:
-                side = math.copysign(1.0, d)
-            else:
-                side = 1.0 if index % 2 == 0 else -1.0
+            fallback_side = 1.0 if index % 2 == 0 else -1.0
+            side = math.copysign(1.0, d) if abs(d) > 1e-6 else fallback_side
             far = road.from_frenet(s, -side * span)
             motion: MotionPolicy = WaypointLoop(waypoints=(far,), speed_mps=speed_mps)
         else:  # oncoming

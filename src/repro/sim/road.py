@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import field as dc_field
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -60,7 +61,7 @@ class ArcSegment:
         return self.radius_m * abs(self.sweep_rad)
 
 
-RoadSegment = Union[StraightSegment, ArcSegment]
+RoadSegment = StraightSegment | ArcSegment
 
 
 @dataclass(frozen=True)
@@ -98,7 +99,7 @@ class _PlacedSegment:
     def length_m(self) -> float:
         return self.segment.length_m
 
-    def _arc_frame(self) -> Tuple[float, float, float]:
+    def _arc_frame(self) -> tuple[float, float, float]:
         """Return ``(turn_sign, centre_x, centre_y)`` for an arc segment."""
         segment = self.segment
         assert isinstance(segment, ArcSegment)
@@ -118,7 +119,7 @@ class _PlacedSegment:
         sigma = 1.0 if segment.sweep_rad > 0.0 else -1.0
         return wrap_angle(self.heading0 + sigma * s_local / segment.radius_m)
 
-    def point_at(self, s_local: float) -> Tuple[float, float]:
+    def point_at(self, s_local: float) -> tuple[float, float]:
         """Centreline point ``s_local`` metres into the segment."""
         segment = self.segment
         if isinstance(segment, StraightSegment):
@@ -142,7 +143,7 @@ class _PlacedSegment:
         sigma = 1.0 if segment.sweep_rad > 0.0 else -1.0
         return sigma / segment.radius_m
 
-    def project(self, x: float, y: float) -> Tuple[float, float]:
+    def project(self, x: float, y: float) -> tuple[float, float]:
         """Project a point onto the segment: ``(s_local_raw, d)``.
 
         ``s_local_raw`` is unclamped (negative before the segment start,
@@ -179,7 +180,7 @@ class Centerline:
     def __init__(self, segments: Sequence[RoadSegment]) -> None:
         if not segments:
             raise ValueError("at least one road segment is required")
-        placed: List[_PlacedSegment] = []
+        placed: list[_PlacedSegment] = []
         s0, x0, y0, heading0 = 0.0, 0.0, 0.0, 0.0
         for segment in segments:
             anchored = _PlacedSegment(
@@ -189,7 +190,7 @@ class Centerline:
             s0 += segment.length_m
             x0, y0 = anchored.point_at(segment.length_m)
             heading0 = anchored.heading_at(segment.length_m)
-        self._placed: Tuple[_PlacedSegment, ...] = tuple(placed)
+        self._placed: tuple[_PlacedSegment, ...] = tuple(placed)
         self.length_m: float = s0
         self.is_straight: bool = len(placed) == 1 and isinstance(
             segments[0], StraightSegment
@@ -201,7 +202,7 @@ class Centerline:
                 return anchored
         return self._placed[-1]
 
-    def project(self, x: float, y: float) -> Tuple[float, float]:
+    def project(self, x: float, y: float) -> tuple[float, float]:
         """Project a point onto the chain: ``(s_raw, d)``.
 
         ``s_raw`` can fall below zero (before the route start) or above
@@ -209,7 +210,7 @@ class Centerline:
         may extend the raw coordinate beyond the extent; interior segments
         are clamped to their joints.
         """
-        best: Optional[Tuple[float, float, float]] = None
+        best: tuple[float, float, float] | None = None
         last_index = len(self._placed) - 1
         for index, anchored in enumerate(self._placed):
             s_raw, d = anchored.project(x, y)
@@ -225,7 +226,7 @@ class Centerline:
         assert best is not None
         return best[1], best[2]
 
-    def project_batch(self, xs: np.ndarray, ys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def project_batch(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized :meth:`project` over ``(N,)`` point arrays.
 
         Returns ``(s_raw, d)`` arrays.  The single-straight-segment chain
@@ -251,12 +252,12 @@ class Centerline:
             )
         return s_out, d_out
 
-    def to_frenet(self, x: float, y: float) -> Tuple[float, float]:
+    def to_frenet(self, x: float, y: float) -> tuple[float, float]:
         """Frenet coordinates ``(s, d)`` of a point, with ``s`` clamped."""
         s_raw, d = self.project(x, y)
         return min(max(s_raw, 0.0), self.length_m), d
 
-    def from_frenet(self, s: float, d: float) -> Tuple[float, float]:
+    def from_frenet(self, s: float, d: float) -> tuple[float, float]:
         """World coordinates of Frenet ``(s, d)``; ``s`` is clamped."""
         s = min(max(s, 0.0), self.length_m)
         anchored = self._segment_for(s)
@@ -297,7 +298,11 @@ class Road:
     length_m: float = 100.0
     width_m: float = 8.0
     obstacle_zone_start_fraction: float = 2.0 / 3.0
-    segments: Optional[Tuple[RoadSegment, ...]] = None
+    segments: tuple[RoadSegment, ...] | None = None
+    # Derived centreline, built in ``__post_init__`` (written through
+    # ``object.__setattr__`` because the dataclass is frozen).  Excluded
+    # from equality/hash/repr: it is a pure function of the fields above.
+    _centerline: Centerline = dc_field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.width_m <= 0:
@@ -316,7 +321,7 @@ class Road:
     @property
     def centerline(self) -> Centerline:
         """The chained centreline backing all road-relative queries."""
-        return self._centerline  # type: ignore[attr-defined]
+        return self._centerline
 
     @property
     def is_straight(self) -> bool:
@@ -336,11 +341,11 @@ class Road:
     # ------------------------------------------------------------------
     # Frenet frame
     # ------------------------------------------------------------------
-    def to_frenet(self, x_m: float, y_m: float) -> Tuple[float, float]:
+    def to_frenet(self, x_m: float, y_m: float) -> tuple[float, float]:
         """Frenet coordinates ``(s, d)`` of a point; ``s`` is clamped."""
         return self.centerline.to_frenet(x_m, y_m)
 
-    def from_frenet(self, s_m: float, d_m: float) -> Tuple[float, float]:
+    def from_frenet(self, s_m: float, d_m: float) -> tuple[float, float]:
         """World coordinates of Frenet ``(s, d)``."""
         return self.centerline.from_frenet(s_m, d_m)
 
@@ -403,10 +408,10 @@ class Road:
     # ------------------------------------------------------------------
     def ray_edge_distance(
         self,
-        origin: Tuple[float, float],
-        direction: Tuple[float, float],
+        origin: tuple[float, float],
+        direction: tuple[float, float],
         max_range_m: float,
-    ) -> Optional[float]:
+    ) -> float | None:
         """Distance along a ray to the nearest road edge, or None if no hit.
 
         The edges are bounded by the route extent: a ray pointing past the
@@ -422,15 +427,15 @@ class Road:
 
     def _straight_ray_edge_distance(
         self,
-        origin: Tuple[float, float],
-        direction: Tuple[float, float],
+        origin: tuple[float, float],
+        direction: tuple[float, float],
         max_range_m: float,
-    ) -> Optional[float]:
+    ) -> float | None:
         ox, oy = origin
         dx, dy = direction
         if abs(dy) < 1e-9:
             return None
-        best: Optional[float] = None
+        best: float | None = None
         for edge in (self.half_width_m, -self.half_width_m):
             t = (edge - oy) / dy
             if t < 0.0 or t > max_range_m:
@@ -452,10 +457,10 @@ class Road:
     def _segment_edge_crossings(
         self,
         anchored: _PlacedSegment,
-        origin: Tuple[float, float],
-        direction: Tuple[float, float],
+        origin: tuple[float, float],
+        direction: tuple[float, float],
         max_range_m: float,
-    ) -> List[float]:
+    ) -> list[float]:
         """Ray parameters where the ray crosses one segment's offset edges.
 
         Straight-segment edges are line pieces parallel to the centreline;
@@ -467,7 +472,7 @@ class Road:
         dx, dy = direction
         segment = anchored.segment
         hw = self.half_width_m
-        crossings: List[float] = []
+        crossings: list[float] = []
         if isinstance(segment, StraightSegment):
             tx, ty = math.cos(anchored.heading0), math.sin(anchored.heading0)
             denom = dx * ty - dy * tx
@@ -505,15 +510,15 @@ class Road:
 
     def _segmented_ray_edge_distance(
         self,
-        origin: Tuple[float, float],
-        direction: Tuple[float, float],
+        origin: tuple[float, float],
+        direction: tuple[float, float],
         max_range_m: float,
-    ) -> Optional[float]:
+    ) -> float | None:
         ox, oy = origin
         dx, dy = direction
         if not self._edge_free(ox, oy):
             return 0.0
-        candidates: List[float] = []
+        candidates: list[float] = []
         for anchored in self.centerline._placed:
             candidates.extend(
                 self._segment_edge_crossings(anchored, origin, direction, max_range_m)

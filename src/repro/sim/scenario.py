@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class ScenarioConfig:
 
     road_length_m: float = 100.0
     road_width_m: float = 12.0
-    road_segments: Optional[Tuple[RoadSegment, ...]] = None
+    road_segments: tuple[RoadSegment, ...] | None = None
     num_obstacles: int = 3
     obstacle_radius_m: float = 1.0
     obstacle_zone_start_fraction: float = 2.0 / 3.0
@@ -65,7 +65,7 @@ class ScenarioConfig:
     initial_speed_mps: float = 8.0
     target_speed_mps: float = 8.0
     initial_lateral_offset_m: float = 0.0
-    seed: Optional[int] = 0
+    seed: int | None = 0
 
     def __post_init__(self) -> None:
         if self.num_obstacles < 0:
@@ -87,8 +87,8 @@ class ScenarioConfig:
 
 def build_world(
     config: ScenarioConfig,
-    rng: Optional[np.random.Generator] = None,
-    vehicle_params: Optional[VehicleParams] = None,
+    rng: np.random.Generator | None = None,
+    vehicle_params: VehicleParams | None = None,
 ) -> World:
     """Construct a :class:`repro.sim.world.World` from a scenario config.
 
@@ -147,7 +147,7 @@ class ScenarioFamily:
     description: str
     base: ScenarioConfig
 
-    def build(self, seed: Optional[int] = None) -> ScenarioConfig:
+    def build(self, seed: int | None = None) -> ScenarioConfig:
         """Instantiate the family's config, optionally re-seeded."""
         if seed is None:
             return self.base
@@ -167,7 +167,7 @@ class ScenarioSuite:
     """
 
     def __init__(self) -> None:
-        self._families: Dict[str, ScenarioFamily] = {}
+        self._families: dict[str, ScenarioFamily] = {}
 
     def register(self, family: ScenarioFamily) -> ScenarioFamily:
         """Add a family to the registry (rejects duplicate names)."""
@@ -184,11 +184,11 @@ class ScenarioSuite:
             known = ", ".join(sorted(self._families))
             raise KeyError(f"unknown scenario family {name!r} (known: {known})") from None
 
-    def build(self, name: str, seed: Optional[int] = None) -> ScenarioConfig:
+    def build(self, name: str, seed: int | None = None) -> ScenarioConfig:
         """Instantiate the named family's config, optionally re-seeded."""
         return self.get(name).build(seed=seed)
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """Registered family names, sorted."""
         return sorted(self._families)
 

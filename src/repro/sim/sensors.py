@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -52,8 +51,8 @@ class SimulatedSensor:
         if not 0.0 <= self.dropout_probability < 1.0:
             raise ValueError("dropout_probability must be in [0, 1)")
         self._rng = np.random.default_rng(self.seed)
-        self._last_sample_time: Optional[float] = None
-        self._last_observation: Optional[np.ndarray] = None
+        self._last_sample_time: float | None = None
+        self._last_observation: np.ndarray | None = None
         self._last_sample_stale = False
         self._dropped_samples = 0
 
@@ -121,7 +120,7 @@ class SimulatedSensor:
         self._last_observation = observation
         return observation
 
-    def latest(self) -> Optional[np.ndarray]:
+    def latest(self) -> np.ndarray | None:
         """Most recent measurement, or None before the first sample."""
         return self._last_observation
 
@@ -138,7 +137,7 @@ class SimulatedSensor:
 class SensorSuite:
     """A named collection of simulated sensors sharing a timeline."""
 
-    sensors: List[SimulatedSensor] = field(default_factory=list)
+    sensors: list[SimulatedSensor] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         names = [sensor.name for sensor in self.sensors]
@@ -158,9 +157,9 @@ class SensorSuite:
                 return sensor
         raise KeyError(name)
 
-    def sample_due(self, world: World, time_s: float) -> Dict[str, np.ndarray]:
+    def sample_due(self, world: World, time_s: float) -> dict[str, np.ndarray]:
         """Sample every sensor whose period has elapsed; return new readings."""
-        readings: Dict[str, np.ndarray] = {}
+        readings: dict[str, np.ndarray] = {}
         for sensor in self.sensors:
             if sensor.due(time_s):
                 readings[sensor.name] = sensor.sample(world, time_s)

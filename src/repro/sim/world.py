@@ -10,7 +10,6 @@ the safety machinery reads the relative state of the nearest obstacle from it
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
 
 from repro.dynamics.bicycle import KinematicBicycleModel
 from repro.dynamics.params import VehicleParams
@@ -48,7 +47,7 @@ class World:
     """
 
     road: Road
-    obstacles: List[Obstacle] = field(default_factory=list)
+    obstacles: list[Obstacle] = field(default_factory=list)
     vehicle_params: VehicleParams = field(default_factory=VehicleParams)
     state: VehicleState = field(default_factory=VehicleState)
     time_s: float = 0.0
@@ -66,7 +65,7 @@ class World:
         """The kinematic bicycle model advancing the ego vehicle."""
         return self._model
 
-    def reset(self, state: Optional[VehicleState] = None) -> VehicleState:
+    def reset(self, state: VehicleState | None = None) -> VehicleState:
         """Reset time, the ego vehicle and the obstacles to their initial state."""
         self.state = state if state is not None else self._initial_state
         self.time_s = 0.0
@@ -92,7 +91,7 @@ class World:
     # ------------------------------------------------------------------
     # Queries used by perception, control and the safety machinery.
     # ------------------------------------------------------------------
-    def nearest_obstacle(self) -> Optional[Obstacle]:
+    def nearest_obstacle(self) -> Obstacle | None:
         """The safety-relevant nearest obstacle, if any.
 
         Uses the same ranking as :meth:`nearest_obstacle_view` — surface
@@ -106,7 +105,7 @@ class World:
         """Road-relative (Frenet) pose of the ego vehicle."""
         return self.road.lane_pose(self.state)
 
-    def nearest_obstacle_view(self) -> Optional[Tuple[float, float, Obstacle]]:
+    def nearest_obstacle_view(self) -> tuple[float, float, Obstacle] | None:
         """Return ``(surface_distance, bearing, obstacle)`` for the nearest threat.
 
         The distance is measured to the obstacle's safety boundary (its

@@ -1,0 +1,57 @@
+"""Closed-world fixtures: config roots the checker is pointed at in tests.
+
+The closed-world rule is a *project* checker (it inspects live classes,
+not source text), so its passing/violating cases are importable
+dataclasses rather than parsed snippets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RegisteredLeaf:
+    """Reachable and (in the passing case) registered."""
+
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class RogueLeaf:
+    """Reachable but never registered — the REPRO301 case."""
+
+    value: float = 0.0
+
+
+@dataclass(frozen=True)
+class CleanRoot:
+    """Passing case: every reachable dataclass is registered."""
+
+    leaf: RegisteredLeaf | None = None
+
+
+@dataclass(frozen=True)
+class RogueRoot:
+    """Violating case: carries an unregistered dataclass in a nested hint."""
+
+    leaf: RegisteredLeaf | None = None
+    rogue: tuple[RogueLeaf, ...] = ()
+
+
+@dataclass
+class MutableLeaf:
+    """Not frozen — the REPRO302 case when force-registered."""
+
+    value: float = 0.0
+
+
+FIXTURE_REGISTRY: dict[str, type] = {
+    "CleanRoot": CleanRoot,
+    "RegisteredLeaf": RegisteredLeaf,
+}
+
+#: Fingerprint of FIXTURE_REGISTRY, pinned the same way the real linter
+#: pins the work-unit registry (computed in the test via
+#: ``schema_fingerprint`` and asserted stable round-trip).
+FIXTURE_VERSION = 1

@@ -1,0 +1,21 @@
+"""Determinism fixture: one violation per determinism code."""
+
+from __future__ import annotations
+
+import random  # line 5: REPRO201 (import)
+
+import numpy as np
+
+
+def hidden_entropy() -> float:
+    rng = np.random.default_rng()  # line 11: REPRO202 (unseeded)
+    legacy = np.random.uniform(0.0, 1.0)  # line 12: REPRO203 (legacy global)
+    return float(rng.uniform(0.0, 1.0)) + legacy + random.random()  # line 13: REPRO201
+
+
+def wall_clock() -> float:
+    import time
+    from datetime import datetime
+
+    stamp = datetime.now().timestamp()  # line 20: REPRO204
+    return time.time() + stamp  # line 21: REPRO204

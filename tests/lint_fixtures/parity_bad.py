@@ -1,0 +1,13 @@
+"""Kernel-parity fixture: a scalar facade that re-implements the kernel."""
+
+from __future__ import annotations
+
+
+class DriftingFacade:
+    """``query`` duplicates the math instead of viewing ``query_batch``."""
+
+    def query(self, x: float) -> float:
+        return x * 2.0
+
+    def query_batch(self, xs: list[float]) -> list[float]:
+        return [x * 2.0 for x in xs]

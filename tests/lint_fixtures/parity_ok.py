@@ -1,0 +1,46 @@
+"""Kernel-parity fixture: every scalar facade shares its batch kernel."""
+
+from __future__ import annotations
+
+
+class DelegatingFacade:
+    """Scalar delegates straight to the batch kernel."""
+
+    def query(self, x: float) -> float:
+        return float(self.query_batch([x])[0])
+
+    def query_batch(self, xs: list[float]) -> list[float]:
+        return [x * 2.0 for x in xs]
+
+
+class SharedHelper:
+    """Scalar and batch meet in a common private helper."""
+
+    def estimate(self, x: float) -> float:
+        return self._kernel([x])[0]
+
+    def estimate_batch(self, xs: list[float]) -> list[float]:
+        return self._kernel(xs)
+
+    def _kernel(self, xs: list[float]) -> list[float]:
+        return [x + 1.0 for x in xs]
+
+
+class BatchCallsScalar:
+    """The irregular batch fallback loops over the scalar method."""
+
+    def project(self, x: float) -> float:
+        return x * x
+
+    def project_batch(self, xs: list[float]) -> list[float]:
+        return [self.project(x) for x in xs]
+
+
+class PrefixedFacade:
+    """``act_from_inputs`` counts as a facade of ``act_batch``."""
+
+    def act_from_inputs(self, x: float) -> float:
+        return float(self.act_batch([x])[0])
+
+    def act_batch(self, xs: list[float]) -> list[float]:
+        return [-x for x in xs]

@@ -1,0 +1,20 @@
+"""Protocol fixture: one violation per protocol code."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def produce(payload: Any, episode: int) -> list[dict[str, Any]]:
+    return [
+        {"op": "frobnicate"},  # line 10: REPRO401 (unknown op)
+        {"op": "run", "config": payload, "episode": episode, "shard": 0},  # line 11: REPRO402
+        {"ok": True, "shard": 0},  # line 12: REPRO404 (field outside reply set)
+        {"ok": True, "report": {"outcome": "raw"}},  # line 13: REPRO403 (hand-rolled report)
+    ]
+
+
+def consume(request: dict[str, Any], reply: dict[str, Any]) -> Any:
+    _ = request["shard"]  # line 18: REPRO405 (unknown request field)
+    decoded = reply["report"]  # line 19: REPRO406 (report not decoded)
+    return decoded, reply.get("extra")  # line 20: REPRO405 (unknown reply field)

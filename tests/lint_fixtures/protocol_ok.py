@@ -1,0 +1,35 @@
+"""Protocol fixture: frames matching the documented schema."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def report_to_jsonable(report: Any) -> dict[str, Any]:
+    return {"outcome": str(report)}
+
+
+def report_from_jsonable(payload: dict[str, Any]) -> Any:
+    return payload["outcome"]
+
+
+def produce(payload: Any, episode: int) -> list[dict[str, Any]]:
+    return [
+        {"op": "hello", "protocol": 1, "schema": 1},
+        {"op": "init", "cache_dir": None},
+        {"op": "run", "config": payload, "episode": episode},
+        {"op": "shutdown"},
+    ]
+
+
+def respond(request: dict[str, Any], report: Any) -> dict[str, Any]:
+    if request.get("op") == "run":
+        _ = request["config"], request["episode"]
+        return {"ok": True, "report": report_to_jsonable(report)}
+    return {"ok": False, "error": "boom"}
+
+
+def consume(reply: dict[str, Any]) -> Any:
+    if not reply.get("ok"):
+        raise RuntimeError(reply.get("error"))
+    return report_from_jsonable(reply["report"])

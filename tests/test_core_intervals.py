@@ -77,7 +77,7 @@ class TestSafeIntervalEstimator:
             fast_estimator.estimate(state, Obstacle(x_m=d, y_m=0.0, radius_m=1.0), control)
             for d in (9.0, 9.4, 9.8, 11.0, 14.0)
         ]
-        assert all(b >= a for a, b in zip(deltas, deltas[1:]))
+        assert all(b >= a for a, b in zip(deltas, deltas[1:], strict=False))
 
     def test_braking_control_never_shortens_interval(self, fast_estimator):
         state = VehicleState(speed_mps=10.0)

@@ -34,9 +34,8 @@ def _model(period_multiple=1, sensor=NAVTECH_RADAR) -> SensoryModel:
 def _context(n, delta_i, delta_max, natural=None, full=None, global_step=None):
     natural_slot = natural if natural is not None else (n % delta_i == 0)
     if full is None:
-        full_slot = natural_slot if delta_i >= delta_max else n == delta_max - delta_i
-    else:
-        full_slot = full
+        full = natural_slot if delta_i >= delta_max else n == delta_max - delta_i
+    full_slot = full
     return PeriodContext(
         interval_step=n,
         global_step=global_step if global_step is not None else n,

@@ -329,7 +329,7 @@ class TestKernelFacadeParity:
     )
     def test_barrier_facade_matches_kernel(self, states):
         barrier = BrakingDistanceBarrier()
-        d, b, v = (np.array(column, dtype=float) for column in zip(*states))
+        d, b, v = (np.array(column, dtype=float) for column in zip(*states, strict=True))
         h = barrier.evaluate_batch(d, b, v)
         required = barrier.required_clearance_batch(b, v)
         for j, (dj, bj, vj) in enumerate(states):
@@ -356,7 +356,7 @@ class TestKernelFacadeParity:
         shield = SteeringShield()
         barrier = shield.safety_function
         d, b, v, lat, s, th = (
-            np.array(column, dtype=float) for column in zip(*states)
+            np.array(column, dtype=float) for column in zip(*states, strict=True)
         )
         h = barrier.evaluate_batch(d, b, v)
         fs, ft, intervened = shield.filter_batch(h, d, b, v, lat, 4.0, s, th)
@@ -422,7 +422,7 @@ class TestKernelFacadeParity:
     )
     def test_pure_pursuit_facade_matches_kernel(self, states):
         controller = PurePursuitController()
-        v, lat, hd, cv = (np.array(column, dtype=float) for column in zip(*states))
+        v, lat, hd, cv = (np.array(column, dtype=float) for column in zip(*states, strict=True))
         target = np.full(len(states), controller.target_speed_mps)
         steering, throttle = controller.act_batch(v, target, lat, hd, cv)
         for j, (vj, latj, hdj, cvj) in enumerate(states):

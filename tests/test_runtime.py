@@ -45,7 +45,7 @@ class TestParallelExecutor:
         serial = SerialExecutor().run(fast_seo_config, 4)
         parallel = ParallelExecutor(jobs=2).run(fast_seo_config, 4)
         assert [report.episode for report in parallel] == [0, 1, 2, 3]
-        for left, right in zip(serial, parallel):
+        for left, right in zip(serial, parallel, strict=True):
             assert left.energy_by_model_j == right.energy_by_model_j
             assert left.gain_by_model == right.gain_by_model
             assert left.delta_max_samples == right.delta_max_samples

@@ -132,9 +132,10 @@ class TestBackendWiring:
 
     def test_sweep_runner_explicit_jobs_warns(self):
         """The CLI routes through SweepRunner, so it must warn there too."""
-        with pytest.warns(UserWarning, match="ignores jobs"):
-            with SweepRunner(jobs=4, backend="batch"):
-                pass
+        with pytest.warns(UserWarning, match="ignores jobs"), SweepRunner(
+            jobs=4, backend="batch"
+        ):
+            pass
 
     def test_make_executor_rejects_workers(self):
         with pytest.raises(ValueError):

@@ -58,9 +58,8 @@ class TestSweepRunnerSerial:
             SweepJob(label="same", config=fast_seo_config, episodes=1),
             SweepJob(label="same", config=fast_seo_config, episodes=1),
         ]
-        with SweepRunner(jobs=1) as runner:
-            with pytest.raises(ValueError):
-                runner.run(jobs)
+        with SweepRunner(jobs=1) as runner, pytest.raises(ValueError):
+            runner.run(jobs)
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError):
