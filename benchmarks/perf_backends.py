@@ -1,24 +1,39 @@
 """Perf harness: episodes/sec per executor backend, machine-readable output.
 
 Times the serial oracle and the structure-of-arrays batch engine on the
-paper's standard experiment configuration and writes a ``BENCH_*.json``
-snapshot (schema below) so every PR extends a recorded perf trajectory
-instead of leaving throughput numbers in terminal scrollback.
+paper's standard experiment configuration plus a curved-road workload and
+writes a ``BENCH_*.json`` snapshot (schema below) so every PR extends a
+recorded perf trajectory instead of leaving throughput numbers in terminal
+scrollback.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/perf_backends.py            # 64 episodes
     SEO_BENCH_EPISODES=2 PYTHONPATH=src python benchmarks/perf_backends.py
 
-The harness is its own smoke test: it asserts the batch backend's reports
-are bit-identical to the serial ones on the timed workload, validates the
-emitted payload against the schema, and exits non-zero if the batch backend
-is slower than serial.
+Warm-up methodology
+-------------------
 
-Schema (``seo-bench/1``)::
+Every timed measurement — headline, scaling entry, curved workload, serial
+and batch alike — is preceded by **one untimed warm-up run of the identical
+workload**, and only the second run is timed.  The warm-up populates every
+one-off cache the first run would otherwise pay for inside the timing
+window (the safe-interval lookup table, numpy ufunc loop setup, allocator
+pools), so all recorded numbers measure steady-state throughput on equal
+footing.  ``BENCH_pr7.json`` predates this rule and shows the cost of not
+having it: its 64-episode scaling entry (2.11 s) disagrees with the
+headline batch measurement of the same workload (1.42 s) purely because
+the two were warmed differently.
+
+The harness is its own smoke test: it asserts the batch backend's reports
+are bit-identical to the serial ones on both timed workloads, validates the
+emitted payload against the schema, and exits non-zero if the batch backend
+is slower than serial on either workload.
+
+Schema (``seo-bench/2``)::
 
     {
-      "schema": "seo-bench/1",
+      "schema": "seo-bench/2",
       "pr": <int>,
       "workload": {"experiment": str, "episodes": int, "max_steps": int,
                    "tau_s": float, "seed": int},
@@ -27,13 +42,20 @@ Schema (``seo-bench/1``)::
                             "phases"?: {<phase>: float}}},
       "scaling"?: {<name>: [{"episodes": int, "wall_s": float,
                              "episodes_per_s": float}, ...]},
-      "speedup_batch_vs_serial": <float>
+      "speedup_batch_vs_serial": <float>,
+      "curved"?: {"workload": {...}, "backends": {...},
+                  "speedup_batch_vs_serial": <float>}
     }
 
 ``backends.batch.phases`` breaks the engine wall time into the lockstep
-phases (``decision``, ``scheduler``, ``scan``, ``dynamics``) reported by
-:func:`repro.runtime.batch.run_batch`; ``scaling`` records the batch
-engine's throughput across batch sizes (amortization curve).
+phases reported by :func:`repro.runtime.batch.run_batch`: ``decision``,
+``scheduler``, ``scan``, ``dynamics``, with the scan phase further split
+into ``scan_raycast`` (ray casting), ``scan_group`` (detection grouping +
+noise) and ``scan_view`` (nearest-obstacle view kernel), which sum to
+``scan``.  ``scaling`` records the batch engine's throughput across batch
+sizes (amortization curve); ``curved`` repeats the serial/batch comparison
+on the ``curved-road`` scenario family, exercising the multi-segment
+Frenet projection kernels.
 """
 
 from __future__ import annotations
@@ -45,9 +67,9 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr7.json"
-SCHEMA = "seo-bench/1"
-PR = 7
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr9.json"
+SCHEMA = "seo-bench/2"
+PR = 9
 
 #: Baseline batch size for the committed trajectory: large enough that the
 #: lockstep engine's fixed per-frame numpy overhead is amortized, matching
@@ -59,7 +81,16 @@ DEFAULT_EPISODES = 64
 SCALING_EPISODES = (16, 64, 256)
 
 #: Phase keys reported by the batch engine's per-phase timing breakdown.
-BATCH_PHASES = ("decision", "scheduler", "scan", "dynamics")
+#: The three ``scan_*`` sub-phases sum to ``scan``.
+BATCH_PHASES = (
+    "decision",
+    "scheduler",
+    "scan",
+    "scan_raycast",
+    "scan_group",
+    "scan_view",
+    "dynamics",
+)
 
 
 def bench_episodes() -> int:
@@ -87,15 +118,9 @@ def _validate_rate_entry(name: str, entry: object) -> None:
             raise ValueError(f"{name}.{key} must be a positive float")
 
 
-def validate_payload(payload: dict) -> None:
-    """Validate a ``seo-bench/1`` payload; raises ValueError on mismatch."""
-    if payload.get("schema") != SCHEMA:
-        raise ValueError(f"schema must be {SCHEMA!r}, got {payload.get('schema')!r}")
-    if not isinstance(payload.get("pr"), int):
-        raise ValueError("pr must be an integer")
-    workload = payload.get("workload")
+def _validate_workload(name: str, workload: object) -> None:
     if not isinstance(workload, dict):
-        raise ValueError("workload must be an object")
+        raise ValueError(f"{name} must be an object")
     for key, kind in (
         ("experiment", str),
         ("episodes", int),
@@ -104,25 +129,37 @@ def validate_payload(payload: dict) -> None:
         ("seed", int),
     ):
         if not isinstance(workload.get(key), kind):
-            raise ValueError(f"workload.{key} must be {kind.__name__}")
-    backends = payload.get("backends")
+            raise ValueError(f"{name}.{key} must be {kind.__name__}")
+
+
+def _validate_backends(name: str, backends: object) -> None:
     if not isinstance(backends, dict) or not backends:
-        raise ValueError("backends must be a non-empty object")
+        raise ValueError(f"{name} must be a non-empty object")
     if "serial" not in backends or "batch" not in backends:
-        raise ValueError("backends must include 'serial' and 'batch'")
-    for name, entry in backends.items():
-        _validate_rate_entry(f"backends.{name}", entry)
+        raise ValueError(f"{name} must include 'serial' and 'batch'")
+    for backend, entry in backends.items():
+        _validate_rate_entry(f"{name}.{backend}", entry)
         phases = entry.get("phases")
         if phases is not None:
             if not isinstance(phases, dict):
-                raise ValueError(f"backends.{name}.phases must be an object")
+                raise ValueError(f"{name}.{backend}.phases must be an object")
             for phase in BATCH_PHASES:
                 value = phases.get(phase)
                 if not isinstance(value, float) or value < 0.0:
                     raise ValueError(
-                        f"backends.{name}.phases.{phase} must be a "
+                        f"{name}.{backend}.phases.{phase} must be a "
                         "non-negative float"
                     )
+
+
+def validate_payload(payload: dict) -> None:
+    """Validate a ``seo-bench/2`` payload; raises ValueError on mismatch."""
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"schema must be {SCHEMA!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("pr"), int):
+        raise ValueError("pr must be an integer")
+    _validate_workload("workload", payload.get("workload"))
+    _validate_backends("backends", payload.get("backends"))
     scaling = payload.get("scaling")
     if scaling is not None:
         if not isinstance(scaling, dict) or not scaling:
@@ -135,31 +172,40 @@ def validate_payload(payload: dict) -> None:
     speedup = payload.get("speedup_batch_vs_serial")
     if not isinstance(speedup, float) or speedup <= 0.0:
         raise ValueError("speedup_batch_vs_serial must be a positive float")
+    curved = payload.get("curved")
+    if curved is not None:
+        if not isinstance(curved, dict):
+            raise ValueError("curved must be an object")
+        _validate_workload("curved.workload", curved.get("workload"))
+        _validate_backends("curved.backends", curved.get("backends"))
+        curved_speedup = curved.get("speedup_batch_vs_serial")
+        if not isinstance(curved_speedup, float) or curved_speedup <= 0.0:
+            raise ValueError("curved.speedup_batch_vs_serial must be a positive float")
 
 
-def main(argv) -> int:
-    output = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
-    episodes = bench_episodes()
+def _timed(run):
+    """Warm up with one untimed identical run, then time the second run.
 
-    from repro.core.framework import SEOFramework
-    from repro.experiments.common import ExperimentSettings, standard_config
+    Returns ``(result_of_timed_run, wall_seconds)``.  See the module
+    docstring for why every measurement is warmed the same way.
+    """
+    run()
+    start = time.perf_counter()
+    result = run()
+    return result, time.perf_counter() - start
+
+
+def _measure_backends(framework, config, episodes, label):
+    """Timed serial + batch runs of one workload, with parity assert.
+
+    Returns ``(timings, batch_phase_seconds)`` or raises SystemExit on a
+    serial/batch report mismatch.
+    """
     from repro.runtime.batch import run_batch
     from repro.runtime.executor import SerialExecutor
 
-    settings = ExperimentSettings(episodes=episodes, max_steps=1200, seed=0)
-    experiment = "standard-offload-filtered"
-    config = standard_config(settings, optimization="offload", filtered=True)
-
-    # Build the lookup table into the process-wide cache up front so both
-    # backends time the episode loop, not the one-off table construction.
-    framework = SEOFramework(config)
-
     timings = {}
-    reports = {}
-
-    start = time.perf_counter()
-    reports["serial"] = SerialExecutor().run(config, episodes)
-    wall = time.perf_counter() - start
+    serial_reports, wall = _timed(lambda: SerialExecutor().run(config, episodes))
     timings["serial"] = {
         "episodes": episodes,
         "wall_s": round(wall, 6),
@@ -167,9 +213,12 @@ def main(argv) -> int:
     }
 
     phase_seconds: dict = {}
-    start = time.perf_counter()
-    reports["batch"] = run_batch(framework, range(episodes), timings=phase_seconds)
-    wall = time.perf_counter() - start
+
+    def batch_run():
+        phase_seconds.clear()
+        return run_batch(framework, range(episodes), timings=phase_seconds)
+
+    batch_reports, wall = _timed(batch_run)
     timings["batch"] = {
         "episodes": episodes,
         "wall_s": round(wall, 6),
@@ -182,29 +231,50 @@ def main(argv) -> int:
 
     for name in ("serial", "batch"):
         print(
-            f"{name:7s} {episodes:4d} episodes in {timings[name]['wall_s']:8.3f}s  "
+            f"{label} {name:7s} {episodes:4d} episodes in "
+            f"{timings[name]['wall_s']:8.3f}s  "
             f"({timings[name]['episodes_per_s']:.2f} eps/s)"
         )
     phases = timings["batch"]["phases"]
     print(
-        "batch phases: "
+        f"{label} batch phases: "
         + "  ".join(f"{phase}={phases[phase]:.3f}s" for phase in BATCH_PHASES)
     )
 
-    if reports["batch"] != reports["serial"]:
-        print("FAIL: batch reports differ from the serial oracle", file=sys.stderr)
-        return 1
+    if batch_reports != serial_reports:
+        raise SystemExit(
+            f"FAIL: batch reports differ from the serial oracle on the "
+            f"{label} workload"
+        )
+    return timings
+
+
+def main(argv) -> int:
+    output = Path(argv[1]) if len(argv) > 1 else DEFAULT_OUTPUT
+    episodes = bench_episodes()
+
+    from dataclasses import replace
+
+    from repro.core.framework import SEOFramework
+    from repro.experiments.common import ExperimentSettings, standard_config
+    from repro.runtime.batch import run_batch
+    from repro.sim.scenario import DEFAULT_SUITE
+
+    settings = ExperimentSettings(episodes=episodes, max_steps=1200, seed=0)
+    experiment = "standard-offload-filtered"
+    config = standard_config(settings, optimization="offload", filtered=True)
+    framework = SEOFramework(config)
+
+    timings = _measure_backends(framework, config, episodes, "standard")
 
     # Batch-size scaling axis: how throughput amortizes with the batch size.
     # Only measured on the full default workload; reduced smoke runs skip it
-    # to stay fast.
+    # to stay fast.  Each size is warmed exactly like the headline run.
     scaling = None
     if episodes == DEFAULT_EPISODES:
         scaling = {"batch": []}
         for size in SCALING_EPISODES:
-            start = time.perf_counter()
-            run_batch(framework, range(size))
-            size_wall = time.perf_counter() - start
+            _, size_wall = _timed(lambda size=size: run_batch(framework, range(size)))
             entry = {
                 "episodes": size,
                 "wall_s": round(size_wall, 6),
@@ -216,7 +286,25 @@ def main(argv) -> int:
                 f"({entry['episodes_per_s']:.2f} eps/s)"
             )
 
+    # Curved-road workload: the same optimization mode on the curved-road
+    # scenario family, exercising the multi-segment Frenet projection and
+    # heading/curvature kernels that the straight paper road never touches.
+    curved_scenario = DEFAULT_SUITE.build("curved-road", seed=0)
+    curved_config = replace(
+        config,
+        scenario=curved_scenario,
+        target_speed_mps=curved_scenario.target_speed_mps,
+    )
+    curved_framework = SEOFramework(curved_config)
+    curved_timings = _measure_backends(
+        curved_framework, curved_config, episodes, "curved"
+    )
+
     speedup = timings["batch"]["episodes_per_s"] / timings["serial"]["episodes_per_s"]
+    curved_speedup = (
+        curved_timings["batch"]["episodes_per_s"]
+        / curved_timings["serial"]["episodes_per_s"]
+    )
     payload = {
         "schema": SCHEMA,
         "pr": PR,
@@ -229,17 +317,36 @@ def main(argv) -> int:
         },
         "backends": timings,
         "speedup_batch_vs_serial": round(speedup, 4),
+        "curved": {
+            "workload": {
+                "experiment": "curved-road-offload-filtered",
+                "episodes": episodes,
+                "max_steps": curved_config.max_steps,
+                "tau_s": curved_config.tau_s,
+                "seed": curved_config.seed,
+            },
+            "backends": curved_timings,
+            "speedup_batch_vs_serial": round(curved_speedup, 4),
+        },
     }
     if scaling is not None:
         payload["scaling"] = scaling
     validate_payload(payload)
     output.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"speedup batch vs serial: {speedup:.2f}x  -> {output}")
+    print(f"speedup batch vs serial: standard {speedup:.2f}x  "
+          f"curved {curved_speedup:.2f}x  -> {output}")
 
+    failed = False
     if speedup < 1.0:
         print("FAIL: batch backend is slower than serial", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if curved_speedup < 1.0:
+        print(
+            "FAIL: batch backend is slower than serial on the curved workload",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

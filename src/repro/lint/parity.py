@@ -1,9 +1,10 @@
 """REPRO101 — kernel parity: scalar facades must share their batch kernel.
 
-The decision layers (``core/``, ``control/``, and the road geometry in
-``sim/road.py``) are written batch-first: the numerical kernel is the
-``*_batch`` method, and the public scalar method is a 1-element view of
-it.  Two independent implementations of the same computation *will*
+The decision and perception layers (``core/``, ``control/``,
+``perception/``, the world queries in ``sim/world.py`` and the road
+geometry in ``sim/road.py``) are written batch-first: the numerical kernel
+is the ``*_batch`` method, and the public scalar method is a 1-element view
+of it.  Two independent implementations of the same computation *will*
 drift — the batch engine's bit-exactness oracle only holds because there
 is exactly one quantization/minimum/projection per decision.
 
@@ -29,8 +30,8 @@ __all__ = ["CODES", "check_parity", "in_scope"]
 
 CODES = ("REPRO101",)
 
-_SCOPE_PREFIXES = ("core/", "control/")
-_SCOPE_FILES = frozenset({"sim/road.py"})
+_SCOPE_PREFIXES = ("core/", "control/", "perception/")
+_SCOPE_FILES = frozenset({"sim/road.py", "sim/world.py"})
 _BATCH_SUFFIX = "_batch"
 
 

@@ -17,6 +17,7 @@ still complete the obstacle course from the detections.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -26,6 +27,52 @@ from repro.platform.compute import ComputeProfile
 from repro.platform.presets import DRIVE_PX2_RESNET152
 from repro.sim.observation import RangeScanner
 from repro.sim.world import World
+
+
+def group_scan_rows(
+    rows: np.ndarray, threshold: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Run-length grouping of hit beams over a ``(R, num_beams)`` scan matrix.
+
+    Vectorized replacement for the serial ``for j in range(num_beams + 1)``
+    grouping loop: a beam is a hit when its range is below ``threshold``,
+    and maximal runs of consecutive hits form one group each.  Group
+    boundaries come from ``np.diff`` on the zero-padded hit mask, and the
+    per-group closest beam from ``np.minimum.reduceat`` (min over floats is
+    order-independent, and the first-occurrence tie-break matches the serial
+    ``np.argmin`` per group).
+
+    Returns:
+        ``(row, start, length, best_offset, best_distance)`` arrays with one
+        entry per group, ordered row-major (row, then start beam) — the
+        order the serial left-to-right grouping loop emits detections in.
+    """
+    rows = np.asarray(rows, dtype=float)
+    num_rows, num_beams = rows.shape
+    padded = np.zeros((num_rows, num_beams + 2), dtype=np.int8)
+    padded[:, 1:-1] = rows < threshold
+    edges = np.diff(padded, axis=1)
+    group_row, start = np.nonzero(edges == 1)
+    _, stop = np.nonzero(edges == -1)
+    length = stop - start
+    num_groups = group_row.size
+    if num_groups == 0:
+        empty_i = np.zeros(0, dtype=np.int64)
+        return empty_i, empty_i, empty_i, empty_i, np.zeros(0, dtype=float)
+    offsets = np.concatenate(([0], np.cumsum(length)))
+    group_of = np.repeat(np.arange(num_groups), length)
+    within = np.arange(int(offsets[-1])) - np.repeat(offsets[:-1], length)
+    values = rows[group_row[group_of], start[group_of] + within]
+    group_min = np.minimum.reduceat(values, offsets[:-1])
+    candidates = np.nonzero(values == group_min[group_of])[0]
+    # First candidate per group: ``group_of[candidates]`` is sorted (flat
+    # row-major order), so run starts mark the first occurrences.
+    candidate_groups = group_of[candidates]
+    first_mask = np.empty(candidates.size, dtype=bool)
+    first_mask[0] = True
+    np.not_equal(candidate_groups[1:], candidate_groups[:-1], out=first_mask[1:])
+    first = candidates[first_mask]
+    return group_row, start, length, within[first], values[first]
 
 
 @dataclass
@@ -69,6 +116,20 @@ class DetectorModel:
         if self.range_noise_std_m < 0 or self.bearing_noise_std_rad < 0:
             raise ValueError("noise standard deviations must be non-negative")
         self._rng = np.random.default_rng(self.seed)
+        self._angles_scanner: RangeScanner | None = None
+        self._angles_cache: np.ndarray | None = None
+
+    def _beam_angles(self) -> np.ndarray:
+        """The scanner's beam angles, cached per scanner instance.
+
+        ``detect_batch`` runs once per frame in the batch engine; rebuilding
+        the linspace there is measurable, and the fan only changes when the
+        scanner itself is swapped out.
+        """
+        if self._angles_scanner is not self.scanner or self._angles_cache is None:
+            self._angles_scanner = self.scanner
+            self._angles_cache = self.scanner.beam_angles()
+        return self._angles_cache
 
     @property
     def rate_hz(self) -> float:
@@ -89,52 +150,96 @@ class DetectorModel:
         beams that return less than the maximum range into object detections,
         reporting the closest point of each group.
         """
-        scan = self.scanner.scan(world)
-        angles = self.scanner.beam_angles()
-        hit_mask = scan < (self.scanner.max_range_m - self.detection_threshold_m)
-
-        detections = []
-        group_start: int | None = None
-        for index in range(len(scan) + 1):
-            is_hit = index < len(scan) and hit_mask[index]
-            if is_hit and group_start is None:
-                group_start = index
-            elif not is_hit and group_start is not None:
-                detections.append(self._group_to_detection(scan, angles, group_start, index))
-                group_start = None
-
-        kept = []
-        for detection in detections:
-            if self.miss_rate > 0.0 and self._rng.random() < self.miss_rate:
-                continue
-            kept.append(detection)
-
         return DetectionSet(
-            detections=kept,
+            detections=self.detect(self.scanner.scan(world)),
             source=self.name,
             timestamp_s=world.time_s if timestamp_s is None else timestamp_s,
             stale=False,
         )
 
-    def _group_to_detection(
-        self, scan: np.ndarray, angles: np.ndarray, start: int, stop: int
-    ) -> Detection:
-        """Convert a run of hit beams [start, stop) into one Detection."""
-        segment = scan[start:stop]
-        best_offset = int(np.argmin(segment))
-        distance = float(segment[best_offset])
-        bearing = float(angles[start + best_offset])
-        if self.range_noise_std_m > 0.0:
-            distance = max(0.0, distance + self._rng.normal(0.0, self.range_noise_std_m))
-        if self.bearing_noise_std_rad > 0.0:
-            bearing += self._rng.normal(0.0, self.bearing_noise_std_rad)
-        span = max(1, stop - start)
-        confidence = min(1.0, 0.5 + 0.1 * span)
-        return Detection(
-            distance_m=distance,
-            bearing_rad=bearing,
-            confidence=confidence,
+    def detect(self, scan: np.ndarray) -> list[Detection]:
+        """Detections extracted from one scan row.
+
+        1-row view of :meth:`detect_batch` (the kernel), drawing noise from
+        the detector's private generator.
+        """
+        counts, distances, bearings, spans = self.detect_batch(
+            np.asarray(scan, dtype=float)[None, :], (self._rng,)
         )
+        return [
+            Detection(
+                distance_m=float(distances[g]),
+                bearing_rad=float(bearings[g]),
+                confidence=min(1.0, 0.5 + 0.1 * int(spans[g])),
+            )
+            for g in range(int(counts[0]))
+        ]
+
+    def detect_batch(
+        self,
+        rows: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized detection extraction over ``(R, num_beams)`` scan rows.
+
+        Grouping runs as one array pass (:func:`group_scan_rows`); the noise
+        and miss draws per row come from ``rngs[r]`` as *sized* draws that
+        consume the generator bitstream in exactly the order the serial
+        per-detection scalar draws would: one ``standard_normal`` call
+        covering the interleaved range/bearing pairs of all groups in the
+        row, then one ``random`` call for the per-detection miss filter
+        (``Generator.normal(0, std)`` is ``0.0 + std * standard_normal()``,
+        so the values are bit-identical too).
+
+        Args:
+            rows: ``(R, num_beams)`` scan range matrix.
+            rngs: One generator per row (e.g. each episode's private
+                detector stream).
+
+        Returns:
+            ``(counts, distances, bearings, spans)`` — ``counts`` holds the
+            surviving detections per row; the other arrays hold their fields
+            flattened row-major.
+        """
+        rows = np.asarray(rows, dtype=float)
+        angles = self._beam_angles()
+        threshold = self.scanner.max_range_m - self.detection_threshold_m
+        group_row, start, length, best_offset, distances = group_scan_rows(
+            rows, threshold
+        )
+        bearings = angles[start + best_offset].astype(float, copy=True)
+        counts_raw = np.bincount(group_row, minlength=rows.shape[0])
+        keep = np.ones(group_row.size, dtype=bool)
+        range_std = self.range_noise_std_m
+        bearing_std = self.bearing_noise_std_rad
+        bounds = np.concatenate(([0], np.cumsum(counts_raw))).tolist()
+        # Rows without groups consume no draws, so only looping the rows
+        # that have detections leaves every generator's stream untouched
+        # (each row draws from its own generator — order across rows is
+        # immaterial, the draw order *within* a row is the contract).
+        for r in np.nonzero(counts_raw)[0].tolist():
+            lo, hi = bounds[r], bounds[r + 1]
+            groups = hi - lo
+            rng = rngs[r]
+            if range_std > 0.0 and bearing_std > 0.0:
+                draws = rng.standard_normal(2 * groups)
+                distances[lo:hi] = np.maximum(
+                    0.0, distances[lo:hi] + (0.0 + range_std * draws[0::2])
+                )
+                bearings[lo:hi] += 0.0 + bearing_std * draws[1::2]
+            elif range_std > 0.0:
+                draws = rng.standard_normal(groups)
+                distances[lo:hi] = np.maximum(
+                    0.0, distances[lo:hi] + (0.0 + range_std * draws)
+                )
+            elif bearing_std > 0.0:
+                bearings[lo:hi] += 0.0 + bearing_std * rng.standard_normal(groups)
+            if self.miss_rate > 0.0:
+                keep[lo:hi] = rng.random(groups) >= self.miss_rate
+        if not keep.all():
+            counts = np.bincount(group_row[keep], minlength=rows.shape[0])
+            return counts, distances[keep], bearings[keep], length[keep]
+        return counts_raw, distances, bearings, length
 
     # ------------------------------------------------------------------
     # Workload description

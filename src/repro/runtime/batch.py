@@ -23,29 +23,35 @@ possible:
 * **Same float ops.** Vectorized sections either call the shared kernels
   (whose numpy ufuncs are size-independent) or replicate the serial
   arithmetic expression by expression (operand order, association, clips
-  and ``-0.0`` normalization included).  Where numpy's elementwise kernels
-  differ from the ``math`` module by a unit in the last place (``tan``,
-  ``atan2``, ``hypot``), the batch engine calls the scalar function per
-  episode exactly like the serial code — that keeps the nearest-obstacle
-  view loop scalar.
+  and ``-0.0`` normalization included).  The perception tail shares its
+  kernels the same way: the nearest-obstacle view, the range-scan
+  detection grouping/noise and the multi-segment Frenet lookups all run
+  through ``World.nearest_obstacle_view_batch``,
+  ``DetectorModel.detect_batch`` and the ``Centerline`` batch kernels that
+  the serial facades are 1-element views of.  Only ``math.tan`` inside the
+  RK4 update still differs from its numpy ufunc by a unit in the last
+  place, so it stays a scalar call per episode.
 * **Same RNG streams.** Every stochastic consumer keeps its per-episode
   generator from the serial path (world placement, scheduler/wireless,
   sensor dropout, per-detector noise), and draws from each generator happen
   in the serial order: the model-outer loops below visit models in pipeline
   order, so each episode's generator sees its draws in the same sequence as
-  the serial per-episode loop.
+  the serial per-episode loop.  Detector noise uses *sized* draws (one
+  ``standard_normal``/``random`` call per ``(episode, detector)`` per
+  frame) that consume the generator bitstream identically to the serial
+  per-detection scalar draws.
 * **Masking, not branching.** Per-frame decisions are evaluated as boolean
   masks over the active set (Algorithm 1's branch structure becomes mask
   algebra; pending offloads become per-``(episode, model)`` arrival
-  bitmasks), and episodes that terminate (collision, road exit, route
-  completion) are removed from the ``active`` index list.  A finished
-  episode's state is frozen at its terminal frame — exactly what the
-  serial ``break`` does.
+  bitmasks; the latest-detection ledger becomes per-``(episode, model)``
+  nearest/staleness/insertion-rank arrays), and episodes that terminate
+  (collision, road exit, route completion) are removed from the ``active``
+  index list.  A finished episode's state is frozen at its terminal frame
+  — exactly what the serial ``break`` does.
 
-Still per-episode (cheap, branchy, or ULP-sensitive): the nearest-obstacle
-view scan, curved-road Frenet lookups, per-detector nearest-detection
-aggregation, wireless outcome sampling and dropout draws, and the range-scan
-detection grouping.
+Still per-episode (cheap, branchy, or ULP-sensitive): wireless outcome
+sampling and sensor-dropout draws, and the scalar ``math.tan`` inside the
+RK4 update.
 """
 
 from __future__ import annotations
@@ -71,8 +77,10 @@ from repro.core.scheduler import (
 )
 from repro.core.shield import SteeringShield
 from repro.dynamics.state import wrap_angle
+from repro.perception.detections import nearest_per_row
 from repro.runtime.executor import EpisodeExecutor
 from repro.sim.scenario import build_world
+from repro.sim.world import World
 
 __all__ = ["BatchExecutor", "run_batch"]
 
@@ -95,6 +103,11 @@ def run_batch(
     aggregate, barrier, controller, shield), ``"scheduler"`` (deadline
     sampling plus Algorithm 1), ``"scan"`` (range scans and detection
     extraction) and ``"dynamics"`` (RK4 plant update and episode status).
+    The scan phase is additionally broken into the sub-phase keys
+    ``"scan_raycast"`` (beam-fan ray casting), ``"scan_group"`` (detection
+    grouping, noise and the nearest-detection ledger update) and
+    ``"scan_view"`` (the nearest-obstacle view kernel); their sum equals
+    ``"scan"``.
     """
     config = framework.config
     episode_ids = [int(episode) for episode in episodes]
@@ -107,7 +120,6 @@ def run_batch(
     barrier = framework.barrier
     target_speed = config.target_speed_mps
     use_filter = config.filtered
-    half_pi = 0.5 * math.pi
 
     # ------------------------------------------------------------------
     # World construction (placement RNG fully consumed here, per episode,
@@ -150,9 +162,6 @@ def run_batch(
         [[obstacle.radius_m for obstacle in world.obstacles] for world in worlds],
         dtype=float,
     ).reshape(n, K)
-    pos: list[list[tuple[float, float, float]]] = [
-        [(o.x_m, o.y_m, o.radius_m) for o in world.obstacles] for world in worlds
-    ]
     moving = [
         [(k, o) for k, o in enumerate(world.obstacles) if o.motion is not None]
         for world in worlds
@@ -206,15 +215,7 @@ def run_batch(
     rel_angles = scanner.beam_angles()
     num_beams = int(scanner.num_beams)
     max_range = scanner.max_range_m
-    det_params = {
-        name: (
-            max_range - detector.detection_threshold_m,
-            detector.range_noise_std_m,
-            detector.bearing_noise_std_rad,
-            detector.miss_rate,
-        )
-        for name, detector in det_items
-    }
+    detectors = framework.detectors
     det_rngs = [
         {name: np.random.default_rng(detector.seed) for name, detector in det_items}
         for _ in range(n)
@@ -292,9 +293,19 @@ def run_batch(
     finished_f = np.zeros(n, dtype=bool)
     collided_f = np.zeros(n, dtype=bool)
     offroad_f = np.zeros(n, dtype=bool)
-    latest: list[dict[str, tuple[list[tuple[float, float]], bool]]] = [
-        {} for _ in range(n)
-    ]
+    # Latest-detection ledger, structure-of-arrays over (episode, model):
+    # the serial path's per-episode ``dict[model] = DetectionSet`` becomes
+    # presence/nearest/staleness columns plus an insertion *rank* that
+    # reproduces the dict's insertion-order tie-break (the serial aggregate
+    # iterates the dict in insertion order with a strict ``<`` update, so
+    # among equal distances the earliest-inserted model wins).
+    det_present = np.zeros((n, num_opt), dtype=bool)
+    det_nonempty = np.zeros((n, num_opt), dtype=bool)
+    det_best_d = np.zeros((n, num_opt), dtype=float)
+    det_best_b = np.zeros((n, num_opt), dtype=float)
+    det_stale_flag = np.zeros((n, num_opt), dtype=bool)
+    det_rank = np.zeros((n, num_opt), dtype=np.int64)
+    det_next_rank = np.zeros(n, dtype=np.int64)
     proj_s, proj_d = centerline.project_batch(xs, ys)
 
     si_d = np.zeros(n, dtype=float)
@@ -304,7 +315,9 @@ def run_batch(
 
     t_decision = 0.0
     t_scheduler = 0.0
-    t_scan = 0.0
+    t_scan_raycast = 0.0
+    t_scan_group = 0.0
+    t_scan_view = 0.0
     t_dynamics = 0.0
 
     time_s = 0.0
@@ -317,51 +330,32 @@ def run_batch(
         m = len(active)
         stamp = perf_counter()
 
+        # ---- Nearest-obstacle view kernel (scan/view sub-phase) ----
+        if K:
+            dist_b, bear_b, _nearest = World.nearest_obstacle_view_batch(
+                xs[idx], ys[idx], hs[idx], obs_x[idx], obs_y[idx], obs_r[idx]
+            )
+        else:
+            dist_b = np.full(m, NO_OBSTACLE_DISTANCE_M, dtype=float)
+            bear_b = np.zeros(m, dtype=float)
+        now = perf_counter()
+        t_scan_view += now - stamp
+        stamp = now
+
         # ---- Pass 1: perception aggregate -> safety state -> control ----
-        # The nearest-obstacle view stays scalar: math.hypot/math.atan2
-        # differ from the numpy ufuncs by a ULP on some inputs.
-        dist_b = np.empty(m, dtype=float)
-        bear_b = np.empty(m, dtype=float)
-        has_det = np.zeros(m, dtype=bool)
-        det_d = np.zeros(m, dtype=float)
-        det_bg = np.zeros(m, dtype=float)
-        det_stale = np.zeros(m, dtype=bool)
-        for j, i in enumerate(active):
-            xe = float(xs[i])
-            ye = float(ys[i])
-            he = float(hs[i])
-
-            views = []
-            for ox, oy, orad in pos[i]:
-                centre = math.hypot(ox - xe, oy - ye)
-                brg = wrap_angle(math.atan2(oy - ye, ox - xe) - he)
-                views.append((max(0.0, centre - orad), brg))
-            if views:
-                ahead = [view for view in views if abs(view[1]) <= half_pi]
-                candidates = ahead if ahead else views
-                dist_b[j], bear_b[j] = min(candidates, key=lambda view: view[0])
-            else:
-                dist_b[j], bear_b[j] = NO_OBSTACLE_DISTANCE_M, 0.0
-
-            nearest_d = None
-            nearest_b = None
-            nearest_stale = False
-            for dets, stale in latest[i].values():
-                if not dets:
-                    continue
-                best = dets[0]
-                for det in dets[1:]:
-                    if det[0] < best[0]:
-                        best = det
-                if nearest_d is None or best[0] < nearest_d:
-                    nearest_d = best[0]
-                    nearest_b = best[1]
-                    nearest_stale = stale
-            if nearest_d is not None:
-                has_det[j] = True
-                det_d[j] = nearest_d
-                det_bg[j] = nearest_b
-                det_stale[j] = nearest_stale
+        # Nearest detection across models: masked distance minimum, ties to
+        # the lowest insertion rank (see the ledger comment above).
+        candidates = det_nonempty[idx]
+        dist_masked = np.where(candidates, det_best_d[idx], np.inf)
+        nearest_dist = dist_masked.min(axis=1)
+        has_det = np.isfinite(nearest_dist)
+        is_nearest = candidates & (dist_masked == nearest_dist[:, None])
+        rank_masked = np.where(is_nearest, det_rank[idx], np.iinfo(np.int64).max)
+        model_sel = np.argmin(rank_masked, axis=1)
+        rows_m = np.arange(m)
+        det_d = np.where(has_det, det_best_d[idx][rows_m, model_sel], 0.0)
+        det_bg = np.where(has_det, det_best_b[idx][rows_m, model_sel], 0.0)
+        det_stale = has_det & det_stale_flag[idx][rows_m, model_sel]
 
         v_act = vs[idx]
         h_act = hs[idx]
@@ -370,12 +364,9 @@ def run_batch(
             heading_err = wrap_angle(h_act - 0.0)
             curv_act = np.zeros(m, dtype=float)
         else:
-            heading_err = np.empty(m, dtype=float)
-            curv_act = np.empty(m, dtype=float)
-            for j, i in enumerate(active):
-                s_cl = min(max(float(proj_s[i]), 0.0), length_m)
-                heading_err[j] = wrap_angle(float(hs[i]) - road.heading_at(s_cl))
-                curv_act[j] = road.curvature_at(s_cl)
+            s_cl = np.minimum(np.maximum(proj_s[idx], 0.0), length_m)
+            heading_err = wrap_angle(h_act - centerline.heading_at_batch(s_cl))
+            curv_act = centerline.curvature_at_batch(s_cl)
 
         h_vals = barrier.evaluate_batch(dist_b, bear_b, v_act)
         min_dist[idx] = np.minimum(min_dist[idx], dist_b)
@@ -491,7 +482,7 @@ def run_batch(
 
         natural_opt = natural_slot_kernel(t, delta_i_opt)
         full_all = full_slot_kernel(natural_opt, istep_act, delta_i_opt, dmx_act)
-        needs: list[tuple[int, str]] = []
+        needs: list[np.ndarray | None] = [None] * num_opt
         for j, (name, di, ce, me, he) in enumerate(opt_models):
             natural = bool(natural_opt[j])
             full = full_all[:, j]
@@ -578,33 +569,39 @@ def run_batch(
                 base_opt_total[idx] += ce
 
             # Perception effect of the directive (serial directive loop).
+            # A fresh inference claims its insertion rank *now* — the scan
+            # phase below fills the nearest/staleness columns in — so the
+            # ledger keeps the serial dict's insertion order.
             if p_drop > 0.0:
+                fresh_rows: list[int] = []
                 for e in np.nonzero(fresh)[0]:
                     i = active[e]
-                    latest_i = latest[i]
                     dropped = (
                         bool(local[e])
-                        and name in latest_i
+                        and bool(det_present[i, j])
                         and drop_rngs[i].random() < p_drop
                     )
                     if dropped:
                         dropouts[i] += 1
-                        latest_i[name] = (latest_i[name][0], True)
+                        det_stale_flag[i, j] = True
                     else:
-                        # Placeholder keeps the dict insertion order of the
-                        # serial path; the scan phase below fills it in.
-                        latest_i[name] = None  # type: ignore[assignment]
-                        needs.append((i, name))
+                        if not det_present[i, j]:
+                            det_present[i, j] = True
+                            det_rank[i, j] = det_next_rank[i]
+                            det_next_rank[i] += 1
+                        fresh_rows.append(i)
+                if fresh_rows:
+                    needs[j] = np.array(fresh_rows, dtype=int)
             else:
-                for e in np.nonzero(fresh)[0]:
-                    i = active[e]
-                    latest[i][name] = None  # type: ignore[assignment]
-                    needs.append((i, name))
-            for e in np.nonzero(~fresh)[0]:
-                i = active[e]
-                latest_i = latest[i]
-                if name in latest_i:
-                    latest_i[name] = (latest_i[name][0], True)
+                fresh_eps = idx[fresh]
+                if fresh_eps.size:
+                    new_eps = fresh_eps[~det_present[fresh_eps, j]]
+                    det_rank[new_eps, j] = det_next_rank[new_eps]
+                    det_next_rank[new_eps] += 1
+                    det_present[fresh_eps, j] = True
+                    needs[j] = fresh_eps
+            gated_eps = idx[~fresh & det_present[idx, j]]
+            det_stale_flag[gated_eps, j] = True
 
         deadline_done_kernel(sched, idx, delta_i_opt)
         finish_period_kernel(sched, idx)
@@ -613,13 +610,17 @@ def run_batch(
         stamp = now
 
         # ---- Batched range scans for every fresh inference ----
-        if needs:
-            scan_rows: dict[int, int] = {}
+        any_needs = any(rows is not None for rows in needs)
+        scan_rows: dict[int, int] = {}
+        if any_needs:
             scan_eps: list[int] = []
-            for i, _name in needs:
-                if i not in scan_rows:
-                    scan_rows[i] = len(scan_eps)
-                    scan_eps.append(i)
+            for rows in needs:
+                if rows is None:
+                    continue
+                for i in rows.tolist():
+                    if i not in scan_rows:
+                        scan_rows[i] = len(scan_eps)
+                        scan_eps.append(i)
             sel = np.array(scan_eps, dtype=int)
             px = xs[sel]
             py = ys[sel]
@@ -645,37 +646,32 @@ def run_batch(
                     )
                     cand = np.where(valid, cand, np.inf)
                     best = np.where(cand < best, cand, best)
-            for i, name in needs:
-                row = best[scan_rows[i]]
-                thr, rstd, bstd, mrate = det_params[name]
-                rng_d = det_rngs[i][name]
-                dets: list[tuple[float, float]] = []
-                group_start = -1
-                for j in range(num_beams + 1):
-                    is_hit = j < num_beams and row[j] < thr
-                    if is_hit and group_start < 0:
-                        group_start = j
-                    elif not is_hit and group_start >= 0:
-                        segment = row[group_start:j]
-                        offset = int(np.argmin(segment))
-                        dist = float(segment[offset])
-                        brg = float(rel_angles[group_start + offset])
-                        if rstd > 0.0:
-                            dist = max(0.0, dist + rng_d.normal(0.0, rstd))
-                        if bstd > 0.0:
-                            brg = brg + rng_d.normal(0.0, bstd)
-                        dets.append((dist, brg))
-                        group_start = -1
-                if mrate > 0.0:
-                    kept = []
-                    for det in dets:
-                        if rng_d.random() < mrate:
-                            continue
-                        kept.append(det)
-                    dets = kept
-                latest[i][name] = (dets, False)
         now = perf_counter()
-        t_scan += now - stamp
+        t_scan_raycast += now - stamp
+        stamp = now
+
+        # ---- Detection grouping + noise through the detector kernel ----
+        if any_needs:
+            for j, (name, *_model_rest) in enumerate(opt_models):
+                rows = needs[j]
+                if rows is None:
+                    continue
+                episode_list = rows.tolist()
+                row_sel = best[[scan_rows[i] for i in episode_list]]
+                rngs = [det_rngs[i][name] for i in episode_list]
+                counts, dists, bears, _spans = detectors[name].detect_batch(
+                    row_sel, rngs
+                )
+                det_stale_flag[rows, j] = False
+                nonempty = counts > 0
+                det_nonempty[rows, j] = nonempty
+                if nonempty.any():
+                    _has, first = nearest_per_row(counts, dists)
+                    filled = rows[nonempty]
+                    det_best_d[filled, j] = dists[first]
+                    det_best_b[filled, j] = bears[first]
+        now = perf_counter()
+        t_scan_group += now - stamp
         stamp = now
 
         # ---- Batched RK4 plant update ----
@@ -735,17 +731,12 @@ def run_batch(
         time_s += tau
         if has_moving:
             for i in active:
-                movers = moving[i]
-                if not movers:
-                    continue
-                row_pos = pos[i]
-                for k, obstacle in movers:
+                for k, obstacle in moving[i]:
                     mx, my = obstacle.motion.position_at(
                         (obstacle.x_m, obstacle.y_m), time_s
                     )
                     obs_x[i, k] = mx
                     obs_y[i, k] = my
-                    row_pos[k] = (mx, my, obstacle.radius_m)
 
         collided = (
             np.any(
@@ -778,9 +769,13 @@ def run_batch(
         t_dynamics += perf_counter() - stamp
 
     if timings is not None:
+        t_scan = t_scan_raycast + t_scan_group + t_scan_view
         timings["decision"] = timings.get("decision", 0.0) + t_decision
         timings["scheduler"] = timings.get("scheduler", 0.0) + t_scheduler
         timings["scan"] = timings.get("scan", 0.0) + t_scan
+        timings["scan_raycast"] = timings.get("scan_raycast", 0.0) + t_scan_raycast
+        timings["scan_group"] = timings.get("scan_group", 0.0) + t_scan_group
+        timings["scan_view"] = timings.get("scan_view", 0.0) + t_scan_view
         timings["dynamics"] = timings.get("dynamics", 0.0) + t_dynamics
 
     # ------------------------------------------------------------------

@@ -195,12 +195,57 @@ class Centerline:
         self.is_straight: bool = len(placed) == 1 and isinstance(
             segments[0], StraightSegment
         )
+        # Precomputed per-segment frames backing the vectorized kernels.
+        # The trigonometric constants are evaluated with the same ``math``
+        # calls the scalar segment methods use, so the kernels reproduce the
+        # per-segment arithmetic expression by expression.
+        self._seg_s0 = np.array([a.s0 for a in placed], dtype=float)
+        self._seg_len = np.array([a.length_m for a in placed], dtype=float)
+        self._seg_x0 = np.array([a.x0 for a in placed], dtype=float)
+        self._seg_y0 = np.array([a.y0 for a in placed], dtype=float)
+        self._seg_h0 = np.array([a.heading0 for a in placed], dtype=float)
+        self._seg_tx = np.array([math.cos(a.heading0) for a in placed], dtype=float)
+        self._seg_ty = np.array([math.sin(a.heading0) for a in placed], dtype=float)
+        is_arc: list[bool] = []
+        sigmas: list[float] = []
+        radii: list[float] = []
+        centres_x: list[float] = []
+        centres_y: list[float] = []
+        for anchored in placed:
+            if isinstance(anchored.segment, ArcSegment):
+                sigma, cx, cy = anchored._arc_frame()
+                is_arc.append(True)
+                sigmas.append(sigma)
+                radii.append(anchored.segment.radius_m)
+                centres_x.append(cx)
+                centres_y.append(cy)
+            else:
+                # Straight segments never read sigma/radius/centre; the unit
+                # radius only keeps the masked arc arithmetic finite.
+                is_arc.append(False)
+                sigmas.append(0.0)
+                radii.append(1.0)
+                centres_x.append(0.0)
+                centres_y.append(0.0)
+        self._seg_is_arc = np.array(is_arc, dtype=bool)
+        self._seg_sigma = np.array(sigmas, dtype=float)
+        self._seg_radius = np.array(radii, dtype=float)
+        self._seg_cx = np.array(centres_x, dtype=float)
+        self._seg_cy = np.array(centres_y, dtype=float)
+        self._seg_curv = np.where(
+            self._seg_is_arc, self._seg_sigma / self._seg_radius, 0.0
+        )
+        # Interior joint arc lengths: ``_seg_s0[k+1]`` is bitwise equal to
+        # ``_seg_s0[k] + length_m`` (that is how the chain accumulates), so
+        # ``searchsorted(..., side="right")`` reproduces the scalar
+        # ``s < s0 + length`` walk exactly, including the joint boundary
+        # moving to the next segment.
+        self._interior_ends = self._seg_s0[1:].copy()
 
     def _segment_for(self, s: float) -> _PlacedSegment:
-        for anchored in self._placed[:-1]:
-            if s < anchored.s0 + anchored.length_m:
-                return anchored
-        return self._placed[-1]
+        return self._placed[
+            int(np.searchsorted(self._interior_ends, s, side="right"))
+        ]
 
     def project(self, x: float, y: float) -> tuple[float, float]:
         """Project a point onto the chain: ``(s_raw, d)``.
@@ -209,30 +254,42 @@ class Centerline:
         ``length_m`` (past the route end) — only the first and last segment
         may extend the raw coordinate beyond the extent; interior segments
         are clamped to their joints.
-        """
-        best: tuple[float, float, float] | None = None
-        last_index = len(self._placed) - 1
-        for index, anchored in enumerate(self._placed):
-            s_raw, d = anchored.project(x, y)
-            if index > 0:
-                s_raw = max(s_raw, 0.0)
-            if index < last_index:
-                s_raw = min(s_raw, anchored.length_m)
-            s_clamped = min(max(s_raw, 0.0), anchored.length_m)
-            px, py = anchored.point_at(s_clamped)
-            gap = math.hypot(x - px, y - py)
-            if best is None or gap < best[0]:
-                best = (gap, anchored.s0 + s_raw, d)
-        assert best is not None
-        return best[1], best[2]
 
-    def project_batch(self, xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        1-element view of :meth:`project_batch` (the kernel).
+        """
+        s_arr, d_arr = self.project_batch(
+            np.array([float(x)], dtype=float), np.array([float(y)], dtype=float)
+        )
+        return float(s_arr[0]), float(d_arr[0])
+
+    def _point_at_segment(
+        self, index: int, s_local: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``_PlacedSegment.point_at`` for one chain segment."""
+        if not self._seg_is_arc[index]:
+            return (
+                self._seg_x0[index] + s_local * self._seg_tx[index],
+                self._seg_y0[index] + s_local * self._seg_ty[index],
+            )
+        sigma = self._seg_sigma[index]
+        radius = self._seg_radius[index]
+        heading = wrap_angle(self._seg_h0[index] + sigma * s_local / radius)
+        return (
+            self._seg_cx[index] - sigma * radius * (-np.sin(heading)),
+            self._seg_cy[index] - sigma * radius * np.cos(heading),
+        )
+
+    def project_batch(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized :meth:`project` over ``(N,)`` point arrays.
 
         Returns ``(s_raw, d)`` arrays.  The single-straight-segment chain
-        (the paper's road) projects in one vectorized frame rotation,
-        bit-identical to the scalar path; multi-segment chains fall back to
-        the scalar projection per point.
+        (the paper's road) projects in one vectorized frame rotation;
+        multi-segment chains project every point against every placed
+        segment at once and pick the winner by gap argmin across the
+        segment axis (``np.argmin``'s first-occurrence tie-break matches
+        the scalar loop's strict ``<`` update).
         """
         xs = np.asarray(xs, dtype=float)
         ys = np.asarray(ys, dtype=float)
@@ -244,13 +301,43 @@ class Centerline:
             s_raw = dx * tx + dy * ty
             d = -dx * ty + dy * tx
             return anchored.s0 + s_raw, d
-        s_out = np.empty(xs.size)
-        d_out = np.empty(xs.size)
-        for index in range(xs.size):
-            s_out[index], d_out[index] = self.project(
-                float(xs[index]), float(ys[index])
-            )
-        return s_out, d_out
+        num_segments = len(self._placed)
+        s_all = np.empty((num_segments, xs.size), dtype=float)
+        d_all = np.empty((num_segments, xs.size), dtype=float)
+        gap_all = np.empty((num_segments, xs.size), dtype=float)
+        for index in range(num_segments):
+            if self._seg_is_arc[index]:
+                sigma = self._seg_sigma[index]
+                radius = self._seg_radius[index]
+                vx = xs - self._seg_cx[index]
+                vy = ys - self._seg_cy[index]
+                r = np.hypot(vx, vy)
+                heading_p = np.arctan2(vy, vx) + sigma * 0.5 * math.pi
+                s_raw = sigma * wrap_angle(heading_p - self._seg_h0[index]) * radius
+                d = sigma * (radius - r)
+                degenerate = r < 1e-12
+                if degenerate.any():
+                    s_raw = np.where(degenerate, 0.0, s_raw)
+                    d = np.where(degenerate, sigma * radius, d)
+            else:
+                tx = self._seg_tx[index]
+                ty = self._seg_ty[index]
+                dx = xs - self._seg_x0[index]
+                dy = ys - self._seg_y0[index]
+                s_raw = dx * tx + dy * ty
+                d = -dx * ty + dy * tx
+            if index > 0:
+                s_raw = np.maximum(s_raw, 0.0)
+            if index < num_segments - 1:
+                s_raw = np.minimum(s_raw, self._seg_len[index])
+            s_clamped = np.minimum(np.maximum(s_raw, 0.0), self._seg_len[index])
+            px, py = self._point_at_segment(index, s_clamped)
+            gap_all[index] = np.hypot(xs - px, ys - py)
+            s_all[index] = self._seg_s0[index] + s_raw
+            d_all[index] = d
+        winner = np.argmin(gap_all, axis=0)
+        cols = np.arange(xs.size)
+        return s_all[winner, cols], d_all[winner, cols]
 
     def to_frenet(self, x: float, y: float) -> tuple[float, float]:
         """Frenet coordinates ``(s, d)`` of a point, with ``s`` clamped."""
@@ -267,16 +354,35 @@ class Centerline:
         return (x + d * (-math.sin(heading)), y + d * math.cos(heading))
 
     def heading_at(self, s: float) -> float:
-        """Centreline heading at arc length ``s`` (clamped to the extent)."""
-        s = min(max(s, 0.0), self.length_m)
-        anchored = self._segment_for(s)
-        return anchored.heading_at(s - anchored.s0)
+        """Centreline heading at arc length ``s`` (clamped to the extent).
+
+        1-element view of :meth:`heading_at_batch` (the kernel).
+        """
+        return float(self.heading_at_batch(np.array([float(s)], dtype=float))[0])
+
+    def heading_at_batch(self, s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`heading_at` over an ``(N,)`` arc-length array."""
+        s = np.minimum(np.maximum(np.asarray(s, dtype=float), 0.0), self.length_m)
+        seg = np.searchsorted(self._interior_ends, s, side="right")
+        s_local = s - self._seg_s0[seg]
+        h0 = self._seg_h0[seg]
+        arc_heading = wrap_angle(
+            h0 + self._seg_sigma[seg] * s_local / self._seg_radius[seg]
+        )
+        return np.where(self._seg_is_arc[seg], arc_heading, h0)
 
     def curvature_at(self, s: float) -> float:
-        """Signed centreline curvature at arc length ``s``."""
-        s = min(max(s, 0.0), self.length_m)
-        anchored = self._segment_for(s)
-        return anchored.curvature_at(s - anchored.s0)
+        """Signed centreline curvature at arc length ``s``.
+
+        1-element view of :meth:`curvature_at_batch` (the kernel).
+        """
+        return float(self.curvature_at_batch(np.array([float(s)], dtype=float))[0])
+
+    def curvature_at_batch(self, s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`curvature_at` over an ``(N,)`` arc-length array."""
+        s = np.minimum(np.maximum(np.asarray(s, dtype=float), 0.0), self.length_m)
+        seg = np.searchsorted(self._interior_ends, s, side="right")
+        return self._seg_curv[seg]
 
 
 @dataclass(frozen=True)

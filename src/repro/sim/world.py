@@ -9,11 +9,14 @@ the safety machinery reads the relative state of the nearest obstacle from it
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.dynamics.bicycle import KinematicBicycleModel
 from repro.dynamics.params import VehicleParams
-from repro.dynamics.state import ControlAction, VehicleState, relative_view
+from repro.dynamics.state import ControlAction, VehicleState, wrap_angle
 from repro.sim.collision import first_collision
 from repro.sim.obstacles import Obstacle
 from repro.sim.road import LanePose, Road
@@ -105,6 +108,45 @@ class World:
         """Road-relative (Frenet) pose of the ego vehicle."""
         return self.road.lane_pose(self.state)
 
+    @staticmethod
+    def nearest_obstacle_view_batch(
+        xs: np.ndarray,
+        ys: np.ndarray,
+        hs: np.ndarray,
+        obs_x: np.ndarray,
+        obs_y: np.ndarray,
+        obs_r: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized nearest-obstacle-view kernel over ``(N,)`` states.
+
+        Ranks all ``K`` obstacles of each of ``N`` episodes at once:
+        surface distance (``max(0, centre_distance - radius)``) and bearing
+        relative to the heading, with obstacles in the forward half-plane
+        (``|bearing| <= pi/2``) preferred and the globally nearest one used
+        only when nothing lies ahead.  ``np.argmin``'s first-occurrence
+        tie-break matches the scalar ``min()`` over the obstacle list.
+
+        Args:
+            xs, ys, hs: ``(N,)`` vehicle poses.
+            obs_x, obs_y, obs_r: ``(N, K)`` obstacle centres and radii,
+                with ``K >= 1`` (callers handle the no-obstacle case).
+
+        Returns:
+            ``(surface_distance, bearing, obstacle_index)`` arrays of shape
+            ``(N,)``.
+        """
+        dx = obs_x - xs[:, None]
+        dy = obs_y - ys[:, None]
+        centre_distance = np.hypot(dx, dy)
+        bearing = wrap_angle(np.arctan2(dy, dx) - hs[:, None])
+        surface = np.maximum(0.0, centre_distance - obs_r)
+        ahead = np.abs(bearing) <= 0.5 * math.pi
+        any_ahead = ahead.any(axis=1)
+        ranking = np.where(ahead | ~any_ahead[:, None], surface, np.inf)
+        nearest = np.argmin(ranking, axis=1)
+        rows = np.arange(xs.shape[0])
+        return surface[rows, nearest], bearing[rows, nearest], nearest
+
     def nearest_obstacle_view(self) -> tuple[float, float, Obstacle] | None:
         """Return ``(surface_distance, bearing, obstacle)`` for the nearest threat.
 
@@ -116,17 +158,22 @@ class World:
         has already been passed (behind the vehicle) is not the safety-
         relevant reference point even if it is momentarily the closest one.
         When no obstacle lies ahead, the globally nearest one is returned.
+
+        1-element view of :meth:`nearest_obstacle_view_batch` (the kernel).
         """
         if not self.obstacles:
             return None
-        views = []
-        for obstacle in self.obstacles:
-            centre_distance, bearing = relative_view(self.state, obstacle.position)
-            surface_distance = max(0.0, centre_distance - obstacle.radius_m)
-            views.append((surface_distance, bearing, obstacle))
-        ahead = [view for view in views if abs(view[1]) <= 0.5 * 3.141592653589793]
-        candidates = ahead if ahead else views
-        return min(candidates, key=lambda view: view[0])
+        distance, bearing, nearest = self.nearest_obstacle_view_batch(
+            np.array([self.state.x_m], dtype=float),
+            np.array([self.state.y_m], dtype=float),
+            np.array([self.state.heading_rad], dtype=float),
+            np.array([[obstacle.x_m for obstacle in self.obstacles]], dtype=float),
+            np.array([[obstacle.y_m for obstacle in self.obstacles]], dtype=float),
+            np.array(
+                [[obstacle.radius_m for obstacle in self.obstacles]], dtype=float
+            ),
+        )
+        return float(distance[0]), float(bearing[0]), self.obstacles[int(nearest[0])]
 
     def status(self) -> WorldStatus:
         """Evaluate collision / off-road / completion flags."""

@@ -1,0 +1,16 @@
+"""Kernel-parity fixture: a perception facade that re-implements grouping."""
+
+from __future__ import annotations
+
+
+class DriftingDetector:
+    """``detect`` duplicates the grouping math instead of viewing the kernel."""
+
+    def detect(self, scan: list[float]) -> list[float]:
+        return [value for value in scan if value < 1.0]
+
+    def detect_batch(
+        self, rows: list[list[float]]
+    ) -> tuple[list[int], list[float]]:
+        flat = [value for row in rows for value in row if value < 1.0]
+        return [len(flat)], flat

@@ -1,0 +1,28 @@
+"""Kernel-parity fixture: perception-layer facade shapes that must pass."""
+
+from __future__ import annotations
+
+
+class DetectorShaped:
+    """``detect`` routes through the grouping kernel as a 1-row view."""
+
+    def detect(self, scan: list[float]) -> list[float]:
+        counts, values = self.detect_batch([scan])
+        return values[: counts[0]]
+
+    def detect_batch(
+        self, rows: list[list[float]]
+    ) -> tuple[list[int], list[float]]:
+        flat = [value for row in rows for value in row if value < 1.0]
+        return [len(flat)], flat
+
+
+class WorldShaped:
+    """Scalar view of a ``@staticmethod`` kernel, accessed through self."""
+
+    @staticmethod
+    def nearest_view_batch(xs: list[float]) -> list[float]:
+        return [x * 0.5 for x in xs]
+
+    def nearest_view(self, x: float) -> float:
+        return float(self.nearest_view_batch([x])[0])

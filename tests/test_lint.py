@@ -99,11 +99,15 @@ def test_pragma_suppression(tmp_path):
 # Kernel parity (REPRO101)
 # ----------------------------------------------------------------------
 
-def test_parity_scope_covers_decision_layers_only():
+def test_parity_scope_covers_decision_and_perception_layers_only():
     assert parity.in_scope("core/lookup.py")
     assert parity.in_scope("control/heuristic.py")
     assert parity.in_scope("sim/road.py")
+    assert parity.in_scope("sim/world.py")
+    assert parity.in_scope("perception/detector.py")
+    assert parity.in_scope("perception/detections.py")
     assert not parity.in_scope("sim/obstacles.py")
+    assert not parity.in_scope("sim/observation.py")
     assert not parity.in_scope("runtime/remote.py")
 
 
@@ -121,6 +125,64 @@ def test_parity_flags_reimplemented_scalar_facade():
     assert violation.line == 9
     assert "DriftingFacade.query" in violation.message
     assert "query_batch" in violation.message
+
+
+def test_parity_accepts_perception_delegation_shapes():
+    assert (
+        parity.check_parity(
+            load_fixture("parity_perception_ok.py", "perception/parity_perception_ok.py")
+        )
+        == []
+    )
+
+
+def test_parity_flags_reimplemented_perception_facade():
+    violations = parity.check_parity(
+        load_fixture("parity_perception_bad.py", "perception/parity_perception_bad.py")
+    )
+    assert len(violations) == 1
+    violation = violations[0]
+    assert violation.code == "REPRO101"
+    assert "DriftingDetector.detect" in violation.message
+    assert "detect_batch" in violation.message
+
+
+def test_parity_mutation_real_obstacle_view_facade():
+    """Severing ``nearest_obstacle_view`` from its kernel must fire."""
+    import ast
+
+    from repro.lint.framework import SourceFile
+
+    path = SRC / "sim" / "world.py"
+    source = path.read_text()
+    assert parity.check_parity(load_source_file(path)) == []
+    mutated = source.replace(
+        "self.nearest_obstacle_view_batch(", "_other_view_kernel(", 1
+    )
+    assert mutated != source
+    violations = parity.check_parity(
+        SourceFile(path, "sim/world.py", mutated, ast.parse(mutated))
+    )
+    assert [v.code for v in violations] == ["REPRO101"]
+    assert "nearest_obstacle_view" in violations[0].message
+
+
+def test_parity_mutation_real_detector_facade():
+    """Severing ``DetectorModel.detect`` from ``detect_batch`` must fire."""
+    import ast
+
+    from repro.lint.framework import SourceFile
+
+    path = SRC / "perception" / "detector.py"
+    source = path.read_text()
+    assert parity.check_parity(load_source_file(path)) == []
+    mutated = source.replace("self.detect_batch(", "_other_detect_kernel(", 1)
+    assert mutated != source
+    violations = parity.check_parity(
+        SourceFile(path, "perception/detector.py", mutated, ast.parse(mutated))
+    )
+    assert [v.code for v in violations] == ["REPRO101"]
+    assert "DetectorModel.detect" in violations[0].message
 
 
 def test_parity_mutation_real_lookup_table_facade():

@@ -38,9 +38,14 @@ from repro.core.scheduler import SafeRuntimeScheduler
 from repro.core.shield import SteeringShield
 from repro.dynamics.bicycle import KinematicBicycleModel
 from repro.dynamics.state import ControlAction, VehicleState, wrap_angle
+from repro.perception.detections import nearest_per_row
+from repro.perception.detector import DetectorModel, group_scan_rows
 from repro.platform.compute import ComputeProfile
 from repro.platform.presets import DRIVE_PX2_RESNET152, ZED_CAMERA, ZERO_POWER_SENSOR
 from repro.platform.sensors import SensorPowerSpec
+from repro.sim.obstacles import Obstacle
+from repro.sim.road import ArcSegment, Centerline, Road, StraightSegment
+from repro.sim.world import World
 
 TAU = 0.02
 
@@ -59,6 +64,19 @@ maybe_obstacle_distances = st.one_of(
 lateral_offsets = st.floats(-4.0, 4.0, allow_nan=False)
 unit_commands = st.floats(-1.0, 1.0, allow_nan=False)
 curvatures = st.floats(-0.1, 0.1, allow_nan=False)
+coordinates = st.floats(-50.0, 50.0, allow_nan=False)
+scan_ranges = st.floats(0.0, 45.0, allow_nan=False)
+
+# A chain exercising every joint kind: straight->arc, arc->straight and a
+# sign flip between the arcs, for the projection round-trip tests.
+_JOINT_CENTERLINE = Centerline(
+    (
+        StraightSegment(20.0),
+        ArcSegment(30.0, math.radians(60.0)),
+        StraightSegment(15.0),
+        ArcSegment(25.0, -math.radians(45.0)),
+    )
+)
 
 
 class TestAngleAndDynamicsProperties:
@@ -490,3 +508,219 @@ class TestKernelFacadeParity:
             )
             assert action.steering == steering[j]
             assert action.throttle == throttle[j]
+
+    # ------------------------------------------------------------------
+    # Perception/scan-tail kernels: obstacle view, grouping, projection.
+    # ------------------------------------------------------------------
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        poses=st.lists(
+            st.tuples(coordinates, coordinates, bearings), min_size=1, max_size=6
+        ),
+        obstacle_specs=st.lists(
+            st.tuples(coordinates, coordinates, st.floats(0.1, 3.0, allow_nan=False)),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    def test_obstacle_view_facade_matches_kernel_and_ranking(
+        self, poses, obstacle_specs
+    ):
+        obstacles = [Obstacle(x_m=ox, y_m=oy, radius_m=orad) for ox, oy, orad in obstacle_specs]
+        xs, ys, hs = (np.array(column, dtype=float) for column in zip(*poses, strict=True))
+        n = len(poses)
+        obs_x = np.tile([o.x_m for o in obstacles], (n, 1))
+        obs_y = np.tile([o.y_m for o in obstacles], (n, 1))
+        obs_r = np.tile([o.radius_m for o in obstacles], (n, 1))
+        surface, bearing, nearest = World.nearest_obstacle_view_batch(
+            xs, ys, hs, obs_x, obs_y, obs_r
+        )
+        for j, (x, y, h) in enumerate(poses):
+            world = World(
+                road=Road(), obstacles=obstacles,
+                state=VehicleState(x_m=x, y_m=y, heading_rad=h),
+            )
+            view = world.nearest_obstacle_view()
+            assert view is not None
+            # Facade == kernel row, bit for bit.
+            assert view[0] == surface[j]
+            assert view[1] == bearing[j]
+            assert view[2] is obstacles[int(nearest[j])]
+            assert world.nearest_obstacle() is view[2]
+            # The kernel's masked argmin reproduces the scalar ranking:
+            # ahead-preferred min surface distance, first occurrence on ties.
+            views = []
+            for o in obstacles:
+                centre = np.hypot(o.x_m - x, o.y_m - y)
+                obs_bearing = wrap_angle(np.arctan2(o.y_m - y, o.x_m - x) - h)
+                views.append((max(0.0, float(centre - o.radius_m)), float(obs_bearing)))
+            ahead = [k for k, v in enumerate(views) if abs(v[1]) <= 0.5 * math.pi]
+            candidates = ahead if ahead else list(range(len(views)))
+            best = min(candidates, key=lambda k: views[k][0])
+            assert int(nearest[j]) == best
+            assert surface[j] == views[best][0]
+
+    def test_obstacle_view_ahead_boundary_at_half_pi(self):
+        """|bearing| == pi/2 exactly still counts as ahead (<=, not <)."""
+        boundary = Obstacle(x_m=0.0, y_m=5.0, radius_m=1.0)  # bearing +pi/2
+        behind = Obstacle(x_m=-1.0, y_m=0.0, radius_m=0.5)  # closer, behind
+        world = World(road=Road(), obstacles=[behind, boundary], state=VehicleState())
+        view = world.nearest_obstacle_view()
+        assert view is not None and view[2] is boundary
+        # One ulp past the boundary the obstacle is behind; with nothing
+        # ahead the globally nearest obstacle wins instead.
+        tilted = World(
+            road=Road(),
+            obstacles=[behind, boundary],
+            state=VehicleState(heading_rad=-1e-9),
+        )
+        tilted_view = tilted.nearest_obstacle_view()
+        assert tilted_view is not None and tilted_view[2] is behind
+
+    def test_obstacle_view_empty_world_returns_none(self):
+        world = World(road=Road(), obstacles=[])
+        assert world.nearest_obstacle_view() is None
+        assert world.nearest_obstacle() is None
+
+    @staticmethod
+    def _serial_groups(row, threshold):
+        """The pre-vectorization serial grouping loop, as reference."""
+        hit = row < threshold
+        groups = []
+        start = None
+        for index in range(len(row) + 1):
+            is_hit = index < len(row) and hit[index]
+            if is_hit and start is None:
+                start = index
+            elif not is_hit and start is not None:
+                segment = row[start:index]
+                offset = int(np.argmin(segment))
+                groups.append((start, index - start, offset, float(segment[offset])))
+                start = None
+        return groups
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rows=st.lists(
+            st.lists(scan_ranges, min_size=32, max_size=32), min_size=1, max_size=4
+        ),
+        threshold=st.floats(1.0, 44.0, allow_nan=False),
+    )
+    def test_grouping_kernel_matches_serial_loop(self, rows, threshold):
+        matrix = np.array(rows, dtype=float)
+        group_row, start, length, best_offset, best_distance = group_scan_rows(
+            matrix, threshold
+        )
+        expected = [
+            (r, *group)
+            for r in range(matrix.shape[0])
+            for group in self._serial_groups(matrix[r], threshold)
+        ]
+        assert len(expected) == group_row.size
+        for g, (row, g_start, g_length, g_offset, g_distance) in enumerate(expected):
+            assert group_row[g] == row
+            assert start[g] == g_start
+            assert length[g] == g_length
+            assert best_offset[g] == g_offset
+            assert best_distance[g] == g_distance
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.lists(
+            st.lists(scan_ranges, min_size=32, max_size=32), min_size=1, max_size=3
+        ),
+        seed=st.integers(0, 2**32 - 1),
+        miss_rate=st.sampled_from([0.0, 0.3]),
+    )
+    def test_detect_batch_matches_scalar_draw_reference(self, rows, seed, miss_rate):
+        """Sized RNG draws reproduce the legacy per-detection scalar draws —
+        same values bit for bit, and the generator streams end in the same
+        state (the serial/batch lockstep guarantee)."""
+        detector = DetectorModel(name="hyp-det", miss_rate=miss_rate, seed=seed)
+        matrix = np.array(rows, dtype=float)
+        threshold = detector.scanner.max_range_m - detector.detection_threshold_m
+        angles = detector.scanner.beam_angles()
+        batch_rngs = [np.random.default_rng(seed + r) for r in range(matrix.shape[0])]
+        serial_rngs = [np.random.default_rng(seed + r) for r in range(matrix.shape[0])]
+        counts, distances, bearings, spans = detector.detect_batch(matrix, batch_rngs)
+        cursor = 0
+        for r in range(matrix.shape[0]):
+            rng = serial_rngs[r]
+            kept = []
+            for g_start, g_length, g_offset, g_distance in self._serial_groups(
+                matrix[r], threshold
+            ):
+                distance = g_distance
+                bearing = float(angles[g_start + g_offset])
+                if detector.range_noise_std_m > 0.0:
+                    distance = max(
+                        0.0, distance + rng.normal(0.0, detector.range_noise_std_m)
+                    )
+                if detector.bearing_noise_std_rad > 0.0:
+                    bearing += rng.normal(0.0, detector.bearing_noise_std_rad)
+                kept.append((distance, bearing, g_length))
+            if detector.miss_rate > 0.0:
+                kept = [
+                    det for det in kept if rng.random() >= detector.miss_rate
+                ]
+            assert int(counts[r]) == len(kept)
+            for distance, bearing, span in kept:
+                assert distances[cursor] == distance
+                assert bearings[cursor] == bearing
+                assert spans[cursor] == span
+                cursor += 1
+        assert cursor == distances.size
+        for batch_rng, serial_rng in zip(batch_rngs, serial_rngs, strict=True):
+            assert batch_rng.bit_generator.state == serial_rng.bit_generator.state
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts=st.lists(st.integers(0, 5), min_size=1, max_size=8),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_nearest_per_row_matches_serial_min(self, counts, seed):
+        rng = np.random.default_rng(seed)
+        counts_arr = np.array(counts, dtype=np.int64)
+        distances = rng.integers(0, 4, size=int(counts_arr.sum())).astype(float)
+        has, first = nearest_per_row(counts_arr, distances)
+        offsets = np.concatenate(([0], np.cumsum(counts_arr)))
+        cursor = 0
+        for r, count in enumerate(counts):
+            assert has[r] == (count > 0)
+            if count > 0:
+                row_slice = distances[offsets[r] : offsets[r + 1]]
+                assert first[cursor] == offsets[r] + int(np.argmin(row_slice))
+                cursor += 1
+        assert cursor == first.size
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        joint=st.integers(0, 2),
+        offset=st.floats(-2.0, 2.0, allow_nan=False),
+        lateral=st.floats(-3.0, 3.0, allow_nan=False),
+    )
+    def test_projection_facade_and_round_trip_near_joints(
+        self, joint, offset, lateral
+    ):
+        centerline = _JOINT_CENTERLINE
+        joints = centerline._seg_s0[1:]
+        s = float(min(max(joints[joint] + offset, 0.0), centerline.length_m))
+        x, y = centerline.from_frenet(s, lateral)
+        # Facade == kernel element, bit for bit.
+        s_scalar, d_scalar = centerline.project(x, y)
+        s_batch, d_batch = centerline.project_batch(
+            np.array([x], dtype=float), np.array([y], dtype=float)
+        )
+        assert s_scalar == s_batch[0]
+        assert d_scalar == d_batch[0]
+        assert centerline.heading_at(s) == centerline.heading_at_batch(
+            np.array([s], dtype=float)
+        )[0]
+        assert centerline.curvature_at(s) == centerline.curvature_at_batch(
+            np.array([s], dtype=float)
+        )[0]
+        # Round trip: projecting the synthesized point recovers (s, d).
+        s_back, d_back = centerline.to_frenet(x, y)
+        assert s_back == pytest.approx(s, abs=1e-6)
+        assert d_back == pytest.approx(lateral, abs=1e-6)
