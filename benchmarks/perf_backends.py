@@ -69,7 +69,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pr9.json"
 SCHEMA = "seo-bench/2"
-PR = 9
+PR = 10
 
 #: Baseline batch size for the committed trajectory: large enough that the
 #: lockstep engine's fixed per-frame numpy overhead is amortized, matching

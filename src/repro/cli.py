@@ -41,10 +41,12 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 from collections.abc import Callable, Sequence
 from pathlib import Path
 
 from repro.analysis.tables import format_table
+from repro.contracts import set_contracts_enabled
 from repro.experiments.ablations import run_lookup_ablation, run_safety_awareness_ablation
 from repro.experiments.common import ExperimentSettings
 from repro.experiments.fig1 import run_fig1
@@ -194,6 +196,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--output", type=Path, default=None,
         help="optional file to write the rendered table(s) to",
+    )
+    parser.add_argument(
+        "--runtime-contracts", action="store_true",
+        help="enforce @kernel_contract shape/dtype declarations at call "
+             "time (also exported to worker subprocesses via "
+             "REPRO_RUNTIME_CONTRACTS=1)",
     )
 
 
@@ -388,6 +396,12 @@ def run(argv: Sequence[str] | None = None) -> str:
         return _run_merge(args)
     if args.experiment == "lint":
         return _run_lint(args)
+    if args.runtime_contracts:
+        # Flip both the in-process switch and the env var: worker
+        # subprocesses inherit the environment, so the oracle holds across
+        # every execution backend.
+        os.environ["REPRO_RUNTIME_CONTRACTS"] = "1"
+        set_contracts_enabled(True)
     if (args.shard is not None or args.resume) and args.ledger_dir is None:
         raise SystemExit("--shard and --resume require --ledger-dir")
     workers = _parse_worker_list(args.workers) if args.workers else None

@@ -1,0 +1,349 @@
+"""Declared array contracts for the batch-kernel layer.
+
+Every public ``*_batch`` / ``*_kernel`` function in the decision and
+perception layers declares the symbolic shape and dtype of its array
+parameters and return values with the :func:`kernel_contract` decorator:
+
+.. code-block:: python
+
+    @kernel_contract(
+        distances_m="(N,) float64",
+        bearings_rad="(N,) float64",
+        returns="(N,) float64",
+    )
+    def query_batch(self, distances_m, bearings_rad): ...
+
+The declaration is the **single source of truth** for two independent
+enforcement mechanisms:
+
+* the static shape/dtype dataflow pass in :mod:`repro.lint.shapes`
+  (REPRO501–505) reads the decorator keywords straight off the AST and
+  checks kernel bodies and call sites without importing anything;
+* the runtime twin — enabled with ``repro.cli --runtime-contracts``, the
+  ``REPRO_RUNTIME_CONTRACTS=1`` environment variable, or
+  :func:`enforced_contracts` — binds the same symbols against the live
+  arrays at call time and raises :class:`ContractViolationError` on the
+  first mismatch.
+
+Spec grammar
+------------
+A spec is ``"(dim, dim, ...) dtype"``.  Each ``dim`` is a positive
+integer literal (``3``), a symbolic size (``N``, ``K``), or an integer
+multiple of a symbol (``2*N``).  The dtype suffix defaults to
+``float64``; the vocabulary is the canonical kernel dtypes
+(``float64``/``int64``/``bool``) plus the deliberate ``int8`` used for
+padded masks.  ``"()"`` declares a 0-d scalar.  Symbols are scoped to
+one kernel signature: every occurrence of ``N`` across the parameters
+and returns of a single call must agree.
+
+Runtime leniency, by design:
+
+* 0-d inputs are always accepted for a dimensioned parameter — kernels
+  broadcast scalars (``filter_batch`` takes a scalar road half-width);
+* non-ndarray sequence inputs (lists/tuples) are shape-checked but not
+  dtype-checked — kernels normalize them via ``np.asarray``; returned
+  arrays are always checked strictly.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import re
+from collections.abc import Callable, Iterator, Mapping
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import wraps
+from typing import Any, TypeVar, cast
+
+import numpy as np
+
+__all__ = [
+    "ArraySpec",
+    "ContractViolationError",
+    "DimSpec",
+    "KernelContract",
+    "contracts_enabled",
+    "enforced_contracts",
+    "kernel_contract",
+    "parse_spec",
+    "set_contracts_enabled",
+]
+
+#: One dimension of a declared shape: a literal size, a symbol, or
+#: ``(coefficient, symbol)`` for specs like ``2*N``.
+DimSpec = int | str | tuple[int, str]
+
+#: Dtypes a contract may declare.  ``float64``/``int64``/``bool`` are the
+#: kernel-layer discipline; ``int8`` is the sanctioned padded-mask dtype.
+ALLOWED_DTYPES = ("float64", "int64", "bool", "int8")
+
+_SPEC_PATTERN = re.compile(r"^\(([^()]*)\)(?:\s+(\w+))?$")
+_SYMBOL_PATTERN = re.compile(r"^[A-Z][A-Za-z0-9]*$")
+_SCALED_PATTERN = re.compile(r"^([0-9]+)\*([A-Z][A-Za-z0-9]*)$")
+
+
+class ContractViolationError(TypeError):
+    """An array failed its kernel's declared shape/dtype contract."""
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Parsed form of one ``"(dims) dtype"`` spec string."""
+
+    dims: tuple[DimSpec, ...]
+    dtype: str
+
+    def render(self) -> str:
+        parts = []
+        for dim in self.dims:
+            if isinstance(dim, tuple):
+                parts.append(f"{dim[0]}*{dim[1]}")
+            else:
+                parts.append(str(dim))
+        inner = ", ".join(parts)
+        if len(self.dims) == 1:
+            inner += ","
+        return f"({inner}) {self.dtype}"
+
+
+@dataclass(frozen=True)
+class KernelContract:
+    """The declared array interface of one kernel function."""
+
+    name: str
+    params: tuple[tuple[str, ArraySpec], ...]
+    returns: tuple[ArraySpec, ...] | None
+
+    @property
+    def param_specs(self) -> Mapping[str, ArraySpec]:
+        return dict(self.params)
+
+
+def parse_spec(text: str) -> ArraySpec:
+    """Parse one spec string; raises ``ValueError`` on bad grammar."""
+    match = _SPEC_PATTERN.match(text.strip())
+    if match is None:
+        raise ValueError(f"bad array spec {text!r}: expected '(dims) dtype'")
+    body, dtype = match.group(1), match.group(2) or "float64"
+    if dtype not in ALLOWED_DTYPES:
+        raise ValueError(
+            f"bad array spec {text!r}: dtype must be one of {ALLOWED_DTYPES}"
+        )
+    dims: list[DimSpec] = []
+    body = body.strip()
+    if body:
+        for token in body.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if token.isdigit():
+                if int(token) <= 0:
+                    raise ValueError(f"bad array spec {text!r}: dims are positive")
+                dims.append(int(token))
+            elif _SYMBOL_PATTERN.match(token):
+                dims.append(token)
+            else:
+                scaled = _SCALED_PATTERN.match(token)
+                if scaled is None:
+                    raise ValueError(
+                        f"bad array spec {text!r}: dim {token!r} is not a "
+                        "literal, symbol, or int*symbol"
+                    )
+                dims.append((int(scaled.group(1)), scaled.group(2)))
+    return ArraySpec(dims=tuple(dims), dtype=dtype)
+
+
+# ----------------------------------------------------------------------
+# Enforcement state
+# ----------------------------------------------------------------------
+@dataclass
+class _EnforcementState:
+    enabled: bool = field(
+        default_factory=lambda: os.environ.get("REPRO_RUNTIME_CONTRACTS", "")
+        not in ("", "0")
+    )
+
+
+_STATE = _EnforcementState()
+
+
+def contracts_enabled() -> bool:
+    """True when runtime contract enforcement is on."""
+    return _STATE.enabled
+
+
+def set_contracts_enabled(enabled: bool) -> bool:
+    """Turn runtime enforcement on/off; returns the previous setting."""
+    previous = _STATE.enabled
+    _STATE.enabled = enabled
+    return previous
+
+
+@contextmanager
+def enforced_contracts(enabled: bool = True) -> Iterator[None]:
+    """Scope within which runtime contract enforcement is forced on (or off)."""
+    previous = set_contracts_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_contracts_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# Runtime checking
+# ----------------------------------------------------------------------
+def _bind_dim(
+    contract: KernelContract,
+    where: str,
+    dim: DimSpec,
+    actual: int,
+    env: dict[str, int],
+) -> None:
+    if isinstance(dim, int):
+        expected = dim
+    elif isinstance(dim, str):
+        expected = env.setdefault(dim, actual)
+    else:
+        coeff, symbol = dim
+        if symbol not in env:
+            if actual % coeff != 0:
+                raise ContractViolationError(
+                    f"{contract.name}: {where} has size {actual}, not a "
+                    f"multiple of {coeff} as declared ({coeff}*{symbol})"
+                )
+            env[symbol] = actual // coeff
+        expected = coeff * env[symbol]
+    if actual != expected:
+        rendered = f"{dim[0]}*{dim[1]}" if isinstance(dim, tuple) else str(dim)
+        raise ContractViolationError(
+            f"{contract.name}: {where} has size {actual} where the declared "
+            f"dim {rendered} binds to {expected}"
+        )
+
+
+def _check_array(
+    contract: KernelContract,
+    where: str,
+    value: Any,
+    spec: ArraySpec,
+    env: dict[str, int],
+    strict_dtype: bool,
+) -> None:
+    if np.ndim(value) == 0:
+        # Scalars broadcast into any dimensioned parameter slot; a "()"
+        # spec accepts exactly these, so 0-d always passes the shape check.
+        return
+    arr = np.asarray(value)
+    if arr.ndim != len(spec.dims):
+        raise ContractViolationError(
+            f"{contract.name}: {where} has shape {arr.shape}, declared "
+            f"{spec.render()}"
+        )
+    for axis, dim in enumerate(spec.dims):
+        _bind_dim(contract, f"{where} axis {axis}", dim, int(arr.shape[axis]), env)
+    if strict_dtype and arr.dtype != np.dtype(spec.dtype):
+        raise ContractViolationError(
+            f"{contract.name}: {where} has dtype {arr.dtype}, declared "
+            f"{spec.dtype}"
+        )
+
+
+def _check_call(
+    contract: KernelContract,
+    bound: inspect.BoundArguments,
+    env: dict[str, int],
+) -> None:
+    for name, spec in contract.params:
+        if name not in bound.arguments:
+            continue
+        value = bound.arguments[name]
+        _check_array(
+            contract,
+            f"parameter {name!r}",
+            value,
+            spec,
+            env,
+            strict_dtype=isinstance(value, np.ndarray),
+        )
+
+
+def _check_returns(contract: KernelContract, result: Any, env: dict[str, int]) -> None:
+    specs = contract.returns
+    if specs is None:
+        return
+    values: tuple[Any, ...]
+    if len(specs) == 1:
+        values = (result,)
+    else:
+        if not isinstance(result, tuple) or len(result) != len(specs):
+            raise ContractViolationError(
+                f"{contract.name}: returned "
+                f"{len(result) if isinstance(result, tuple) else 1} value(s), "
+                f"declared {len(specs)}"
+            )
+        values = result
+    for index, (value, spec) in enumerate(zip(values, specs)):
+        _check_array(
+            contract, f"return[{index}]", value, spec, env, strict_dtype=True
+        )
+
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def kernel_contract(
+    returns: str | tuple[str, ...] | None = None, **param_specs: str
+) -> Callable[[_F], _F]:
+    """Declare a kernel's array contract; enforce it when contracts are on.
+
+    Keyword arguments name the kernel's array parameters and give their
+    specs; ``returns`` gives the return spec(s) — a single string for one
+    array, a tuple for a tuple of arrays, ``None`` for kernels that return
+    no array (in-place updates).  Parameters not named are not part of the
+    array contract (RNG sequences, config objects, plain scalars).
+
+    The parsed contract is attached as ``__kernel_contract__`` and the
+    wrapper short-circuits to the kernel when enforcement is off, so the
+    decorator costs one attribute load per call in normal runs.
+    """
+    parsed_returns: tuple[ArraySpec, ...] | None
+    if returns is None:
+        parsed_returns = None
+    elif isinstance(returns, str):
+        parsed_returns = (parse_spec(returns),)
+    else:
+        parsed_returns = tuple(parse_spec(spec) for spec in returns)
+    parsed_params = tuple(
+        (name, parse_spec(spec)) for name, spec in param_specs.items()
+    )
+
+    def decorate(fn: _F) -> _F:
+        signature = inspect.signature(fn)
+        unknown = [
+            name for name, _ in parsed_params if name not in signature.parameters
+        ]
+        if unknown:
+            raise ValueError(
+                f"kernel_contract on {fn.__qualname__}: no such parameter(s) "
+                f"{', '.join(unknown)}"
+            )
+        contract = KernelContract(
+            name=fn.__qualname__, params=parsed_params, returns=parsed_returns
+        )
+
+        @wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not _STATE.enabled:
+                return fn(*args, **kwargs)
+            bound = signature.bind(*args, **kwargs)
+            env: dict[str, int] = {}
+            _check_call(contract, bound, env)
+            result = fn(*args, **kwargs)
+            _check_returns(contract, result, env)
+            return result
+
+        wrapper.__kernel_contract__ = contract  # type: ignore[attr-defined]
+        return cast(_F, wrapper)
+
+    return decorate

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.control.base import ControlInputs, Controller
 from repro.dynamics.state import ControlAction
 
@@ -55,6 +56,18 @@ class ObstacleAvoidanceController(Controller):
     stale_caution: float = 0.2
     curvature_gain: float = 4.0
 
+    @kernel_contract(
+        speeds_mps="(N,) float64",
+        target_speeds_mps="(N,) float64",
+        lateral_offsets_m="(N,) float64",
+        headings_rad="(N,) float64",
+        road_curvatures_per_m="(N,) float64",
+        has_obstacle="(N,) bool",
+        obstacle_distances_m="(N,) float64",
+        obstacle_bearings_rad="(N,) float64",
+        obstacle_stale="(N,) bool",
+        returns=("(N,) float64", "(N,) float64"),
+    )
     def act_batch(
         self,
         speeds_mps: np.ndarray,

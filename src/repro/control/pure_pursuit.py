@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.control.base import ControlInputs, Controller
 from repro.dynamics.state import ControlAction
 
@@ -40,6 +41,14 @@ class PurePursuitController(Controller):
     max_steer_rad: float = math.radians(35.0)
     speed_gain: float = 0.5
 
+    @kernel_contract(
+        speeds_mps="(N,) float64",
+        target_speeds_mps="(N,) float64",
+        lateral_offsets_m="(N,) float64",
+        headings_rad="(N,) float64",
+        road_curvatures_per_m="(N,) float64",
+        returns=("(N,) float64", "(N,) float64"),
+    )
     def act_batch(
         self,
         speeds_mps: np.ndarray,

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.core.safety import BrakingDistanceBarrier, SafetyFunction, SafetyInputs
 from repro.dynamics.bicycle import KinematicBicycleModel
 from repro.dynamics.state import ControlAction, VehicleState
@@ -181,6 +182,14 @@ class SafeIntervalEstimator:
     # ------------------------------------------------------------------
     # Vectorized batch evaluation (used to build the lookup table)
     # ------------------------------------------------------------------
+    @kernel_contract(
+        distances_m="(N,) float64",
+        bearings_rad="(N,) float64",
+        speeds_mps="(N,) float64",
+        steerings="(N,) float64",
+        throttles="(N,) float64",
+        returns="(N,) float64",
+    )
     def estimate_batch(
         self,
         distances_m: np.ndarray,

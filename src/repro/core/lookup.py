@@ -21,6 +21,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.core.intervals import SafeIntervalEstimator
 from repro.core.safety import NO_OBSTACLE_DISTANCE_M, SafetyInputs
 from repro.dynamics.state import ControlAction, wrap_angle
@@ -182,6 +183,14 @@ class DeadlineLookupTable:
             )[0]
         )
 
+    @kernel_contract(
+        distances_m="(N,) float64",
+        bearings_rad="(N,) float64",
+        speeds_mps="(N,) float64",
+        steerings="(N,) float64",
+        throttles="(N,) float64",
+        returns="(N,) float64",
+    )
     def query_batch(
         self,
         distances_m: np.ndarray,

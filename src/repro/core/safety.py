@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.dynamics.state import ControlAction
 from repro.sim.world import World
 
@@ -136,6 +137,11 @@ class BrakingDistanceBarrier(SafetyFunction):
         if self.max_brake_mps2 <= 0:
             raise ValueError("max_brake_mps2 must be positive")
 
+    @kernel_contract(
+        bearings_rad="(N,) float64",
+        speeds_mps="(N,) float64",
+        returns="(N,) float64",
+    )
     def required_clearance_batch(
         self, bearings_rad: np.ndarray, speeds_mps: np.ndarray
     ) -> np.ndarray:
@@ -153,6 +159,12 @@ class BrakingDistanceBarrier(SafetyFunction):
         )
         return self.clearance_m + heading_weight * stopping
 
+    @kernel_contract(
+        distances_m="(N,) float64",
+        bearings_rad="(N,) float64",
+        speeds_mps="(N,) float64",
+        returns="(N,) float64",
+    )
     def evaluate_batch(
         self,
         distances_m: np.ndarray,

@@ -27,6 +27,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.core.intervals import _MULTIPLE_TOLERANCE
 from repro.core.models import ModelSet, SensoryModel
 from repro.core.optimizations import (
@@ -91,6 +92,7 @@ class SchedulerState:
         )
 
 
+@kernel_contract(deadlines_s="(N,) float64", returns="(N,) int64")
 def discretized_deadline_kernel(
     deadlines_s: np.ndarray, tau_s: float, max_deadline_periods: int
 ) -> np.ndarray:
@@ -111,6 +113,12 @@ def discretized_deadline_kernel(
     return np.clip(periods, 0, max_deadline_periods).astype(np.int64)
 
 
+@kernel_contract(
+    indices="(I,) int64",
+    deadlines_s="(I,) float64",
+    delta_i_opt="(M,) int64",
+    returns="(I,) int64",
+)
 def begin_interval_kernel(
     state: SchedulerState,
     indices: np.ndarray,
@@ -138,11 +146,19 @@ def begin_interval_kernel(
     return periods
 
 
+@kernel_contract(delta_i="(M,) int64", returns="(M,) bool")
 def natural_slot_kernel(global_step: int, delta_i: np.ndarray) -> np.ndarray:
     """Which models hit their natural slot this period (``n % delta_i == 0``)."""
     return global_step % delta_i == 0
 
 
+@kernel_contract(
+    natural="(M,) bool",
+    interval_step="(N,) int64",
+    delta_i_opt="(M,) int64",
+    delta_max="(N,) int64",
+    returns="(N, M) bool",
+)
 def full_slot_kernel(
     natural: np.ndarray,
     interval_step: np.ndarray,
@@ -162,6 +178,7 @@ def full_slot_kernel(
     )
 
 
+@kernel_contract(indices="(I,) int64", delta_i_opt="(M,) int64")
 def deadline_done_kernel(
     state: SchedulerState, indices: np.ndarray, delta_i_opt: np.ndarray
 ) -> None:
@@ -174,6 +191,7 @@ def deadline_done_kernel(
     state.done[indices] |= reached
 
 
+@kernel_contract(indices="(I,) int64")
 def finish_period_kernel(state: SchedulerState, indices: np.ndarray) -> None:
     """End-of-period bookkeeping (lines 22-24).
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.core.safety import (
     NO_OBSTACLE_DISTANCE_M,
     BrakingDistanceBarrier,
@@ -86,6 +87,17 @@ class SteeringShield:
     # ------------------------------------------------------------------
     # Core filtering
     # ------------------------------------------------------------------
+    @kernel_contract(
+        h_values="(N,) float64",
+        distances_m="(N,) float64",
+        bearings_rad="(N,) float64",
+        speeds_mps="(N,) float64",
+        lateral_offsets_m="(N,) float64",
+        road_half_widths_m="(N,) float64",
+        steerings="(N,) float64",
+        throttles="(N,) float64",
+        returns=("(N,) float64", "(N,) float64", "(N,) bool"),
+    )
     def filter_batch(
         self,
         h_values: np.ndarray,

@@ -15,9 +15,92 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.dynamics.integrators import euler_step, rk4_step
 from repro.dynamics.params import VehicleParams
 from repro.dynamics.state import ControlAction, VehicleState, wrap_angle
+
+
+@kernel_contract(
+    xs="(N,) float64",
+    ys="(N,) float64",
+    headings_rad="(N,) float64",
+    speeds_mps="(N,) float64",
+    steerings="(N,) float64",
+    throttles="(N,) float64",
+    returns=("(N,) float64", "(N,) float64", "(N,) float64", "(N,) float64"),
+)
+def rk4_plant_batch(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    headings_rad: np.ndarray,
+    speeds_mps: np.ndarray,
+    steerings: np.ndarray,
+    throttles: np.ndarray,
+    dt: float,
+    params: VehicleParams,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One RK4 plant step over ``(N,)`` pose/control arrays.
+
+    Elementwise bit-identical to :meth:`KinematicBicycleModel.step` with the
+    default ``"rk4"`` method: the same saturation, the same expanded RK4
+    stage arithmetic (the frozen control makes the acceleration stage-
+    constant), the same terminal heading wrap and speed clamp (including the
+    ``-0.0`` normalization).  Both paths take the steering tangent from
+    ``np.tan`` — the serial step on the scalar, this kernel on the array —
+    so the per-element values agree exactly.
+
+    Returns the updated ``(xs, ys, headings_rad, speeds_mps)`` arrays.
+    """
+    st = np.clip(steerings, -1.0, 1.0)
+    th = np.clip(throttles, -1.0, 1.0)
+    steer_rad = st * params.max_steer_rad
+    accel = np.where(
+        th >= 0.0, th * params.max_accel_mps2, th * params.max_brake_mps2
+    )
+    tan_arr = np.tan(steer_rad)
+    wheelbase = params.wheelbase_m
+    x0 = xs
+    y0 = ys
+    h0 = headings_rad
+    v0 = speeds_mps
+    half = 0.5 * dt
+
+    sp1 = np.where(v0 > 0.0, v0, 0.0)
+    k1x = sp1 * np.cos(h0)
+    k1y = sp1 * np.sin(h0)
+    k1h = sp1 * tan_arr / wheelbase
+
+    h2 = h0 + half * k1h
+    v2 = v0 + half * accel
+    sp2 = np.where(v2 > 0.0, v2, 0.0)
+    k2x = sp2 * np.cos(h2)
+    k2y = sp2 * np.sin(h2)
+    k2h = sp2 * tan_arr / wheelbase
+
+    h3 = h0 + half * k2h
+    v3 = v0 + half * accel
+    sp3 = np.where(v3 > 0.0, v3, 0.0)
+    k3x = sp3 * np.cos(h3)
+    k3y = sp3 * np.sin(h3)
+    k3h = sp3 * tan_arr / wheelbase
+
+    h4 = h0 + dt * k3h
+    v4 = v0 + dt * accel
+    sp4 = np.where(v4 > 0.0, v4, 0.0)
+    k4x = sp4 * np.cos(h4)
+    k4y = sp4 * np.sin(h4)
+    k4h = sp4 * tan_arr / wheelbase
+
+    sixth = dt / 6.0
+    xn = x0 + sixth * (k1x + 2.0 * k2x + 2.0 * k3x + k4x)
+    yn = y0 + sixth * (k1y + 2.0 * k2y + 2.0 * k3y + k4y)
+    hn = h0 + sixth * (k1h + 2.0 * k2h + 2.0 * k3h + k4h)
+    vn = v0 + sixth * (accel + 2.0 * accel + 2.0 * accel + accel)
+    hn = wrap_angle(hn)
+    vn = np.clip(vn, 0.0, params.max_speed_mps)
+    vn = np.where(vn == 0.0, 0.0, vn)
+    return xn, yn, hn, vn
 
 
 @dataclass
@@ -53,7 +136,7 @@ class KinematicBicycleModel:
             [
                 speed * math.cos(heading),
                 speed * math.sin(heading),
-                speed * math.tan(steer_rad) / self.params.wheelbase_m,
+                speed * float(np.tan(steer_rad)) / self.params.wheelbase_m,
                 accel,
             ],
             dtype=float,
@@ -65,6 +148,9 @@ class KinematicBicycleModel:
         """Return an array-to-array derivative function with frozen control."""
         steer_rad, accel = self.control_to_physical(control)
         wheelbase = self.params.wheelbase_m
+        # Shared with rk4_plant_batch: both paths take the steering tangent
+        # from np.tan (scalar here, array there), keeping them bit-identical.
+        tan_steer = float(np.tan(steer_rad))
 
         def derivative(arr: np.ndarray) -> np.ndarray:
             heading = arr[2]
@@ -73,7 +159,7 @@ class KinematicBicycleModel:
                 [
                     speed * math.cos(heading),
                     speed * math.sin(heading),
-                    speed * math.tan(steer_rad) / wheelbase,
+                    speed * tan_steer / wheelbase,
                     accel,
                 ],
                 dtype=float,

@@ -12,7 +12,11 @@ see, as a CI gate (``python -m repro.lint src`` or ``repro.cli lint``):
   field-set drift pinned to ``WORKUNIT_SCHEMA_VERSION``;
 * **protocol-schema** (REPRO401–406): the remote worker frames produced
   and consumed in ``runtime/remote.py`` agree with the documented
-  schema.
+  schema;
+* **array-contracts** (REPRO501–505): every public ``*_batch`` kernel
+  declares its array shapes/dtypes via ``@kernel_contract``, a symbolic
+  dataflow pass confirms the body against the declaration, and scalar
+  facades are 1-element views of their kernels.
 
 See ``docs/static-analysis.md`` for the invariants and the
 ``# repro-lint: ignore[CODE]`` suppression pragma.
@@ -22,7 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.lint import closedworld, determinism, parity, protocol
+from repro.lint import closedworld, determinism, parity, protocol, shapes
 from repro.lint.framework import Checker, SourceFile, Violation
 from repro.lint.framework import main as _main
 
@@ -67,6 +71,17 @@ CHECKERS: tuple[Checker, ...] = (
         ),
         file_check=protocol.check_protocol,
         scope=protocol.in_scope,
+    ),
+    Checker(
+        name="array-contracts",
+        codes=shapes.CODES,
+        description=(
+            "batch kernels declare shapes/dtypes via @kernel_contract; a "
+            "symbolic dataflow pass checks bodies, returns, facades, and "
+            "loop RNG draws against the declarations"
+        ),
+        files_check=shapes.check_shapes,
+        scope=shapes.in_scope,
     ),
 )
 

@@ -1,0 +1,1169 @@
+"""Symbolic shape/dtype dataflow over numpy kernel bodies.
+
+The engine in this module abstractly interprets one kernel function at the
+AST level: array parameters are seeded from the kernel's declared
+:func:`repro.contracts.kernel_contract` spec (symbolic dims like ``N`` and
+``K`` stay symbolic), and shapes/dtypes are propagated through the numpy
+constructs the kernel layer uses — broadcasting, masking and fancy
+indexing, reductions (``reduceat``, ``searchsorted``, ``bincount``,
+``argmin``), ``np.where``, stacking and reshapes, and calls into *other*
+declared kernels (resolved through a project-wide contract index with
+symbol unification).
+
+The analysis is deliberately *optimistic*: anything it cannot model
+becomes an unknown value (shape ``None``) or a fresh dimension (spelled
+``?3``), and unknowns never conflict with anything.  Findings are only
+reported on positive evidence — two *declared* symbols forced into the
+same axis, two distinct literal sizes, a return whose inferred rank
+contradicts the declaration.  That keeps the checker quiet on the real
+tree without weakening the cases it can decide.
+
+:mod:`repro.lint.shapes` owns the checker codes and orchestration; this
+module knows nothing about violations beyond the ``(line, code, message)``
+problems it records.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.contracts import ArraySpec, DimSpec
+
+__all__ = [
+    "ArrayValue",
+    "ClassTable",
+    "Dim",
+    "InstanceValue",
+    "Problem",
+    "ShapeEngine",
+    "StaticContract",
+    "TupleValue",
+    "Value",
+    "dim_from_spec",
+    "shape_from_spec",
+]
+
+#: One dimension: a literal size, a declared symbol (``"N"``, ``"2*N"``),
+#: or a fresh unknown (``"?3"``).  Fresh dims unify with everything.
+Dim = int | str
+
+Shape = tuple[Dim, ...]
+
+
+def is_fresh(dim: Dim) -> bool:
+    return isinstance(dim, str) and dim.startswith("?")
+
+
+def dim_from_spec(dim: DimSpec) -> Dim:
+    if isinstance(dim, tuple):
+        return f"{dim[0]}*{dim[1]}"
+    return dim
+
+
+def shape_from_spec(spec: ArraySpec) -> Shape:
+    return tuple(dim_from_spec(dim) for dim in spec.dims)
+
+
+def format_shape(shape: Shape | None) -> str:
+    if shape is None:
+        return "(?)"
+    inner = ", ".join(str(dim) for dim in shape)
+    if len(shape) == 1:
+        inner += ","
+    return f"({inner})"
+
+
+@dataclass(frozen=True)
+class ArrayValue:
+    """An array (or scalar, when ``shape == ()``) with optional dim value.
+
+    ``dim_value`` carries the symbolic magnitude of 0-d integers — e.g.
+    ``count = distances.size`` has ``dim_value == "N"`` so that
+    ``np.full(count, h)`` infers shape ``(N,)``.
+    """
+
+    shape: Shape | None = None
+    dtype: str | None = None
+    dim_value: Dim | None = None
+
+
+@dataclass(frozen=True)
+class TupleValue:
+    items: tuple[Value, ...]
+
+
+@dataclass(frozen=True)
+class InstanceValue:
+    """An instance of a project class whose attribute table is known."""
+
+    class_name: str
+
+
+Value = ArrayValue | TupleValue | InstanceValue | None
+
+#: Per-class attribute table: field/attribute name → abstract value.
+ClassTable = dict[str, Value]
+
+
+@dataclass(frozen=True)
+class StaticContract:
+    """AST-side view of one ``@kernel_contract`` declaration."""
+
+    name: str
+    class_name: str | None
+    drops_self: bool
+    params: tuple[tuple[str, ArraySpec | None], ...]
+    returns: tuple[ArraySpec, ...] | None
+    line: int
+
+
+@dataclass(frozen=True)
+class Problem:
+    line: int
+    end_line: int
+    code: str
+    message: str
+
+
+SCALAR_ANNOTATIONS = {"float": "float64", "int": "int64", "bool": "bool"}
+
+_FLOAT_UFUNCS = {
+    "sin", "cos", "tan", "arcsin", "arccos", "arctan", "sqrt", "exp",
+    "log", "floor", "ceil", "round", "sign", "deg2rad", "rad2deg",
+    "sinh", "cosh", "tanh",
+}
+_BINARY_FLOAT_UFUNCS = {"arctan2", "hypot", "copysign", "power", "fmod"}
+_BINARY_KEEP_UFUNCS = {"maximum", "minimum", "fmax", "fmin"}
+_PREDICATE_UFUNCS = {"isfinite", "isnan", "isinf", "signbit"}
+_DTYPE_NAMES = {
+    "float": "float64",
+    "float64": "float64",
+    "int": "int64",
+    "int64": "int64",
+    "intp": "int64",
+    "bool": "bool",
+    "bool_": "bool",
+    "int8": "int8",
+}
+
+_DTYPE_ORDER = {"bool": 0, "int8": 1, "int64": 2, "float64": 3}
+
+
+def promote(a: str | None, b: str | None) -> str | None:
+    if a is None or b is None:
+        return None
+    if a not in _DTYPE_ORDER or b not in _DTYPE_ORDER:
+        return None
+    return a if _DTYPE_ORDER[a] >= _DTYPE_ORDER[b] else b
+
+
+def _is_np(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("np", "numpy")
+
+
+def _np_attr(node: ast.expr) -> str | None:
+    """``np.<name>`` → ``name`` (one attribute level only)."""
+    if isinstance(node, ast.Attribute) and _is_np(node.value):
+        return node.attr
+    return None
+
+
+def _dtype_from_node(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return _DTYPE_NAMES.get(node.id)
+    attr = _np_attr(node)
+    if attr is not None:
+        return _DTYPE_NAMES.get(attr)
+    return None
+
+
+class ShapeEngine:
+    """Abstract interpreter for one function body.
+
+    Instantiate per analyzed function; ``problems`` accumulates findings
+    and ``returns`` the abstract value of every ``return`` statement.
+    """
+
+    def __init__(
+        self,
+        contracts_by_name: dict[str, StaticContract],
+        contracts_by_class: dict[tuple[str, str], StaticContract],
+        class_tables: dict[str, ClassTable],
+        quiet: bool = False,
+    ) -> None:
+        self._by_name = contracts_by_name
+        self._by_class = contracts_by_class
+        self._tables = class_tables
+        self._quiet = quiet
+        self._fresh = 0
+        self.problems: list[Problem] = []
+        self.returns: list[tuple[ast.Return, Value]] = []
+        self._class_name: str | None = None
+        self._attr_sink: ClassTable | None = None
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def seed_params(
+        self,
+        fn: ast.FunctionDef,
+        contract: StaticContract | None,
+        class_name: str | None,
+        is_method: bool,
+    ) -> dict[str, Value]:
+        """Initial environment from the signature and declared contract."""
+        env: dict[str, Value] = {}
+        self._class_name = class_name
+        declared: dict[str, ArraySpec] = {}
+        if contract is not None:
+            declared = {
+                name: spec for name, spec in contract.params if spec is not None
+            }
+        args = list(fn.args.posonlyargs) + list(fn.args.args) + list(
+            fn.args.kwonlyargs
+        )
+        for index, arg in enumerate(args):
+            if index == 0 and is_method and arg.arg in ("self", "cls"):
+                if class_name is not None:
+                    env[arg.arg] = InstanceValue(class_name)
+                continue
+            spec = declared.get(arg.arg)
+            if spec is not None:
+                env[arg.arg] = ArrayValue(
+                    shape=shape_from_spec(spec), dtype=spec.dtype
+                )
+                continue
+            env[arg.arg] = self.value_from_annotation(arg.annotation)
+        return env
+
+    def run(self, body: list[ast.stmt], env: dict[str, Value]) -> dict[str, Value]:
+        for stmt in body:
+            self.exec_stmt(stmt, env)
+        return env
+
+    def analyze_init(
+        self,
+        fn: ast.FunctionDef,
+        class_name: str,
+        table: ClassTable,
+        module_env: dict[str, Value] | None = None,
+    ) -> None:
+        """Run ``__init__``/``__post_init__`` collecting ``self.x`` stores."""
+        self._quiet = True
+        self._attr_sink = table
+        env = dict(module_env or {})
+        env.update(self.seed_params(fn, None, class_name, is_method=True))
+        self.run(fn.body, env)
+        self._attr_sink = None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def fresh_dim(self) -> Dim:
+        self._fresh += 1
+        return f"?{self._fresh}"
+
+    def fresh_shape(self, rank: int) -> Shape:
+        return tuple(self.fresh_dim() for _ in range(rank))
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        if self._quiet:
+            return
+        line = getattr(node, "lineno", 0)
+        end = getattr(node, "end_lineno", None) or line
+        self.problems.append(Problem(line, end, code, message))
+
+    def value_from_annotation(self, annotation: ast.expr | None) -> Value:
+        if annotation is None:
+            return None
+        if isinstance(annotation, ast.Name):
+            scalar = SCALAR_ANNOTATIONS.get(annotation.id)
+            if scalar is not None:
+                return ArrayValue(shape=(), dtype=scalar)
+            if annotation.id in self._tables:
+                return InstanceValue(annotation.id)
+            return None
+        if isinstance(annotation, ast.Attribute) and annotation.attr == "ndarray":
+            return ArrayValue(shape=None, dtype=None)
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            scalar = SCALAR_ANNOTATIONS.get(annotation.value)
+            if scalar is not None:
+                return ArrayValue(shape=(), dtype=scalar)
+        return None
+
+    # -------------------------- dims ---------------------------------
+    def unify_dim(self, x: Dim, y: Dim) -> Dim | None:
+        """Broadcast-unify two dims; ``None`` means a definite conflict."""
+        if x == y:
+            return x
+        if x == 1:
+            return y
+        if y == 1:
+            return x
+        if is_fresh(x):
+            return x if is_fresh(y) else y
+        if is_fresh(y):
+            return x
+        if isinstance(x, int) and isinstance(y, int):
+            return None
+        if isinstance(x, str) and isinstance(y, str):
+            return None
+        # Literal vs declared symbol: not decidable — keep the symbol.
+        return x if isinstance(x, str) else y
+
+    def broadcast(
+        self, a: Shape | None, b: Shape | None, node: ast.AST
+    ) -> Shape | None:
+        if a is None or b is None:
+            return None
+        out: list[Dim] = []
+        for index in range(max(len(a), len(b))):
+            x = a[len(a) - 1 - index] if index < len(a) else 1
+            y = b[len(b) - 1 - index] if index < len(b) else 1
+            dim = self.unify_dim(x, y)
+            if dim is None:
+                self.report(
+                    node,
+                    "REPRO501",
+                    f"inconsistent broadcast: {format_shape(a)} with "
+                    f"{format_shape(b)} (axis sizes {x} vs {y})",
+                )
+                dim = self.fresh_dim()
+            out.append(dim)
+        return tuple(reversed(out))
+
+    def merge_values(self, a: Value, b: Value) -> Value:
+        return a if a == b else None
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def exec_stmt(self, stmt: ast.stmt, env: dict[str, Value]) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self.assign(target, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, env)
+                if value is None:
+                    # The annotation is declared truth; use it when the
+                    # value expression itself is beyond the analysis.
+                    value = self.value_from_annotation(stmt.annotation)
+                self.assign(stmt.target, value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval(stmt.value, env)
+            if isinstance(stmt.target, ast.Name):
+                current = env.get(stmt.target.id)
+                env[stmt.target.id] = self._binop_value(
+                    current, value, stmt.op, stmt
+                )
+            else:
+                # In-place updates of slices/attributes do not change shape.
+                self.eval(stmt.target, env)
+        elif isinstance(stmt, ast.Return):
+            value = self.eval(stmt.value, env) if stmt.value is not None else None
+            self.returns.append((stmt, value))
+        elif isinstance(stmt, ast.If):
+            self._exec_branches(stmt.body, stmt.orelse, env)
+        elif isinstance(stmt, (ast.For, ast.While)):
+            if isinstance(stmt, ast.For):
+                self.assign(stmt.target, None, env)
+            body_env = dict(env)
+            for sub in stmt.body:
+                self.exec_stmt(sub, body_env)
+            for name in set(env) | set(body_env):
+                env[name] = self.merge_values(env.get(name), body_env.get(name))
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.With):
+            for sub in stmt.body:
+                self.exec_stmt(sub, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            for sub in stmt.body:
+                self.exec_stmt(sub, body_env)
+            for name in set(env) | set(body_env):
+                env[name] = self.merge_values(env.get(name), body_env.get(name))
+        # raise/assert/pass/imports/defs: no dataflow effect.
+
+    def _terminates(self, body: list[ast.stmt]) -> bool:
+        return bool(body) and isinstance(
+            body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+        )
+
+    def _exec_branches(
+        self, body: list[ast.stmt], orelse: list[ast.stmt], env: dict[str, Value]
+    ) -> None:
+        then_env = dict(env)
+        for sub in body:
+            self.exec_stmt(sub, then_env)
+        else_env = dict(env)
+        for sub in orelse:
+            self.exec_stmt(sub, else_env)
+        if self._terminates(body):
+            env.clear()
+            env.update(else_env)
+            return
+        if orelse and self._terminates(orelse):
+            env.clear()
+            env.update(then_env)
+            return
+        merged = {
+            name: self.merge_values(then_env.get(name), else_env.get(name))
+            for name in set(then_env) | set(else_env)
+        }
+        env.clear()
+        env.update(merged)
+
+    def assign(self, target: ast.expr, value: Value, env: dict[str, Value]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            items: tuple[Value, ...] | None = None
+            if isinstance(value, TupleValue) and len(value.items) == len(
+                target.elts
+            ):
+                items = value.items
+            for index, elt in enumerate(target.elts):
+                self.assign(elt, items[index] if items else None, env)
+        elif isinstance(target, ast.Attribute):
+            if (
+                self._attr_sink is not None
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self._attr_sink[target.attr] = value
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, None, env)
+        # Subscript stores cannot change a bound array's shape: skip.
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def eval(self, node: ast.expr, env: dict[str, Value]) -> Value:
+        if isinstance(node, ast.Constant):
+            return self._constant_value(node.value)
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, env)
+            right = self.eval(node.right, env)
+            return self._binop_value(left, right, node.op, node)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand, env)
+            if isinstance(node.op, ast.Not):
+                return ArrayValue(shape=(), dtype="bool")
+            if isinstance(node.op, (ast.USub, ast.UAdd)):
+                if (
+                    isinstance(node.op, ast.USub)
+                    and isinstance(operand, ArrayValue)
+                    and isinstance(operand.dim_value, int)
+                ):
+                    return ArrayValue(
+                        shape=(), dtype=operand.dtype,
+                        dim_value=-operand.dim_value,
+                    )
+                return operand
+            return operand  # ~mask keeps shape and dtype
+        if isinstance(node, ast.Compare):
+            shape: Shape | None = ()
+            operands = [self.eval(node.left, env)] + [
+                self.eval(comp, env) for comp in node.comparators
+            ]
+            for operand in operands:
+                if not isinstance(operand, ArrayValue):
+                    shape = None
+                    break
+                shape = self.broadcast(shape, operand.shape, node)
+            return ArrayValue(shape=shape, dtype="bool")
+        if isinstance(node, ast.BoolOp):
+            for sub in node.values:
+                self.eval(sub, env)
+            return ArrayValue(shape=(), dtype="bool")
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, env)
+            return self.merge_values(
+                self.eval(node.body, env), self.eval(node.orelse, env)
+            )
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Tuple):
+            return TupleValue(
+                items=tuple(self.eval(elt, env) for elt in node.elts)
+            )
+        if isinstance(node, ast.Starred):
+            self.eval(node.value, env)
+            return None
+        return None
+
+    def _constant_value(self, value: object) -> Value:
+        if isinstance(value, bool):
+            return ArrayValue(shape=(), dtype="bool")
+        if isinstance(value, int):
+            return ArrayValue(shape=(), dtype="int64", dim_value=value)
+        if isinstance(value, float):
+            return ArrayValue(shape=(), dtype="float64")
+        return None
+
+    def _eval_attribute(self, node: ast.Attribute, env: dict[str, Value]) -> Value:
+        if isinstance(node.value, ast.Name) and node.value.id == "math":
+            if node.attr in ("pi", "e", "tau", "inf"):
+                return ArrayValue(shape=(), dtype="float64")
+            return None
+        if _is_np(node.value):
+            if node.attr in ("inf", "nan", "pi", "e"):
+                return ArrayValue(shape=(), dtype="float64")
+            return None
+        base = self.eval(node.value, env)
+        if isinstance(base, InstanceValue):
+            table = self._tables.get(base.class_name, {})
+            return table.get(node.attr)
+        if isinstance(base, ArrayValue):
+            if node.attr == "shape":
+                if base.shape is None:
+                    return None
+                return TupleValue(
+                    items=tuple(
+                        ArrayValue(shape=(), dtype="int64", dim_value=dim)
+                        for dim in base.shape
+                    )
+                )
+            if node.attr == "size":
+                dim = (
+                    base.shape[0]
+                    if base.shape is not None and len(base.shape) == 1
+                    else None
+                )
+                return ArrayValue(shape=(), dtype="int64", dim_value=dim)
+            if node.attr == "ndim":
+                return ArrayValue(shape=(), dtype="int64")
+            if node.attr == "T":
+                shape = (
+                    tuple(reversed(base.shape)) if base.shape is not None else None
+                )
+                return ArrayValue(shape=shape, dtype=base.dtype)
+        return None
+
+    # ------------------------- subscripts ------------------------------
+    def _eval_subscript(self, node: ast.Subscript, env: dict[str, Value]) -> Value:
+        base = self.eval(node.value, env)
+        index = node.slice
+        if isinstance(base, TupleValue):
+            if isinstance(index, ast.Constant) and isinstance(index.value, int):
+                try:
+                    return base.items[index.value]
+                except IndexError:
+                    return None
+            return None
+        if not isinstance(base, ArrayValue):
+            return None
+        elements = (
+            list(index.elts) if isinstance(index, ast.Tuple) else [index]
+        )
+        values = [
+            None if isinstance(elt, (ast.Slice, ast.Constant)) else
+            self.eval(elt, env)
+            for elt in elements
+        ]
+        # Boolean-mask indexing: result is a fresh-length 1-D selection.
+        if len(elements) == 1 and isinstance(values[0], ArrayValue):
+            mask = values[0]
+            if mask.dtype == "bool" and mask.shape != ():
+                return ArrayValue(shape=(self.fresh_dim(),), dtype=base.dtype)
+        # Pure advanced indexing: every element an integer array/scalar.
+        evaluated = [value for value in values if isinstance(value, ArrayValue)]
+        if evaluated and len(evaluated) == len(elements):
+            if any(value.shape is None for value in evaluated):
+                return ArrayValue(shape=None, dtype=base.dtype)
+            ok: Shape | None = ()
+            for value in evaluated:
+                ok = self.broadcast(ok, value.shape, node)
+            if base.shape is not None and len(elements) < len(base.shape):
+                rest = base.shape[len(elements):]
+                ok = (ok or ()) + rest
+            return ArrayValue(shape=ok, dtype=base.dtype)
+        if base.shape is None:
+            return None
+        # Positional walk over slices / newaxis / literal ints.
+        out: list[Dim] = []
+        consumed = 0
+        for elt in elements:
+            if isinstance(elt, ast.Constant) and elt.value is None:
+                out.append(1)
+                continue
+            if isinstance(elt, ast.Constant) and elt.value is Ellipsis:
+                return None  # Ellipsis indexing: not modelled.
+            if consumed >= len(base.shape):
+                return None
+            if isinstance(elt, ast.Slice):
+                dim = base.shape[consumed]
+                full = elt.lower is None and elt.upper is None and elt.step is None
+                out.append(dim if full else self.fresh_dim())
+                consumed += 1
+                continue
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, int):
+                consumed += 1
+                continue
+            # Mixed advanced + basic indexing: give up on this expression.
+            return None
+        out.extend(base.shape[consumed:])
+        if not out:
+            return ArrayValue(shape=(), dtype=base.dtype)
+        return ArrayValue(shape=tuple(out), dtype=base.dtype)
+
+    # --------------------------- binops --------------------------------
+    def _binop_value(
+        self, left: Value, right: Value, op: ast.operator, node: ast.AST
+    ) -> Value:
+        if not isinstance(left, ArrayValue) or not isinstance(right, ArrayValue):
+            return None
+        shape = self.broadcast(left.shape, right.shape, node)
+        if isinstance(op, ast.Div):
+            dtype: str | None = "float64"
+        elif isinstance(op, (ast.BitAnd, ast.BitOr, ast.BitXor)):
+            dtype = promote(left.dtype, right.dtype)
+        else:
+            dtype = promote(left.dtype, right.dtype)
+        dim_value: Dim | None = None
+        if (
+            shape == ()
+            and left.dim_value is not None
+            and right.dim_value is not None
+            and isinstance(left.dim_value, int)
+            and isinstance(right.dim_value, int)
+        ):
+            if isinstance(op, ast.Add):
+                dim_value = left.dim_value + right.dim_value
+            elif isinstance(op, ast.Sub):
+                dim_value = left.dim_value - right.dim_value
+            elif isinstance(op, ast.Mult):
+                dim_value = left.dim_value * right.dim_value
+        elif shape == () and isinstance(op, ast.Mult):
+            # 2 * N and N * 2 keep a symbolic magnitude.
+            for a, b in ((left, right), (right, left)):
+                if (
+                    isinstance(a.dim_value, int)
+                    and isinstance(b.dim_value, str)
+                    and not b.dim_value.startswith("?")
+                ):
+                    dim_value = f"{a.dim_value}*{b.dim_value}"
+        return ArrayValue(shape=shape, dtype=dtype, dim_value=dim_value)
+
+    # --------------------------- calls ---------------------------------
+    def _eval_call(self, node: ast.Call, env: dict[str, Value]) -> Value:
+        func = node.func
+        # numpy module functions -----------------------------------------
+        np_name = _np_attr(func)
+        if np_name is not None:
+            return self._eval_np_call(np_name, node, env)
+        # np.minimum.reduceat / np.random.* ------------------------------
+        if isinstance(func, ast.Attribute):
+            inner = _np_attr(func.value)
+            if inner is not None:
+                if func.attr == "reduceat" and len(node.args) >= 2:
+                    values = self.eval(node.args[0], env)
+                    indices = self.eval(node.args[1], env)
+                    dtype = values.dtype if isinstance(values, ArrayValue) else None
+                    if isinstance(indices, ArrayValue) and indices.shape is not None:
+                        return ArrayValue(shape=indices.shape, dtype=dtype)
+                    return ArrayValue(shape=(self.fresh_dim(),), dtype=dtype)
+                return None
+        # math.* ---------------------------------------------------------
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "math"
+        ):
+            for arg in node.args:
+                self.eval(arg, env)
+            return ArrayValue(shape=(), dtype="float64")
+        # builtins ---------------------------------------------------------
+        if isinstance(func, ast.Name):
+            if func.id in ("float",):
+                return ArrayValue(shape=(), dtype="float64")
+            if func.id in ("int",):
+                return ArrayValue(shape=(), dtype="int64")
+            if func.id in ("bool",):
+                return ArrayValue(shape=(), dtype="bool")
+            if func.id == "len":
+                value = self.eval(node.args[0], env) if node.args else None
+                dim = None
+                if (
+                    isinstance(value, ArrayValue)
+                    and value.shape is not None
+                    and len(value.shape) >= 1
+                ):
+                    dim = value.shape[0]
+                return ArrayValue(shape=(), dtype="int64", dim_value=dim)
+            if func.id in ("min", "max", "abs", "sum", "round"):
+                for arg in node.args:
+                    self.eval(arg, env)
+                return ArrayValue(shape=(), dtype=None)
+            if func.id == "wrap_angle":
+                value = self.eval(node.args[0], env) if node.args else None
+                if isinstance(value, ArrayValue):
+                    return ArrayValue(shape=value.shape, dtype="float64")
+                return None
+            contract = self._by_name.get(func.id)
+            if contract is not None:
+                return self._eval_contract_call(contract, node, env)
+            return None
+        # array / instance methods and contracted self-calls --------------
+        if isinstance(func, ast.Attribute):
+            contract = self._resolve_method_contract(func, env)
+            if contract is not None:
+                return self._eval_contract_call(contract, node, env)
+            base = self.eval(func.value, env)
+            if isinstance(base, ArrayValue):
+                return self._eval_array_method(base, func.attr, node, env)
+        return None
+
+    def _resolve_method_contract(
+        self, func: ast.Attribute, env: dict[str, Value]
+    ) -> StaticContract | None:
+        base = self.eval(func.value, env)
+        if isinstance(base, InstanceValue):
+            contract = self._by_class.get((base.class_name, func.attr))
+            if contract is not None:
+                return contract
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+            and self._class_name is not None
+        ):
+            return self._by_class.get((self._class_name, func.attr))
+        return None
+
+    def _eval_contract_call(
+        self, contract: StaticContract, node: ast.Call, env: dict[str, Value]
+    ) -> Value:
+        params = list(contract.params)
+        actuals: dict[str, Value] = {}
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(params):
+                actuals[params[index][0]] = self.eval(arg, env)
+            else:
+                self.eval(arg, env)
+        for keyword in node.keywords:
+            if keyword.arg is not None:
+                actuals[keyword.arg] = self.eval(keyword.value, env)
+            else:
+                self.eval(keyword.value, env)
+        subst: dict[str, Dim] = {}
+        for name, spec in params:
+            if spec is None:
+                continue
+            actual = actuals.get(name)
+            if not isinstance(actual, ArrayValue) or actual.shape is None:
+                continue
+            if actual.shape == ():
+                continue  # scalar broadcast into a dimensioned slot
+            if len(actual.shape) != len(spec.dims):
+                self.report(
+                    node,
+                    "REPRO501",
+                    f"call to {contract.name}: argument {name!r} has shape "
+                    f"{format_shape(actual.shape)}, declared "
+                    f"{spec.render()}",
+                )
+                continue
+            for spec_dim, actual_dim in zip(spec.dims, actual.shape):
+                if isinstance(spec_dim, str):
+                    bound = subst.get(spec_dim)
+                    if bound is None:
+                        subst[spec_dim] = actual_dim
+                    else:
+                        unified = self.unify_dim(bound, actual_dim)
+                        if unified is None:
+                            self.report(
+                                node,
+                                "REPRO501",
+                                f"call to {contract.name}: symbol "
+                                f"{spec_dim} bound to {bound} but argument "
+                                f"{name!r} carries {actual_dim}",
+                            )
+                        else:
+                            subst[spec_dim] = unified
+                elif isinstance(spec_dim, tuple):
+                    coeff, symbol = spec_dim
+                    if (
+                        isinstance(actual_dim, int)
+                        and actual_dim % coeff == 0
+                        and symbol not in subst
+                    ):
+                        subst[symbol] = actual_dim // coeff
+        if contract.returns is None:
+            return None
+        results = tuple(
+            ArrayValue(
+                shape=tuple(
+                    self._subst_dim(dim, subst) for dim in spec.dims
+                ),
+                dtype=spec.dtype,
+            )
+            for spec in contract.returns
+        )
+        if len(results) == 1:
+            return results[0]
+        return TupleValue(items=results)
+
+    def _subst_dim(self, dim: DimSpec, subst: dict[str, Dim]) -> Dim:
+        if isinstance(dim, int):
+            return dim
+        if isinstance(dim, str):
+            bound = subst.get(dim)
+            return bound if bound is not None else self.fresh_dim()
+        coeff, symbol = dim
+        bound = subst.get(symbol)
+        if isinstance(bound, int):
+            return coeff * bound
+        if isinstance(bound, str) and not bound.startswith("?"):
+            return f"{coeff}*{bound}"
+        return self.fresh_dim()
+
+    # ----------------------- numpy call table --------------------------
+    def _kw(self, node: ast.Call, name: str) -> ast.expr | None:
+        for keyword in node.keywords:
+            if keyword.arg == name:
+                return keyword.value
+        return None
+
+    def _explicit_dtype(self, node: ast.Call) -> str | None:
+        dtype_node = self._kw(node, "dtype")
+        if dtype_node is None:
+            return None
+        return _dtype_from_node(dtype_node)
+
+    def _dims_from_size_arg(
+        self, arg: ast.expr, env: dict[str, Value]
+    ) -> Shape | None:
+        if isinstance(arg, (ast.Tuple, ast.List)):
+            dims: list[Dim] = []
+            for elt in arg.elts:
+                sub = self._dims_from_size_arg(elt, env)
+                if sub is None or len(sub) != 1:
+                    dims.append(self.fresh_dim())
+                else:
+                    dims.append(sub[0])
+            return tuple(dims)
+        value = self.eval(arg, env)
+        if isinstance(value, ArrayValue) and value.shape == ():
+            if value.dim_value is not None:
+                return (value.dim_value,)
+            return (self.fresh_dim(),)
+        return None
+
+    def _shape_of_list_literal(
+        self, arg: ast.expr, env: dict[str, Value]
+    ) -> tuple[Shape, str | None] | None:
+        if not isinstance(arg, (ast.List, ast.Tuple)):
+            return None
+        elements = arg.elts
+        if any(isinstance(elt, ast.Starred) for elt in elements):
+            return None
+        first: Dim = len(elements)
+        if elements and all(
+            isinstance(elt, (ast.List, ast.Tuple)) for elt in elements
+        ):
+            inner = self._shape_of_list_literal(elements[0], env)
+            if inner is not None:
+                return (first,) + inner[0], inner[1]
+            return (first, self.fresh_dim()), None
+        dtype: str | None = None
+        for elt in elements:
+            value = self.eval(elt, env)
+            if isinstance(value, ArrayValue) and value.shape == ():
+                dtype = promote(dtype, value.dtype) if dtype else value.dtype
+            else:
+                dtype = None
+                break
+        return (first,), dtype
+
+    def _eval_np_call(
+        self, name: str, node: ast.Call, env: dict[str, Value]
+    ) -> Value:
+        args = node.args
+        first = self.eval(args[0], env) if args else None
+        explicit = self._explicit_dtype(node)
+
+        def arr(value: Value) -> ArrayValue | None:
+            return value if isinstance(value, ArrayValue) else None
+
+        if name in ("asarray", "ascontiguousarray", "atleast_1d"):
+            base = arr(first)
+            if base is None:
+                return ArrayValue(shape=None, dtype=explicit)
+            return ArrayValue(shape=base.shape, dtype=explicit or base.dtype)
+        if name == "array":
+            if args:
+                literal = self._shape_of_list_literal(args[0], env)
+                if literal is not None:
+                    shape, inferred = literal
+                    return ArrayValue(shape=shape, dtype=explicit or inferred)
+                if isinstance(args[0], (ast.ListComp, ast.GeneratorExp)):
+                    return ArrayValue(shape=(self.fresh_dim(),), dtype=explicit)
+                base = arr(first)
+                if base is not None:
+                    return ArrayValue(
+                        shape=base.shape, dtype=explicit or base.dtype
+                    )
+            return ArrayValue(shape=None, dtype=explicit)
+        if name in ("zeros_like", "empty_like", "ones_like", "full_like"):
+            base = arr(first)
+            if base is None:
+                return ArrayValue(shape=None, dtype=explicit)
+            return ArrayValue(shape=base.shape, dtype=explicit or base.dtype)
+        if name in ("zeros", "empty", "ones", "full"):
+            shape = self._dims_from_size_arg(args[0], env) if args else None
+            if name == "full":
+                fill = self.eval(args[1], env) if len(args) > 1 else None
+                default = fill.dtype if isinstance(fill, ArrayValue) else None
+                return ArrayValue(shape=shape, dtype=explicit or default)
+            return ArrayValue(shape=shape, dtype=explicit or "float64")
+        if name == "arange":
+            dtype = explicit or "int64"
+            dims = [
+                value.dim_value
+                if isinstance(value, ArrayValue) and value.shape == ()
+                else None
+                for value in (self.eval(arg, env) for arg in args)
+            ]
+            if len(args) == 1 and dims and dims[0] is not None:
+                return ArrayValue(shape=(dims[0],), dtype=dtype)
+            if (
+                len(args) == 2
+                and isinstance(dims[0], int)
+                and isinstance(dims[1], int)
+            ):
+                return ArrayValue(shape=(dims[1] - dims[0],), dtype=dtype)
+            return ArrayValue(shape=(self.fresh_dim(),), dtype=dtype)
+        if name == "where":
+            if len(args) == 1:
+                cond = arr(first)
+                rank = (
+                    len(cond.shape)
+                    if cond is not None and cond.shape is not None
+                    else 1
+                )
+                shared = self.fresh_dim()
+                return TupleValue(
+                    items=tuple(
+                        ArrayValue(shape=(shared,), dtype="int64")
+                        for _ in range(max(rank, 1))
+                    )
+                )
+            cond = arr(first)
+            a = arr(self.eval(args[1], env)) if len(args) > 1 else None
+            b = arr(self.eval(args[2], env)) if len(args) > 2 else None
+            if cond is None or a is None or b is None:
+                return None
+            shape = self.broadcast(
+                self.broadcast(cond.shape, a.shape, node), b.shape, node
+            )
+            return ArrayValue(shape=shape, dtype=promote(a.dtype, b.dtype))
+        if name == "clip":
+            base = arr(first)
+            lo = self.eval(args[1], env) if len(args) > 1 else None
+            hi = self.eval(args[2], env) if len(args) > 2 else None
+            if base is None:
+                return None
+            shape = base.shape
+            for bound in (lo, hi):
+                if isinstance(bound, ArrayValue):
+                    shape = self.broadcast(shape, bound.shape, node)
+            return ArrayValue(shape=shape, dtype=base.dtype)
+        if name in _BINARY_FLOAT_UFUNCS or name in _BINARY_KEEP_UFUNCS:
+            a = arr(first)
+            b = arr(self.eval(args[1], env)) if len(args) > 1 else None
+            if a is None or b is None:
+                return None
+            shape = self.broadcast(a.shape, b.shape, node)
+            if name in _BINARY_FLOAT_UFUNCS:
+                return ArrayValue(shape=shape, dtype="float64")
+            return ArrayValue(shape=shape, dtype=promote(a.dtype, b.dtype))
+        if name in _FLOAT_UFUNCS:
+            base = arr(first)
+            if base is None:
+                return None
+            return ArrayValue(shape=base.shape, dtype="float64")
+        if name == "abs":
+            base = arr(first)
+            if base is None:
+                return None
+            return ArrayValue(shape=base.shape, dtype=base.dtype)
+        if name in _PREDICATE_UFUNCS:
+            base = arr(first)
+            return ArrayValue(
+                shape=base.shape if base is not None else None, dtype="bool"
+            )
+        if name == "nonzero":
+            base = arr(first)
+            rank = (
+                len(base.shape)
+                if base is not None and base.shape is not None
+                else 1
+            )
+            shared = self.fresh_dim()
+            return TupleValue(
+                items=tuple(
+                    ArrayValue(shape=(shared,), dtype="int64")
+                    for _ in range(max(rank, 1))
+                )
+            )
+        if name in ("concatenate", "hstack", "stack", "vstack"):
+            if args and isinstance(args[0], (ast.Tuple, ast.List)):
+                dtype = None
+                for elt in args[0].elts:
+                    value = self.eval(elt, env)
+                    if isinstance(value, ArrayValue):
+                        dtype = (
+                            promote(dtype, value.dtype) if dtype else value.dtype
+                        )
+            else:
+                dtype = None
+            return ArrayValue(shape=(self.fresh_dim(),), dtype=dtype)
+        if name == "cumsum":
+            base = arr(first)
+            if base is None:
+                return None
+            return ArrayValue(shape=base.shape, dtype=base.dtype)
+        if name == "repeat":
+            dtype = first.dtype if isinstance(first, ArrayValue) else None
+            return ArrayValue(shape=(self.fresh_dim(),), dtype=dtype)
+        if name == "searchsorted":
+            probe = self.eval(args[1], env) if len(args) > 1 else None
+            if isinstance(probe, ArrayValue):
+                return ArrayValue(shape=probe.shape, dtype="int64")
+            return None
+        if name == "bincount":
+            return ArrayValue(shape=(self.fresh_dim(),), dtype="int64")
+        if name in ("argmin", "argmax"):
+            base = arr(first)
+            return ArrayValue(
+                shape=self._drop_axes(base, node), dtype="int64"
+            )
+        if name in ("any", "all"):
+            base = arr(first)
+            return ArrayValue(shape=self._drop_axes(base, node), dtype="bool")
+        if name in ("sum", "min", "max", "amin", "amax", "prod", "mean"):
+            base = arr(first)
+            dtype = base.dtype if base is not None else None
+            if name == "mean":
+                dtype = "float64"
+            return ArrayValue(shape=self._drop_axes(base, node), dtype=dtype)
+        if name == "diff":
+            base = arr(first)
+            if base is None or base.shape is None:
+                return None
+            axis_node = self._kw(node, "axis")
+            axis = (
+                axis_node.value
+                if isinstance(axis_node, ast.Constant)
+                and isinstance(axis_node.value, int)
+                else len(base.shape) - 1
+            )
+            dims = list(base.shape)
+            if 0 <= axis < len(dims):
+                dims[axis] = self.fresh_dim()
+            return ArrayValue(shape=tuple(dims), dtype=base.dtype)
+        if name == "not_equal":
+            a = arr(first)
+            b = arr(self.eval(args[1], env)) if len(args) > 1 else None
+            shape = (
+                self.broadcast(a.shape, b.shape, node)
+                if a is not None and b is not None
+                else None
+            )
+            return ArrayValue(shape=shape, dtype="bool")
+        if name == "round_" or name == "round":
+            base = arr(first)
+            if base is None:
+                return None
+            return ArrayValue(shape=base.shape, dtype=base.dtype)
+        if name in ("float64", "int64", "bool_", "float32", "int32"):
+            return ArrayValue(shape=(), dtype=_DTYPE_NAMES.get(name))
+        return None
+
+    def _drop_axes(self, base: ArrayValue | None, call: ast.AST) -> Shape | None:
+        """Result shape of a reduction given its ``axis`` keyword/argument."""
+        if base is None or base.shape is None:
+            return None
+        node = call if isinstance(call, ast.Call) else None
+        axis_node = self._kw(node, "axis") if node is not None else None
+        if axis_node is None and node is not None and len(node.args) > 1:
+            axis_node = node.args[1]
+        if axis_node is None:
+            return ()
+        axes: list[int] = []
+        if isinstance(axis_node, ast.Constant) and isinstance(
+            axis_node.value, int
+        ):
+            axes = [axis_node.value]
+        elif isinstance(axis_node, ast.Tuple) and all(
+            isinstance(elt, ast.Constant) and isinstance(elt.value, int)
+            for elt in axis_node.elts
+        ):
+            axes = [
+                elt.value
+                for elt in axis_node.elts
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, int)
+            ]
+        else:
+            return None
+        rank = len(base.shape)
+        normalized = {axis % rank for axis in axes} if rank else set()
+        return tuple(
+            dim for index, dim in enumerate(base.shape) if index not in normalized
+        )
+
+    def _eval_array_method(
+        self,
+        base: ArrayValue,
+        method: str,
+        node: ast.Call,
+        env: dict[str, Value],
+    ) -> Value:
+        if method == "astype":
+            dtype = (
+                _dtype_from_node(node.args[0]) if node.args else None
+            ) or self._explicit_dtype(node)
+            return ArrayValue(shape=base.shape, dtype=dtype)
+        if method == "copy":
+            return ArrayValue(shape=base.shape, dtype=base.dtype)
+        if method in ("tolist", "item"):
+            return None
+        if method == "reshape":
+            args: list[ast.expr] = list(node.args)
+            if len(args) == 1 and isinstance(args[0], (ast.Tuple, ast.List)):
+                args = list(args[0].elts)
+            dims: list[Dim] = []
+            for arg in args:
+                value = self.eval(arg, env)
+                if (
+                    isinstance(value, ArrayValue)
+                    and value.shape == ()
+                    and value.dim_value is not None
+                    and value.dim_value != -1
+                ):
+                    dims.append(value.dim_value)
+                else:
+                    dims.append(self.fresh_dim())
+            return ArrayValue(shape=tuple(dims), dtype=base.dtype)
+        if method in ("min", "max", "sum", "prod", "mean"):
+            dtype = "float64" if method == "mean" else base.dtype
+            return ArrayValue(shape=self._drop_axes(base, node), dtype=dtype)
+        if method in ("any", "all"):
+            return ArrayValue(shape=self._drop_axes(base, node), dtype="bool")
+        if method in ("argmin", "argmax"):
+            return ArrayValue(shape=self._drop_axes(base, node), dtype="int64")
+        return None

@@ -1,12 +1,16 @@
 """Checker framework for :mod:`repro.lint`.
 
 The linter is a thin, dependency-free harness around repo-specific
-*checkers*.  Two kinds exist:
+*checkers*.  Three kinds exist:
 
 * **File checkers** parse one Python file into an :class:`ast.Module` and
   report :class:`Violation`\\ s against it.  Each carries a *scope*
   predicate over the package-relative path (``core/lookup.py``), so e.g.
   the kernel-parity rule only fires inside the decision-kernel layers.
+* **Multi-file checkers** receive every in-scope :class:`SourceFile` at
+  once and run a single pass with a project-wide symbol table (the
+  array-contracts rule resolves kernel calls across modules — one file
+  alone cannot say what ``query_batch`` returns).
 * **Project checkers** run once per invocation against the imported
   package (the work-unit closed-world rule cross-checks the live registry
   against the live config dataclasses — that relationship is not visible
@@ -16,7 +20,9 @@ Output contract: one ``path:line: CODE message`` line per violation on
 stdout, sorted by path and line.  Exit code 0 when clean, 1 when any
 violation is reported, 2 on usage errors.  A violation is suppressed by
 putting ``# repro-lint: ignore`` (all codes) or
-``# repro-lint: ignore[REPRO101]`` (specific codes) on the flagged line.
+``# repro-lint: ignore[REPRO101]`` (specific codes) on the flagged line,
+or on any line of the flagged statement's ``lineno..end_lineno`` span
+(checkers report the span via :attr:`Violation.end_line`).
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ __all__ = [
     "main",
     "package_relative",
     "run_lint",
+    "statement_span",
 ]
 
 #: Inline suppression marker: ``# repro-lint: ignore`` or
@@ -46,15 +53,41 @@ PRAGMA_PATTERN = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 
 @dataclass(frozen=True, order=True)
 class Violation:
-    """One lint finding, renderable as ``path:line: CODE message``."""
+    """One lint finding, renderable as ``path:line: CODE message``.
+
+    ``end_line`` is the last line of the flagged statement (0 means "same
+    as ``line``"); a suppression pragma anywhere inside ``line..end_line``
+    silences the finding, so multi-line calls and decorated ``def``\\ s can
+    carry the pragma on any of their physical lines.
+    """
 
     path: str
     line: int
     code: str
     message: str
+    end_line: int = 0
 
     def render(self) -> str:
         return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def statement_span(node: ast.AST) -> tuple[int, int]:
+    """The ``(lineno, end_lineno)`` span a pragma may appear on.
+
+    For decorated definitions the span starts at the first decorator and —
+    to keep a def-level finding from being silenced by pragmas deep inside
+    the body — ends just before the first body statement; for every other
+    statement it is the node's own source extent.
+    """
+    first = getattr(node, "lineno", 0)
+    last = getattr(node, "end_lineno", None) or first
+    if isinstance(node, ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef):
+        decorators = [dec.lineno for dec in node.decorator_list]
+        if decorators:
+            first = min(first, *decorators)
+        if node.body:
+            last = max(first, node.body[0].lineno - 1)
+    return first, last
 
 
 @dataclass(frozen=True)
@@ -73,22 +106,24 @@ class SourceFile:
 
 @dataclass(frozen=True)
 class Checker:
-    """A named lint rule: either per-file (with a scope) or per-project."""
+    """A named lint rule: per-file, multi-file (with a scope), or per-project."""
 
     name: str
     codes: tuple[str, ...]
     description: str
     file_check: Callable[[SourceFile], list[Violation]] | None = None
     scope: Callable[[str], bool] | None = None
+    files_check: Callable[[Sequence[SourceFile]], list[Violation]] | None = None
     project_check: Callable[[], list[Violation]] | None = None
 
     def __post_init__(self) -> None:
-        if (self.file_check is None) == (self.project_check is None):
+        kinds = [self.file_check, self.files_check, self.project_check]
+        if sum(kind is not None for kind in kinds) != 1:
             raise ValueError(
                 f"checker {self.name!r} must define exactly one of "
-                "file_check/project_check"
+                "file_check/files_check/project_check"
             )
-        if self.file_check is not None and self.scope is None:
+        if self.project_check is None and self.scope is None:
             raise ValueError(f"file checker {self.name!r} requires a scope")
 
 
@@ -136,17 +171,26 @@ def walk_python_files(paths: Iterable[Path]) -> Iterator[Path]:
 
 
 def is_suppressed(violation: Violation, lines: Sequence[str]) -> bool:
-    """True if the flagged source line carries a matching ignore pragma."""
+    """True if any line of the flagged statement carries a matching pragma.
+
+    The scanned range is ``violation.line .. violation.end_line`` (just the
+    flagged line when the checker reported no span), so the pragma can sit
+    on any physical line of a multi-line call or decorated definition.
+    """
     if not 1 <= violation.line <= len(lines):
         return False
-    match = PRAGMA_PATTERN.search(lines[violation.line - 1])
-    if match is None:
-        return False
-    listed = match.group(1)
-    if listed is None:
-        return True
-    codes = {code.strip() for code in listed.split(",")}
-    return violation.code in codes
+    last = min(max(violation.line, violation.end_line), len(lines))
+    for lineno in range(violation.line, last + 1):
+        match = PRAGMA_PATTERN.search(lines[lineno - 1])
+        if match is None:
+            continue
+        listed = match.group(1)
+        if listed is None:
+            return True
+        codes = {code.strip() for code in listed.split(",")}
+        if violation.code in codes:
+            return True
+    return False
 
 
 def run_lint(
@@ -176,7 +220,11 @@ def run_lint(
 
     violations: list[Violation] = []
     file_checkers = [checker for checker in enabled if checker.file_check is not None]
-    if file_checkers:
+    files_checkers = [checker for checker in enabled if checker.files_check is not None]
+    collected: dict[str, list[SourceFile]] = {
+        checker.name: [] for checker in files_checkers
+    }
+    if file_checkers or files_checkers:
         for path in walk_python_files(paths):
             relpath = package_relative(path)
             applicable = [
@@ -184,14 +232,28 @@ def run_lint(
                 for checker in file_checkers
                 if checker.scope is not None and checker.scope(relpath)
             ]
-            if not applicable:
+            collecting = [
+                checker
+                for checker in files_checkers
+                if checker.scope is not None and checker.scope(relpath)
+            ]
+            if not applicable and not collecting:
                 continue
             source_file = load_source_file(path, relpath)
+            for checker in collecting:
+                collected[checker.name].append(source_file)
             for checker in applicable:
                 assert checker.file_check is not None
                 for violation in checker.file_check(source_file):
                     if not is_suppressed(violation, source_file.lines):
                         violations.append(violation)
+    for checker in files_checkers:
+        assert checker.files_check is not None
+        scoped = collected[checker.name]
+        lines_by_path = {str(sf.path): sf.lines for sf in scoped}
+        for violation in checker.files_check(scoped):
+            if not is_suppressed(violation, lines_by_path.get(violation.path, [])):
+                violations.append(violation)
     for checker in enabled:
         if checker.project_check is not None:
             for violation in checker.project_check():

@@ -6,7 +6,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 
+
+@kernel_contract(
+    counts="(R,) int64",
+    distances="(D,) float64",
+    returns=("(R,) bool", "(F,) int64"),
+)
 def nearest_per_row(
     counts: np.ndarray, distances: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:

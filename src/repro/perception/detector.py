@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.perception.detections import Detection, DetectionSet
 from repro.platform.compute import ComputeProfile
 from repro.platform.presets import DRIVE_PX2_RESNET152
@@ -29,6 +30,10 @@ from repro.sim.observation import RangeScanner
 from repro.sim.world import World
 
 
+@kernel_contract(
+    rows="(R, B) float64",
+    returns=("(G,) int64", "(G,) int64", "(G,) int64", "(G,) int64", "(G,) float64"),
+)
 def group_scan_rows(
     rows: np.ndarray, threshold: float
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -175,6 +180,10 @@ class DetectorModel:
             for g in range(int(counts[0]))
         ]
 
+    @kernel_contract(
+        rows="(R, B) float64",
+        returns=("(R,) int64", "(G,) float64", "(G,) float64", "(G,) int64"),
+    )
     def detect_batch(
         self,
         rows: np.ndarray,

@@ -28,9 +28,10 @@ possible:
   detection grouping/noise and the multi-segment Frenet lookups all run
   through ``World.nearest_obstacle_view_batch``,
   ``DetectorModel.detect_batch`` and the ``Centerline`` batch kernels that
-  the serial facades are 1-element views of.  Only ``math.tan`` inside the
-  RK4 update still differs from its numpy ufunc by a unit in the last
-  place, so it stays a scalar call per episode.
+  the serial facades are 1-element views of.  The RK4 plant update runs
+  through :func:`repro.dynamics.bicycle.rk4_plant_batch`; both paths take
+  the steering tangent from ``np.tan`` (scalar in the serial step, array
+  here), so even that last transcendental agrees per element.
 * **Same RNG streams.** Every stochastic consumer keeps its per-episode
   generator from the serial path (world placement, scheduler/wireless,
   sensor dropout, per-detector noise), and draws from each generator happen
@@ -49,14 +50,12 @@ possible:
   index list.  A finished episode's state is frozen at its terminal frame
   — exactly what the serial ``break`` does.
 
-Still per-episode (cheap, branchy, or ULP-sensitive): wireless outcome
-sampling and sensor-dropout draws, and the scalar ``math.tan`` inside the
-RK4 update.
+Still per-episode (cheap, branchy, or RNG-ordering-constrained): wireless
+outcome sampling and sensor-dropout draws.
 """
 
 from __future__ import annotations
 
-import math
 from time import perf_counter
 from collections.abc import Iterable
 
@@ -76,6 +75,7 @@ from repro.core.scheduler import (
     natural_slot_kernel,
 )
 from repro.core.shield import SteeringShield
+from repro.dynamics.bicycle import rk4_plant_batch
 from repro.dynamics.state import wrap_angle
 from repro.perception.detections import nearest_per_row
 from repro.runtime.executor import EpisodeExecutor
@@ -88,7 +88,7 @@ __all__ = ["BatchExecutor", "run_batch"]
 _MAX_PENDING_BITS = 60
 
 
-def run_batch(
+def run_batch(  # repro-lint: ignore[REPRO503] (returns reports, not arrays)
     framework: SEOFramework,
     episodes: Iterable[int],
     timings: dict[str, float] | None = None,
@@ -579,7 +579,9 @@ def run_batch(
                     dropped = (
                         bool(local[e])
                         and bool(det_present[i, j])
-                        and drop_rngs[i].random() < p_drop
+                        # Serial draw order: one conditional scalar draw per
+                        # fresh local episode, never a sized batch draw.
+                        and drop_rngs[i].random() < p_drop  # repro-lint: ignore[REPRO505]
                     )
                     if dropped:
                         dropouts[i] += 1
@@ -674,58 +676,10 @@ def run_batch(
         t_scan_group += now - stamp
         stamp = now
 
-        # ---- Batched RK4 plant update ----
-        st = np.clip(fs, -1.0, 1.0)
-        th = np.clip(ft, -1.0, 1.0)
-        steer_rad = st * params.max_steer_rad
-        accel = np.where(
-            th >= 0.0, th * params.max_accel_mps2, th * params.max_brake_mps2
+        # ---- Batched RK4 plant update (shared bicycle kernel) ----
+        xn, yn, hn, vn = rk4_plant_batch(
+            xs[idx], ys[idx], h_act, v_act, fs, ft, tau, params
         )
-        # math.tan differs from np.tan by one ulp on some inputs; stay scalar.
-        tan_arr = np.array(
-            [math.tan(value) for value in steer_rad.tolist()], dtype=float
-        )
-        wheelbase = params.wheelbase_m
-        x0 = xs[idx]
-        y0 = ys[idx]
-        h0 = h_act
-        v0 = v_act
-        half = 0.5 * tau
-
-        sp1 = np.where(v0 > 0.0, v0, 0.0)
-        k1x = sp1 * np.cos(h0)
-        k1y = sp1 * np.sin(h0)
-        k1h = sp1 * tan_arr / wheelbase
-
-        h2 = h0 + half * k1h
-        v2 = v0 + half * accel
-        sp2 = np.where(v2 > 0.0, v2, 0.0)
-        k2x = sp2 * np.cos(h2)
-        k2y = sp2 * np.sin(h2)
-        k2h = sp2 * tan_arr / wheelbase
-
-        h3 = h0 + half * k2h
-        v3 = v0 + half * accel
-        sp3 = np.where(v3 > 0.0, v3, 0.0)
-        k3x = sp3 * np.cos(h3)
-        k3y = sp3 * np.sin(h3)
-        k3h = sp3 * tan_arr / wheelbase
-
-        h4 = h0 + tau * k3h
-        v4 = v0 + tau * accel
-        sp4 = np.where(v4 > 0.0, v4, 0.0)
-        k4x = sp4 * np.cos(h4)
-        k4y = sp4 * np.sin(h4)
-        k4h = sp4 * tan_arr / wheelbase
-
-        sixth = tau / 6.0
-        xn = x0 + sixth * (k1x + 2.0 * k2x + 2.0 * k3x + k4x)
-        yn = y0 + sixth * (k1y + 2.0 * k2y + 2.0 * k3y + k4y)
-        hn = h0 + sixth * (k1h + 2.0 * k2h + 2.0 * k3h + k4h)
-        vn = v0 + sixth * (accel + 2.0 * accel + 2.0 * accel + accel)
-        hn = wrap_angle(hn)
-        vn = np.clip(vn, 0.0, params.max_speed_mps)
-        vn = np.where(vn == 0.0, 0.0, vn)
 
         # ---- Status: obstacle motion, collision, road membership ----
         time_s += tau

@@ -21,6 +21,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.dynamics.state import VehicleState, wrap_angle
 
 
@@ -279,6 +280,11 @@ class Centerline:
             self._seg_cy[index] - sigma * radius * np.cos(heading),
         )
 
+    @kernel_contract(
+        xs="(N,) float64",
+        ys="(N,) float64",
+        returns=("(N,) float64", "(N,) float64"),
+    )
     def project_batch(
         self, xs: np.ndarray, ys: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -360,6 +366,7 @@ class Centerline:
         """
         return float(self.heading_at_batch(np.array([float(s)], dtype=float))[0])
 
+    @kernel_contract(s="(N,) float64", returns="(N,) float64")
     def heading_at_batch(self, s: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`heading_at` over an ``(N,)`` arc-length array."""
         s = np.minimum(np.maximum(np.asarray(s, dtype=float), 0.0), self.length_m)
@@ -378,6 +385,7 @@ class Centerline:
         """
         return float(self.curvature_at_batch(np.array([float(s)], dtype=float))[0])
 
+    @kernel_contract(s="(N,) float64", returns="(N,) float64")
     def curvature_at_batch(self, s: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`curvature_at` over an ``(N,)`` arc-length array."""
         s = np.minimum(np.maximum(np.asarray(s, dtype=float), 0.0), self.length_m)

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.contracts import kernel_contract
 from repro.dynamics.bicycle import KinematicBicycleModel
 from repro.dynamics.params import VehicleParams
 from repro.dynamics.state import ControlAction, VehicleState, wrap_angle
@@ -109,6 +110,15 @@ class World:
         return self.road.lane_pose(self.state)
 
     @staticmethod
+    @kernel_contract(
+        xs="(N,) float64",
+        ys="(N,) float64",
+        hs="(N,) float64",
+        obs_x="(N, K) float64",
+        obs_y="(N, K) float64",
+        obs_r="(N, K) float64",
+        returns=("(N,) float64", "(N,) float64", "(N,) int64"),
+    )
     def nearest_obstacle_view_batch(
         xs: np.ndarray,
         ys: np.ndarray,

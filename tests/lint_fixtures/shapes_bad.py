@@ -1,0 +1,52 @@
+"""Violating fixture for the array-contracts checker: one hit per code.
+
+Exercised with relpath ``core/shapes_bad.py``.  Each function trips
+exactly one REPRO50x code so the tests can pin (line, code) pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contracts import kernel_contract
+
+
+@kernel_contract(
+    xs="(N,) float64", weights="(N, K) float64", returns="(N,) float64"
+)
+def mix_batch(xs: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    scaled = weights * xs  # REPRO501: (N, K) broadcast against (N,)
+    return scaled.sum(axis=1)
+
+
+@kernel_contract(xs="(N,) float64", returns="(N,) float64")
+def narrow_batch(xs: np.ndarray) -> np.ndarray:
+    return np.asarray(xs, dtype=np.float32)  # REPRO502: dtype drift
+
+
+def unsigned_batch(xs: np.ndarray) -> np.ndarray:  # REPRO503: no contract
+    return np.asarray(xs, dtype=float)
+
+
+@kernel_contract(xs="(N,) float64", returns="(N,) float64")
+def widen_batch(xs: np.ndarray) -> np.ndarray:
+    return xs[:, None] * 1.0  # REPRO503: inferred (N, 1) vs declared (N,)
+
+
+@kernel_contract(xs="(N,) float64", returns="(N,) float64")
+def jitter_batch(xs: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    out = np.asarray(xs, dtype=float).copy()
+    for index in range(out.size):
+        out[index] += rng.standard_normal()  # REPRO505: unsized loop draw
+    return out
+
+
+class Doubler:
+    """A facade that feeds its kernel a non-literal array (REPRO504)."""
+
+    @kernel_contract(values="(N,) float64", returns="(N,) float64")
+    def double_batch(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=float) * 2.0
+
+    def double(self, value: float) -> float:
+        return float(self.double_batch(np.asarray(value))[0])

@@ -1,0 +1,49 @@
+"""Clean fixture for the array-contracts checker (REPRO501–505).
+
+Exercised with relpath ``core/shapes_ok.py`` so the scope predicate
+matches; every kernel here declares its contract, the bodies stay inside
+the float64/int64/bool dtype universe, loop draws are sized, and the
+scalar facade is a 1-element view.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contracts import kernel_contract
+
+SPEED_LIMIT_MPS = 2.5
+
+
+@kernel_contract(
+    xs="(N,) float64",
+    ys="(N,) float64",
+    returns=("(N,) float64", "(N,) bool"),
+)
+def clamp_batch(xs: np.ndarray, ys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    total = np.hypot(xs, ys)
+    fast = total > SPEED_LIMIT_MPS
+    return np.where(fast, SPEED_LIMIT_MPS, total), fast
+
+
+@kernel_contract(values="(N,) float64", returns="(N,) float64")
+def smooth_batch(values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    out = np.asarray(values, dtype=float).copy()
+    draws = rng.standard_normal(out.size)
+    return out + 0.01 * draws
+
+
+class Scaler:
+    """A kernel-bearing class with a conforming scalar facade."""
+
+    factor: float = 2.0
+
+    @kernel_contract(values="(N,) float64", returns="(N,) float64")
+    def scale_batch(self, values: np.ndarray) -> np.ndarray:
+        arr = np.asarray(values, dtype=float)
+        return arr * self.factor
+
+    def scale(self, value: float) -> float:
+        return float(self.scale_batch(np.array([value], dtype=float))[0])

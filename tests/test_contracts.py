@@ -1,0 +1,220 @@
+"""Tests for the runtime kernel-contract twin (:mod:`repro.contracts`).
+
+The spec grammar and decorator semantics get direct unit coverage; the
+end-to-end guarantee — every registered scenario family runs serial *and*
+batch under enforcement without a single violation, still bit-exact — is
+the runtime mirror of the REPRO5xx static pass over the same declarations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contracts import (
+    ArraySpec,
+    ContractViolationError,
+    contracts_enabled,
+    enforced_contracts,
+    kernel_contract,
+    parse_spec,
+    set_contracts_enabled,
+)
+from repro.core.framework import SEOConfig
+from repro.runtime.batch import BatchExecutor
+from repro.runtime.executor import SerialExecutor
+from repro.sim.scenario import DEFAULT_SUITE
+
+
+# ----------------------------------------------------------------------
+# Spec grammar
+# ----------------------------------------------------------------------
+
+def test_parse_spec_defaults_to_float64():
+    spec = parse_spec("(N,)")
+    assert spec == ArraySpec(dims=("N",), dtype="float64")
+
+
+def test_parse_spec_explicit_dtype_and_literal_dims():
+    assert parse_spec("(N, 3) int64") == ArraySpec(dims=("N", 3), dtype="int64")
+    assert parse_spec("(N, K) bool") == ArraySpec(dims=("N", "K"), dtype="bool")
+
+
+def test_parse_spec_scaled_symbol():
+    assert parse_spec("(2*G,) float64") == ArraySpec(dims=((2, "G"),), dtype="float64")
+
+
+def test_parse_spec_zero_dim_scalar():
+    assert parse_spec("()") == ArraySpec(dims=(), dtype="float64")
+
+
+def test_parse_spec_render_round_trips():
+    for text in ["(N,) float64", "(N, K) bool", "(2*G,) float64", "(3,) int64"]:
+        assert parse_spec(parse_spec(text).render()) == parse_spec(text)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "N float64",  # missing parens
+        "(N,) float32",  # dtype outside the kernel vocabulary
+        "(0,)",  # dims are positive
+        "(n,)",  # symbols are capitalized
+        "(N*2,)",  # coefficient goes first
+        "(N,) float64 extra",
+    ],
+)
+def test_parse_spec_rejects_bad_grammar(bad):
+    with pytest.raises(ValueError):
+        parse_spec(bad)
+
+
+# ----------------------------------------------------------------------
+# Decorator semantics
+# ----------------------------------------------------------------------
+
+def test_contract_rejects_unknown_parameter_at_decoration_time():
+    with pytest.raises(ValueError, match="no such parameter"):
+        @kernel_contract(nope="(N,) float64")
+        def f_batch(xs):
+            return xs
+
+
+def test_contract_is_free_when_disabled():
+    @kernel_contract(xs="(N,) float64", returns="(N,) float64")
+    def bad_batch(xs):
+        return np.asarray(xs, dtype=np.float32)  # violates when enforced
+
+    with enforced_contracts(False):
+        out = bad_batch([1.0, 2.0])
+    assert out.dtype == np.float32
+
+
+def test_contract_attaches_parsed_declaration():
+    @kernel_contract(xs="(N,) float64", returns="(N,) bool")
+    def flag_batch(xs):
+        return np.asarray(xs, dtype=float) > 0
+
+    contract = flag_batch.__kernel_contract__
+    assert dict(contract.params)["xs"].dims == ("N",)
+    assert contract.returns[0].dtype == "bool"
+
+
+def test_enforced_contracts_restores_previous_state():
+    baseline = contracts_enabled()
+    with enforced_contracts():
+        assert contracts_enabled()
+        with enforced_contracts(False):
+            assert not contracts_enabled()
+        assert contracts_enabled()
+    assert contracts_enabled() == baseline
+
+
+def test_set_contracts_enabled_returns_previous():
+    baseline = contracts_enabled()
+    previous = set_contracts_enabled(True)
+    try:
+        assert previous is baseline
+        assert contracts_enabled()
+    finally:
+        set_contracts_enabled(previous)
+    assert contracts_enabled() == baseline
+
+
+# ----------------------------------------------------------------------
+# Runtime enforcement
+# ----------------------------------------------------------------------
+
+@kernel_contract(xs="(N,) float64", ys="(N,) float64", returns="(N,) float64")
+def add_batch(xs, ys):
+    return np.asarray(xs, dtype=float) + np.asarray(ys, dtype=float)
+
+
+def test_enforced_pass_through_on_conforming_call():
+    with enforced_contracts():
+        out = add_batch(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+    assert out.tolist() == [4.0, 6.0]
+
+
+def test_enforced_rejects_rank_mismatch():
+    with enforced_contracts(), pytest.raises(ContractViolationError, match="shape"):
+        add_batch(np.zeros((2, 2)), np.zeros(2))
+
+
+def test_enforced_rejects_symbol_conflict_across_parameters():
+    with enforced_contracts(), pytest.raises(ContractViolationError, match="binds"):
+        add_batch(np.zeros(2), np.zeros(3))
+
+
+def test_enforced_rejects_ndarray_dtype_drift():
+    with enforced_contracts(), pytest.raises(ContractViolationError, match="dtype"):
+        add_batch(np.zeros(2, dtype=np.float32), np.zeros(2))
+
+
+def test_scalar_inputs_are_lenient_by_design():
+    """0-d values broadcast into dimensioned slots (documented leniency)."""
+    with enforced_contracts():
+        out = add_batch(np.array([1.0, 2.0]), 1.0)
+    assert out.tolist() == [2.0, 3.0]
+
+
+def test_list_inputs_are_shape_checked_but_not_dtype_checked():
+    with enforced_contracts():
+        out = add_batch([1, 2], np.array([1.0, 1.0]))
+        assert out.tolist() == [2.0, 3.0]
+        with pytest.raises(ContractViolationError, match="shape"):
+            add_batch([[1.0], [2.0]], np.array([1.0, 1.0]))
+
+
+def test_returned_arrays_are_always_strict():
+    @kernel_contract(xs="(N,) float64", returns="(N,) float64")
+    def narrow_batch(xs):
+        return np.asarray(xs, dtype=np.float32)
+
+    with enforced_contracts(), pytest.raises(ContractViolationError, match="dtype"):
+        narrow_batch(np.zeros(3))
+
+
+def test_return_count_mismatch_is_a_violation():
+    @kernel_contract(xs="(N,) float64", returns=("(N,) float64", "(N,) bool"))
+    def lonely_batch(xs):
+        return np.asarray(xs, dtype=float)
+
+    with enforced_contracts(), pytest.raises(ContractViolationError, match="value"):
+        lonely_batch(np.zeros(3))
+
+
+def test_return_shape_binds_against_parameter_symbols():
+    @kernel_contract(xs="(N,) float64", returns="(N,) float64")
+    def grow_batch(xs):
+        return np.concatenate([np.asarray(xs, dtype=float), [0.0]])
+
+    with enforced_contracts(), pytest.raises(ContractViolationError, match="binds"):
+        grow_batch(np.zeros(3))
+
+
+def test_scaled_symbol_requires_divisibility():
+    @kernel_contract(pairs="(2*G,) float64", returns="(G,) float64")
+    def fold_batch(pairs):
+        arr = np.asarray(pairs, dtype=float)
+        return arr[0::2] + arr[1::2]
+
+    with enforced_contracts():
+        assert fold_batch(np.array([1.0, 2.0, 3.0, 4.0])).tolist() == [3.0, 7.0]
+        with pytest.raises(ContractViolationError, match="multiple of 2"):
+            fold_batch(np.zeros(5))
+
+
+# ----------------------------------------------------------------------
+# The real kernel layer under enforcement: every registered family runs
+# serial and batch with contracts on, still bit-exact, zero violations.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("family_name", DEFAULT_SUITE.names())
+def test_suite_families_run_clean_under_runtime_contracts(family_name):
+    family = DEFAULT_SUITE.get(family_name)
+    config = SEOConfig(scenario=family.base, max_steps=150)
+    with enforced_contracts():
+        serial = SerialExecutor().run(config, 2)
+        batch = BatchExecutor().run(config, 2)
+    assert batch == serial

@@ -5,6 +5,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.contracts import ContractViolationError
 from repro.core.intervals import (
     SafeIntervalEstimator,
     discretize_deadline,
@@ -157,7 +158,9 @@ class TestSafeIntervalEstimator:
         assert estimator.estimate_one(5.0, 0.0, 5.0, 0.0, 0.0) == pytest.approx(0.08)
 
     def test_batch_requires_matching_shapes(self, fast_estimator):
-        with pytest.raises(ValueError):
+        # The kernel raises ValueError itself; with runtime contracts on,
+        # the declared (N,) specs reject the call first.
+        with pytest.raises((ValueError, ContractViolationError)):
             fast_estimator.estimate_batch(
                 np.zeros(3), np.zeros(2), np.zeros(3), np.zeros(3), np.zeros(3)
             )

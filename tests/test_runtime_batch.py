@@ -11,6 +11,7 @@ import warnings
 import numpy as np
 import pytest
 
+from repro.contracts import ContractViolationError
 from repro.core.framework import SEOConfig, SEOFramework
 from repro.core.safety import NO_OBSTACLE_DISTANCE_M, SafetyInputs
 from repro.dynamics.state import ControlAction
@@ -191,7 +192,9 @@ class TestLookupQueryBatch:
 
     def test_rejects_mismatched_shapes(self, fast_seo_config):
         table = SEOFramework(fast_seo_config).lookup_table
-        with pytest.raises(ValueError):
+        # The kernel raises ValueError itself; with runtime contracts on,
+        # the declared (N,) specs reject the call first.
+        with pytest.raises((ValueError, ContractViolationError)):
             table.query_batch(
                 np.zeros(3), np.zeros(2), np.zeros(3), np.zeros(3), np.zeros(3)
             )
